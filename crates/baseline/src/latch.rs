@@ -1,0 +1,148 @@
+//! Section 7 ablation: latch-based pipeline stages.
+//!
+//! "The 2-phase flow control scheme can be modified to allow the use of
+//! latches instead of edge triggered registers. This will reduce the area
+//! as well as the power consumption." A level-sensitive latch is roughly
+//! half a master–slave flip-flop: one of the two internal latch ranks
+//! disappears, as does half the clock-pin load.
+
+use icnoc_units::{Gigahertz, Milliwatts, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// Flip-flop vs latch cost comparison for a pipeline of given size.
+///
+/// A master–slave flip-flop is two latches back-to-back, so replacing the
+/// pipeline registers with single latches removes approximately one of the
+/// two ranks: the datapath storage area and the clock-pin capacitance both
+/// drop by ~45 % (a few control gates remain per stage, hence not a full
+/// 50 %).
+///
+/// ```
+/// use icnoc_baseline::LatchAblation;
+///
+/// let ablation = LatchAblation::for_stages(100, 32);
+/// assert!(ablation.latch_area() < ablation.flip_flop_area());
+/// assert!(ablation.area_saving_fraction() > 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatchAblation {
+    stages: usize,
+    width_bits: u32,
+}
+
+/// Storage area saved by dropping one latch rank, net of the extra
+/// transparency-control gating: ~45 %.
+const LATCH_AREA_SAVING: f64 = 0.45;
+
+/// Clock-pin capacitance saved per stage: ~45 % (one rank's clock pins).
+const LATCH_CLOCK_SAVING: f64 = 0.45;
+
+/// A 32-bit flip-flop pipeline stage (paper Section 6): 0.0015 mm².
+const STAGE_AREA_32BIT_MM2: f64 = 0.0015;
+
+/// Clock power of a 32-bit flip-flop stage at 1 GHz and 1 V: 32 pins plus
+/// enable logic at ~2 fF each ≈ 34 × 2 fF × 1 V² × 1 GHz.
+const STAGE_CLOCK_MW_PER_GHZ: f64 = 34.0 * 0.002;
+
+impl LatchAblation {
+    /// Compares a pipeline of `stages` registers at `width_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn for_stages(stages: usize, width_bits: u32) -> Self {
+        assert!(width_bits > 0, "data path width must be positive");
+        Self { stages, width_bits }
+    }
+
+    fn width_scale(self) -> f64 {
+        f64::from(self.width_bits) / 32.0
+    }
+
+    /// Total stage area with edge-triggered flip-flops (the shipped
+    /// design).
+    #[must_use]
+    pub fn flip_flop_area(self) -> SquareMillimeters {
+        SquareMillimeters::new(STAGE_AREA_32BIT_MM2 * self.width_scale() * self.stages as f64)
+    }
+
+    /// Total stage area with single latches.
+    #[must_use]
+    pub fn latch_area(self) -> SquareMillimeters {
+        self.flip_flop_area() * (1.0 - LATCH_AREA_SAVING)
+    }
+
+    /// Fraction of stage area saved by the latch variant.
+    #[must_use]
+    pub fn area_saving_fraction(self) -> f64 {
+        LATCH_AREA_SAVING
+    }
+
+    /// Clock power of the flip-flop pipeline at `f` with the given
+    /// activity (un-gated fraction of edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    #[must_use]
+    #[track_caller]
+    pub fn flip_flop_clock_power(self, f: Gigahertz, activity: f64) -> Milliwatts {
+        assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1]");
+        Milliwatts::new(
+            STAGE_CLOCK_MW_PER_GHZ * self.width_scale() * self.stages as f64 * f.value() * activity,
+        )
+    }
+
+    /// Clock power of the latch pipeline under the same conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latch_clock_power(self, f: Gigahertz, activity: f64) -> Milliwatts {
+        self.flip_flop_clock_power(f, activity) * (1.0 - LATCH_CLOCK_SAVING)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latches_save_area_and_power() {
+        let a = LatchAblation::for_stages(500, 32);
+        assert!(a.latch_area() < a.flip_flop_area());
+        let f = Gigahertz::new(1.0);
+        assert!(a.latch_clock_power(f, 0.5) < a.flip_flop_clock_power(f, 0.5));
+    }
+
+    #[test]
+    fn savings_match_documented_fractions() {
+        let a = LatchAblation::for_stages(100, 32);
+        let ratio = a.latch_area() / a.flip_flop_area();
+        assert!((ratio - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_with_width_and_stage_count() {
+        let narrow = LatchAblation::for_stages(10, 32);
+        let wide = LatchAblation::for_stages(10, 64);
+        assert!(
+            (wide.flip_flop_area().value() - 2.0 * narrow.flip_flop_area().value()).abs() < 1e-12
+        );
+        let more = LatchAblation::for_stages(20, 32);
+        assert!(
+            (more.flip_flop_area().value() - 2.0 * narrow.flip_flop_area().value()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn gated_pipeline_draws_less_clock_power() {
+        let a = LatchAblation::for_stages(100, 32);
+        let f = Gigahertz::new(1.0);
+        assert!(a.flip_flop_clock_power(f, 0.1) < a.flip_flop_clock_power(f, 0.9));
+        assert_eq!(a.flip_flop_clock_power(f, 0.0), Milliwatts::ZERO);
+    }
+}

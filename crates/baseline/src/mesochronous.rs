@@ -1,0 +1,317 @@
+//! General-purpose mesochronous synchronisation schemes (Section 2's
+//! related work), for the overhead comparison of experiment E12.
+//!
+//! All three published schemes solve the same problem the IC-NoC dissolves:
+//! with arbitrary phase between clock regions, data can be sampled inside
+//! its switching window. They detect the dangerous phase and steer around
+//! it — at the cost of per-link detection hardware and, for the delay-line
+//! schemes, a calibration (initialisation) phase. The IC-NoC instead
+//! *constructs* a safe phase relationship by forwarding the clock with the
+//! data, so it needs neither.
+//!
+//! The per-scheme constants are engineering estimates for a 90 nm process,
+//! documented inline; the *qualitative* comparison (who needs an init
+//! phase, who carries detector hardware) is taken directly from the cited
+//! papers.
+
+use icnoc_units::{Gigahertz, Picoseconds, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// Metastability resolution time constant τ for a 90 nm flip-flop, ps.
+const TAU_PS: f64 = 20.0;
+
+/// Metastability capture-window constant T₀ for a 90 nm flip-flop, ps.
+const T0_PS: f64 = 10.0;
+
+/// Mean time between synchronisation failures of a sampler given
+/// `resolution` time before its output is consumed:
+/// `MTBF = e^(t_r/τ) / (T₀ · f_clk · f_data)`.
+///
+/// Returns seconds; `f64::INFINITY` for non-positive event rates.
+///
+/// # Panics
+///
+/// Panics if `resolution` is negative.
+#[must_use]
+#[track_caller]
+pub fn synchronizer_mtbf_seconds(
+    resolution: Picoseconds,
+    f_clk: Gigahertz,
+    f_data: Gigahertz,
+) -> f64 {
+    assert!(
+        !resolution.is_negative(),
+        "resolution time must be non-negative"
+    );
+    let rate = T0_PS * 1e-12 * (f_clk.value() * 1e9) * (f_data.value() * 1e9);
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    (resolution.value() / TAU_PS).exp() / rate
+}
+
+/// A mesochronous link synchronisation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncScheme {
+    /// Mu & Svensson \[15\]: a self-tested delay line on the data path,
+    /// calibrated until no transmission errors are detected.
+    SelfTestedDelayLine,
+    /// Söderquist \[20\]: the same idea applied to the clock path
+    /// ("globally updated mesochronous design style").
+    AdjustableClockDelay,
+    /// Mesgarzadeh et al. \[13\]: detect whether the sampling edge falls in
+    /// the data switching zone; if so, sample on the negative edge instead.
+    SwitchingZoneDetector,
+    /// The IC-NoC's integrated clock forwarding: phase safety by
+    /// construction along the tree.
+    IcNoc,
+}
+
+impl SyncScheme {
+    /// Every scheme, in the order Section 2 discusses them.
+    pub const ALL: [SyncScheme; 4] = [
+        SyncScheme::SelfTestedDelayLine,
+        SyncScheme::AdjustableClockDelay,
+        SyncScheme::SwitchingZoneDetector,
+        SyncScheme::IcNoc,
+    ];
+
+    /// Whether the scheme needs an initialisation phase before links are
+    /// usable — the drawback the paper calls out for \[15\]/\[20\].
+    #[must_use]
+    pub fn needs_init_phase(self) -> bool {
+        matches!(
+            self,
+            SyncScheme::SelfTestedDelayLine | SyncScheme::AdjustableClockDelay
+        )
+    }
+
+    /// Cycles of calibration per link before first use. The delay-line
+    /// schemes sweep a tunable delay while monitoring errors — order 10³
+    /// cycles per link in the published implementations.
+    #[must_use]
+    pub fn init_cycles_per_link(self) -> u64 {
+        match self {
+            SyncScheme::SelfTestedDelayLine => 1_000,
+            SyncScheme::AdjustableClockDelay => 500,
+            SyncScheme::SwitchingZoneDetector | SyncScheme::IcNoc => 0,
+        }
+    }
+
+    /// Whether the scheme carries continuous phase-detection hardware — the
+    /// "complex phase detection ... non-negligible circuit overhead" of
+    /// Section 2.
+    #[must_use]
+    pub fn has_phase_detector(self) -> bool {
+        self != SyncScheme::IcNoc
+    }
+
+    /// Estimated per-link detector/delay-line area in 90 nm (32-bit link):
+    /// a phase detector, control FSM, and (where used) a tunable delay
+    /// line. Roughly half to a third of a 3×3 router's 0.010 mm².
+    #[must_use]
+    pub fn detector_area_per_link(self) -> SquareMillimeters {
+        match self {
+            SyncScheme::SelfTestedDelayLine => SquareMillimeters::new(0.004),
+            SyncScheme::AdjustableClockDelay => SquareMillimeters::new(0.003),
+            SyncScheme::SwitchingZoneDetector => SquareMillimeters::new(0.002),
+            SyncScheme::IcNoc => SquareMillimeters::ZERO,
+        }
+    }
+
+    /// Average extra latency per link crossing, in cycles. The
+    /// negative-edge fallback of \[13\] pays half a cycle whenever the
+    /// detector fires (assume half the links sit near a dangerous phase).
+    #[must_use]
+    pub fn extra_latency_cycles(self) -> f64 {
+        match self {
+            SyncScheme::SwitchingZoneDetector => 0.25,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether the scheme constrains the network topology. Only the IC-NoC
+    /// does (the clock must follow a tree); the price the others pay is in
+    /// hardware and bring-up instead.
+    #[must_use]
+    pub fn requires_tree_topology(self) -> bool {
+        self == SyncScheme::IcNoc
+    }
+
+    /// Metastability resolution time the scheme grants its sampler at
+    /// clock frequency `f`:
+    ///
+    /// * the delay-line schemes centre the sampling point, leaving about a
+    ///   quarter period of resolution before the data is consumed;
+    /// * the switching-zone detector falls back to the opposite edge,
+    ///   granting about half a period;
+    /// * the IC-NoC never samples an uncontrolled phase — its resolution
+    ///   time is unbounded (deterministic by construction).
+    #[must_use]
+    pub fn resolution_time(self, f: Gigahertz) -> Picoseconds {
+        match self {
+            SyncScheme::SelfTestedDelayLine | SyncScheme::AdjustableClockDelay => {
+                f.period() / 4.0
+            }
+            SyncScheme::SwitchingZoneDetector => f.half_period(),
+            SyncScheme::IcNoc => Picoseconds::INFINITY,
+        }
+    }
+
+    /// Per-link mean time between synchronisation failures at clock `f`
+    /// with the given data toggle rate, in seconds. Infinite for the
+    /// IC-NoC.
+    #[must_use]
+    pub fn mtbf_seconds(self, f: Gigahertz, f_data: Gigahertz) -> f64 {
+        if self == SyncScheme::IcNoc {
+            return f64::INFINITY;
+        }
+        synchronizer_mtbf_seconds(self.resolution_time(f), f, f_data)
+    }
+}
+
+impl core::fmt::Display for SyncScheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SyncScheme::SelfTestedDelayLine => f.write_str("self-tested delay line [15]"),
+            SyncScheme::AdjustableClockDelay => f.write_str("adjustable clock delay [20]"),
+            SyncScheme::SwitchingZoneDetector => f.write_str("switching-zone detector [13]"),
+            SyncScheme::IcNoc => f.write_str("IC-NoC forwarded clock"),
+        }
+    }
+}
+
+/// A whole-network overhead comparison for one scheme (experiment E12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeComparison {
+    /// The scheme compared.
+    pub scheme: SyncScheme,
+    /// Number of synchronised links in the network.
+    pub links: usize,
+    /// Total detector/delay-line silicon.
+    pub total_detector_area: SquareMillimeters,
+    /// Worst-case bring-up time before the network is usable (links
+    /// calibrate in parallel, so this is the per-link figure).
+    pub bring_up_cycles: u64,
+    /// Average added latency per link crossing.
+    pub extra_latency_cycles: f64,
+}
+
+impl SchemeComparison {
+    /// Evaluates `scheme` on a network with `links` synchronised links.
+    #[must_use]
+    pub fn evaluate(scheme: SyncScheme, links: usize) -> Self {
+        Self {
+            scheme,
+            links,
+            total_detector_area: scheme.detector_area_per_link() * links as f64,
+            bring_up_cycles: scheme.init_cycles_per_link(),
+            extra_latency_cycles: scheme.extra_latency_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icnoc_has_no_overheads() {
+        let c = SchemeComparison::evaluate(SyncScheme::IcNoc, 126);
+        assert_eq!(c.total_detector_area, SquareMillimeters::ZERO);
+        assert_eq!(c.bring_up_cycles, 0);
+        assert_eq!(c.extra_latency_cycles, 0.0);
+        assert!(SyncScheme::IcNoc.requires_tree_topology());
+    }
+
+    #[test]
+    fn delay_line_schemes_need_init() {
+        assert!(SyncScheme::SelfTestedDelayLine.needs_init_phase());
+        assert!(SyncScheme::AdjustableClockDelay.needs_init_phase());
+        assert!(!SyncScheme::SwitchingZoneDetector.needs_init_phase());
+        assert!(!SyncScheme::IcNoc.needs_init_phase());
+    }
+
+    #[test]
+    fn every_rival_carries_detector_hardware() {
+        for scheme in SyncScheme::ALL {
+            if scheme == SyncScheme::IcNoc {
+                continue;
+            }
+            assert!(scheme.has_phase_detector(), "{scheme}");
+            let c = SchemeComparison::evaluate(scheme, 126);
+            assert!(c.total_detector_area.value() > 0.0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn detector_area_scales_with_link_count() {
+        let small = SchemeComparison::evaluate(SyncScheme::SelfTestedDelayLine, 10);
+        let large = SchemeComparison::evaluate(SyncScheme::SelfTestedDelayLine, 100);
+        assert!(
+            (large.total_detector_area.value() - 10.0 * small.total_detector_area.value()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn demonstrator_scale_detector_cost_rivals_router_area() {
+        // On the 64-port demonstrator (126 links), [15]-style hardware
+        // costs 0.5 mm² — comparable to the whole 0.63 mm² router budget.
+        let c = SchemeComparison::evaluate(SyncScheme::SelfTestedDelayLine, 126);
+        assert!(c.total_detector_area.value() > 0.4);
+    }
+
+    #[test]
+    fn mtbf_formula_behaves() {
+        use icnoc_units::{Gigahertz, Picoseconds};
+        let f = Gigahertz::new(1.0);
+        let data = Gigahertz::new(0.1);
+        // More resolution time => exponentially better MTBF.
+        let short = synchronizer_mtbf_seconds(Picoseconds::new(100.0), f, data);
+        let long = synchronizer_mtbf_seconds(Picoseconds::new(500.0), f, data);
+        assert!(long > short * 1e6, "short {short:e}, long {long:e}");
+        // Zero resolution: failures at the raw metastability event rate.
+        let raw = synchronizer_mtbf_seconds(Picoseconds::ZERO, f, data);
+        assert!((raw - 1e-6).abs() < 1e-9, "raw {raw:e}");
+    }
+
+    #[test]
+    fn icnoc_never_fails_rivals_sometimes_do() {
+        use icnoc_units::Gigahertz;
+        let f = Gigahertz::new(1.0);
+        let data = Gigahertz::new(0.1);
+        assert!(SyncScheme::IcNoc.mtbf_seconds(f, data).is_infinite());
+        for scheme in [
+            SyncScheme::SelfTestedDelayLine,
+            SyncScheme::AdjustableClockDelay,
+            SyncScheme::SwitchingZoneDetector,
+        ] {
+            let mtbf = scheme.mtbf_seconds(f, data);
+            assert!(mtbf.is_finite(), "{scheme}");
+            assert!(mtbf > 0.0, "{scheme}");
+        }
+        // The half-period fallback of [13] beats the quarter-period delay
+        // lines on raw MTBF (it pays in latency instead).
+        assert!(
+            SyncScheme::SwitchingZoneDetector.mtbf_seconds(f, data)
+                > SyncScheme::SelfTestedDelayLine.mtbf_seconds(f, data)
+        );
+    }
+
+    #[test]
+    fn faster_clocks_hurt_rival_mtbf() {
+        use icnoc_units::Gigahertz;
+        let data = Gigahertz::new(0.1);
+        let slow = SyncScheme::SelfTestedDelayLine.mtbf_seconds(Gigahertz::new(0.5), data);
+        let fast = SyncScheme::SelfTestedDelayLine.mtbf_seconds(Gigahertz::new(2.0), data);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn display_names_cite_the_sources() {
+        assert!(SyncScheme::SelfTestedDelayLine.to_string().contains("[15]"));
+        assert!(SyncScheme::AdjustableClockDelay.to_string().contains("[20]"));
+        assert!(SyncScheme::SwitchingZoneDetector.to_string().contains("[13]"));
+    }
+}

@@ -1,0 +1,76 @@
+//! E12/E13 benches: scheme comparison, ring-augmented routing, leaf
+//! staggering and clock-power models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc_baseline::{SchemeComparison, SyncScheme};
+use icnoc_clock::{ClockDistribution, GlobalClockTree, LeafStagger, SurgeProfile};
+use icnoc_timing::WireModel;
+use icnoc_topology::{Floorplan, PortId, RingAugmentedTree, TreeTopology};
+use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("e12_scheme_comparison_all", |b| {
+        b.iter(|| {
+            for scheme in SyncScheme::ALL {
+                black_box(SchemeComparison::evaluate(scheme, 126));
+            }
+        })
+    });
+
+    let ring = RingAugmentedTree::binary(64, 4).expect("valid");
+    c.bench_function("e13b_ring_average_latency_64", |b| {
+        b.iter(|| black_box(ring.average_latency_cycles()))
+    });
+    c.bench_function("e13b_ring_route_single", |b| {
+        b.iter(|| black_box(ring.route_hops(black_box(PortId(31)), black_box(PortId(32)))))
+    });
+
+    let tree = TreeTopology::binary(64).expect("valid");
+    let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+    let clocks =
+        ClockDistribution::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
+    c.bench_function("e13c_surge_profile_64_leaves", |b| {
+        b.iter(|| {
+            let stagger = LeafStagger::uniform(64, Picoseconds::new(500.0));
+            black_box(SurgeProfile::from_edge_times(
+                &stagger.leaf_edge_times(&tree, &clocks),
+                Picojoules::new(2.0),
+                Picoseconds::new(1_000.0),
+                20,
+            ))
+        })
+    });
+
+    c.bench_function("e13d_global_clock_tree_model", |b| {
+        b.iter(|| {
+            black_box(GlobalClockTree::balanced(
+                64,
+                Millimeters::new(10.0),
+                Picoseconds::new(30.0),
+            ))
+        })
+    });
+}
+
+fn bench_ring_simulation(c: &mut Criterion) {
+    use icnoc_sim::{TrafficPattern, TreeNetworkConfig};
+    c.bench_function("e13b_ring_network_500cycles", |b| {
+        b.iter(|| {
+            let mut net = TreeNetworkConfig::new(
+                TreeTopology::binary(16).expect("valid"),
+            )
+            .with_pattern(TrafficPattern::uniform(0.1))
+            .with_ring_shortcuts(true)
+            .with_seed(1)
+            .build();
+            black_box(net.run_cycles(500))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablations, bench_ring_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E4/E5/E7/E11 benches: building, verifying and simulating the Section 6
+//! demonstrator (and its quad-tree alternative).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc::{demonstrator_patterns, SystemBuilder, TilePreset};
+use icnoc_topology::TreeKind;
+use icnoc_units::Gigahertz;
+
+fn bench_demonstrator(c: &mut Criterion) {
+    c.bench_function("e11_build_demonstrator", |b| {
+        b.iter(|| black_box(SystemBuilder::demonstrator().build()))
+    });
+
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+    c.bench_function("e11_verify_nominal_264_checks", |b| {
+        b.iter(|| black_box(sys.verify_nominal()))
+    });
+
+    c.bench_function("e5_area_accounting", |b| {
+        b.iter(|| black_box(sys.area()))
+    });
+
+    let patterns = demonstrator_patterns(TilePreset::LocalCompute { rate: 0.4 }, 64);
+    c.bench_function("e11_local_compute_300cycles", |b| {
+        b.iter(|| {
+            let mut net = sys.network(&patterns, 9);
+            black_box(net.run_cycles(300))
+        })
+    });
+
+    c.bench_function("e7_build_quad_64", |b| {
+        b.iter(|| {
+            black_box(
+                SystemBuilder::new(TreeKind::Quad, 64)
+                    .frequency(Gigahertz::new(1.2))
+                    .build(),
+            )
+        })
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use icnoc_sim::{TileTraffic, TrafficPattern};
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+
+    c.bench_function("ext_closed_loop_tiles_300cycles", |b| {
+        b.iter(|| {
+            black_box(sys.simulate_tiles(
+                TrafficPattern::Neighbor { rate: 0.3 },
+                TileTraffic {
+                    max_outstanding: 4,
+                    service_cycles: 5,
+                },
+                300,
+                9,
+            ))
+        })
+    });
+
+    c.bench_function("ext_wormhole_4flit_300cycles", |b| {
+        let patterns = vec![TrafficPattern::uniform(0.1); 64];
+        b.iter(|| {
+            let mut net = sys.network(&patterns, 9);
+            net.set_packet_length(4);
+            black_box(net.run_cycles(300))
+        })
+    });
+
+    c.bench_function("ext_yield_100_dies", |b| {
+        let var = icnoc::timing::ProcessVariation::new(0.2, 0.08);
+        b.iter(|| black_box(sys.yield_analysis(var, 100, 3)))
+    });
+
+    c.bench_function("ext_power_report", |b| {
+        let report = sys.simulate(TrafficPattern::uniform(0.2), 300, 5);
+        b.iter(|| black_box(sys.power_report(&report)))
+    });
+
+    c.bench_function("ext_stagger_window_solve", |b| {
+        b.iter(|| black_box(sys.max_stagger_window()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_demonstrator, bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E3 bench: regenerating the Figure 7 frequency-vs-wire-length curve.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc_timing::PipelineTimingModel;
+use icnoc_units::{Gigahertz, Millimeters};
+
+fn bench_fig7(c: &mut Criterion) {
+    let model = PipelineTimingModel::nominal_90nm();
+
+    c.bench_function("e3_fig7_point", |b| {
+        b.iter(|| black_box(model.max_frequency(black_box(Millimeters::new(1.25)))))
+    });
+
+    c.bench_function("e3_fig7_curve_31_points", |b| {
+        b.iter(|| black_box(model.fig7_curve(Millimeters::new(3.0), Millimeters::new(0.1))))
+    });
+
+    c.bench_function("e3_max_length_inverse", |b| {
+        b.iter(|| black_box(model.max_length(black_box(Gigahertz::new(1.0)))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig7
+}
+criterion_main!(benches);

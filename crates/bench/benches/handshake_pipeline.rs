@@ -1,0 +1,49 @@
+//! E8/E9 benches: the two-phase handshake pipeline simulator.
+//!
+//! Measures simulated half-cycles per second for the Fig. 4 pipeline, both
+//! free-running and through a stall window, plus the gating accounting of
+//! bursty traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc_sim::{Network, SinkMode, TrafficPattern};
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("e8_pipeline8_saturated_200cycles", |b| {
+        b.iter(|| {
+            let mut net =
+                Network::pipeline(8, TrafficPattern::saturate(), SinkMode::AlwaysAccept, 1);
+            black_box(net.run_cycles(200))
+        })
+    });
+
+    c.bench_function("e8_pipeline8_stall_resume_600cycles", |b| {
+        b.iter(|| {
+            let mut net = Network::pipeline(
+                8,
+                TrafficPattern::saturate(),
+                SinkMode::StallDuring { from: 200, to: 400 },
+                1,
+            );
+            black_box(net.run_cycles(600))
+        })
+    });
+
+    c.bench_function("e9_pipeline8_bursty_1000cycles", |b| {
+        b.iter(|| {
+            let mut net = Network::pipeline(
+                8,
+                TrafficPattern::Bursty { burst: 10, idle: 90 },
+                SinkMode::AlwaysAccept,
+                1,
+            );
+            black_box(net.run_cycles(1_000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E1/E2 benches: the Section 4 link-timing equations.
+//!
+//! These are the innermost loops of system verification — a production
+//! signoff sweep evaluates them once per segment per corner — so they must
+//! stay allocation-free and branch-light.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc_timing::{Direction, FlipFlopTiming, LinkTiming};
+use icnoc_units::{Gigahertz, Picoseconds};
+
+fn bench_link_timing(c: &mut Criterion) {
+    let ff = FlipFlopTiming::nominal_90nm();
+    let link = LinkTiming::new(ff, Gigahertz::new(1.0));
+
+    c.bench_function("e1_downstream_window", |b| {
+        b.iter(|| black_box(link.downstream_window()))
+    });
+
+    c.bench_function("e1_check_downstream", |b| {
+        b.iter(|| {
+            black_box(link.check(
+                Direction::Downstream,
+                black_box(Picoseconds::new(150.0)),
+                black_box(Picoseconds::new(120.0)),
+            ))
+        })
+    });
+
+    c.bench_function("e2_check_upstream", |b| {
+        b.iter(|| {
+            black_box(link.check(
+                Direction::Upstream,
+                black_box(Picoseconds::new(150.0)),
+                black_box(Picoseconds::new(150.0)),
+            ))
+        })
+    });
+
+    c.bench_function("e2_max_frequency_solve", |b| {
+        b.iter(|| {
+            black_box(LinkTiming::max_frequency(
+                ff,
+                Direction::Upstream,
+                black_box(Picoseconds::new(190.0)),
+                black_box(Picoseconds::new(190.0)),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_link_timing
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6 benches: tree-vs-mesh comparison, analytic and simulated.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc::SystemBuilder;
+use icnoc_baseline::SynchronousMesh;
+use icnoc_sim::TrafficPattern;
+use icnoc_topology::{analysis, TreeKind};
+use icnoc_units::Millimeters;
+
+fn bench_tree_vs_mesh(c: &mut Criterion) {
+    c.bench_function("e6_analytic_compare_64", |b| {
+        b.iter(|| black_box(analysis::compare(64, Millimeters::new(10.0), 32)))
+    });
+
+    let tree = SystemBuilder::new(TreeKind::Binary, 16).build().expect("valid");
+    c.bench_function("e6_tree16_uniform_500cycles", |b| {
+        b.iter(|| black_box(tree.simulate(TrafficPattern::uniform(0.1), 500, 3)))
+    });
+
+    let mesh = SynchronousMesh::new(16).expect("square");
+    c.bench_function("e6_mesh16_uniform_500cycles", |b| {
+        b.iter(|| black_box(mesh.simulate(TrafficPattern::uniform(0.1), 500, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree_vs_mesh
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E10 benches: the graceful-degradation solver and Monte-Carlo variation
+//! sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc::SystemBuilder;
+use icnoc_timing::{safe_frequency, Direction, FlipFlopTiming, ProcessVariation};
+use icnoc_units::Picoseconds;
+
+fn bench_variation(c: &mut Criterion) {
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+    let var = ProcessVariation::new(0.3, 0.05);
+
+    c.bench_function("e10_max_safe_frequency_demonstrator", |b| {
+        b.iter(|| black_box(sys.max_safe_frequency(black_box(var), 3.0)))
+    });
+
+    c.bench_function("e10_verify_under_variation", |b| {
+        b.iter(|| black_box(sys.verify_under(black_box(var), 3.0)))
+    });
+
+    let links: Vec<(Direction, Picoseconds, Picoseconds)> = sys.segment_delays();
+    c.bench_function("e10_safe_frequency_solver_raw", |b| {
+        b.iter(|| {
+            black_box(safe_frequency(
+                FlipFlopTiming::nominal_90nm(),
+                black_box(&links),
+                var,
+                3.0,
+            ))
+        })
+    });
+
+    c.bench_function("e10_variation_draw_1000_factors", |b| {
+        b.iter(|| {
+            let mut draw = var.draw(7);
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += draw.factor();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_variation
+}
+criterion_main!(benches);

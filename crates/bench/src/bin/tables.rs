@@ -1,0 +1,53 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p icnoc-bench --bin tables            # everything
+//! cargo run -p icnoc-bench --bin tables -- --exp e3
+//! cargo run -p icnoc-bench --bin tables -- --list
+//! ```
+
+use icnoc_bench::{
+    e1, e10, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9, run_all, EXPERIMENT_IDS,
+};
+
+fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "e1" => e1(),
+        "e2" => e2(),
+        "e3" => e3(),
+        "e4" => e4(),
+        "e5" => e5(),
+        "e6" => e6(),
+        "e7" => e7(),
+        "e8" => e8(),
+        "e9" => e9(),
+        "e10" => e10(),
+        "e11" => e11(),
+        "e12" => e12(),
+        "e13" => e13(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => print!("{}", run_all()),
+        [flag] if flag == "--list" => {
+            for id in EXPERIMENT_IDS {
+                println!("{id}");
+            }
+        }
+        [flag, id] if flag == "--exp" => match run(id) {
+            Some(out) => print!("{out}"),
+            None => {
+                eprintln!("unknown experiment {id:?}; try --list");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: tables [--list | --exp <e1..e13>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,873 @@
+//! The thirteen experiments. Each function regenerates one paper artefact
+//! and returns its rendered table(s).
+
+use crate::Table;
+use icnoc::{demonstrator_patterns, SystemBuilder, TilePreset};
+use icnoc_baseline::{LatchAblation, SchemeComparison, SyncScheme, SynchronousMesh};
+use icnoc_clock::{ClockDistribution, GlobalClockTree, LeafStagger, SurgeProfile};
+use icnoc_sim::{Network, SinkMode, TrafficPattern};
+use icnoc_timing::{
+    FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel,
+};
+use icnoc_topology::{analysis, Floorplan, PortId, RouterClass, TreeKind, TreeTopology};
+use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
+
+/// The identifiers accepted by the `tables` binary.
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];
+
+/// Runs every experiment and concatenates the outputs.
+#[must_use]
+pub fn run_all() -> String {
+    [
+        e1(),
+        e2(),
+        e3(),
+        e4(),
+        e5(),
+        e6(),
+        e7(),
+        e8(),
+        e9(),
+        e10(),
+        e11(),
+        e12(),
+        e13(),
+    ]
+    .join("\n")
+}
+
+/// E1 — eq. (3)/(4): the downstream skew window `Δdiff` across clock
+/// frequencies. The paper's 1 GHz instance is eq. (4):
+/// `−540 ps < Δdiff < 380 ps`.
+#[must_use]
+pub fn e1() -> String {
+    let ff = FlipFlopTiming::nominal_90nm();
+    let mut t = Table::new(
+        "E1: downstream skew window (eq. 3); paper eq. (4) at 1 GHz: (-540 ps, 380 ps)",
+        &["f (GHz)", "T_half (ps)", "window min (ps)", "window max (ps)", "width (ps)"],
+    );
+    for f in [0.5, 0.8, 1.0, 1.2, 1.4, 1.8, 2.0] {
+        let link = LinkTiming::new(ff, Gigahertz::new(f));
+        let w = link.downstream_window();
+        t.row_owned(vec![
+            format!("{f:.1}"),
+            format!("{:.1}", link.half_period().value()),
+            format!("{:.0}", w.min().value()),
+            format!("{:.0}", w.max().value()),
+            format!("{:.0}", w.width().value()),
+        ]);
+    }
+    t.note("windows widen monotonically as the clock slows: graceful degradation");
+    t.render()
+}
+
+/// E2 — eq. (5)/(7): the upstream `Δsum` bound and the wire length it buys
+/// when split evenly between clock and data (the paper's "approximately a
+/// 1.5–2 mm wire" at 1 GHz).
+#[must_use]
+pub fn e2() -> String {
+    let ff = FlipFlopTiming::nominal_90nm();
+    let wire = WireModel::nominal_90nm();
+    let mut t = Table::new(
+        "E2: upstream bound (eq. 5/7); paper at 1 GHz: dsum < 380 ps => ~1.5-2 mm wire",
+        &["f (GHz)", "dsum max (ps)", "per-wire budget (ps)", "max wire (mm)"],
+    );
+    for f in [0.5, 0.8, 1.0, 1.2, 1.4, 1.8] {
+        let link = LinkTiming::new(ff, Gigahertz::new(f));
+        let bound = link.upstream_window().max();
+        let per_wire = bound.halved();
+        let len = wire.length_for_delay(per_wire);
+        t.row_owned(vec![
+            format!("{f:.1}"),
+            format!("{:.0}", bound.value()),
+            format!("{:.0}", per_wire.value()),
+            format!("{:.2}", len.value()),
+        ]);
+    }
+    t.note("upstream timing is the performance-limiting constraint (Section 4)");
+    t.render()
+}
+
+/// E3 — **Figure 7**: maximum clocking frequency as a function of the wire
+/// length between two pipeline stages, with the binding constraint.
+#[must_use]
+pub fn e3() -> String {
+    let model = PipelineTimingModel::nominal_90nm();
+    let mut t = Table::new(
+        "E3 (Figure 7): pipeline frequency vs wire length; paper: 1.8 GHz at 0 mm, ~1 GHz at 1.25 mm",
+        &["length (mm)", "f_max (GHz)", "binding constraint"],
+    );
+    for point in model.fig7_curve(Millimeters::new(3.0), Millimeters::new(0.25)) {
+        t.row_owned(vec![
+            format!("{:.2}", point.length.value()),
+            format!("{:.3}", point.frequency.value()),
+            point.binding.to_string(),
+        ]);
+    }
+    t.note(&format!(
+        "forward-path/handshake crossover at {:.2} mm",
+        model.constraint_crossover().value()
+    ));
+    t.render()
+}
+
+/// E4 — Section 6 router characterisation and the matched "optimal
+/// pipeline segment length" (paper: 0.9 mm at 1.2 GHz, 0.6 mm at
+/// 1.4 GHz).
+#[must_use]
+pub fn e4() -> String {
+    let model = PipelineTimingModel::nominal_90nm();
+    let mut t = Table::new(
+        "E4: router characterisation (Section 6)",
+        &[
+            "router",
+            "f_max (GHz)",
+            "latency (cycles)",
+            "area (mm^2)",
+            "optimal segment (mm)",
+            "paper segment (mm)",
+        ],
+    );
+    for (class, paper_seg) in [(RouterClass::Quad5x5, 0.9), (RouterClass::Binary3x3, 0.6)] {
+        let seg = model
+            .max_length(class.max_frequency())
+            .expect("router frequencies are reachable");
+        t.row_owned(vec![
+            class.to_string(),
+            format!("{:.1}", class.max_frequency().value()),
+            format!("{:.1}", class.forward_latency_cycles()),
+            format!("{:.3}", class.area_32bit().value()),
+            format!("{:.2}", seg.value()),
+            format!("{paper_seg:.1}"),
+        ]);
+    }
+    t.note("pipeline stage: 0.0015 mm^2 (paper), head-to-head limit 1.8 GHz");
+    let mut out = t.render();
+
+    // Radix sweep from the arbitration-delay model calibrated on the two
+    // paper routers (those two rows are exact by construction).
+    let rm = icnoc_timing::RouterTimingModel::nominal_90nm();
+    let mut r = Table::new(
+        "E4 (model): router frequency vs radix (arbitration-limited)",
+        &["router", "contending inputs", "critical path (ps)", "f_max (GHz)"],
+    );
+    for inputs in [1usize, 2, 4, 6, 8] {
+        let label = match inputs {
+            2 => "3x3 (paper)".to_string(),
+            4 => "5x5 (paper)".to_string(),
+            n => format!("{}x{}", n + 1, n + 1),
+        };
+        r.row_owned(vec![
+            label,
+            inputs.to_string(),
+            format!("{:.1}", rm.critical_path(inputs).value()),
+            format!("{:.3}", rm.max_frequency(inputs).value()),
+        ]);
+    }
+    r.note("t_path = t_clkQ + t_xbar + n*t_arb + t_setup; calibrated t_xbar=178ps, t_arb=30ps/input");
+    out.push('\n');
+    out.push_str(&r.render());
+    out
+}
+
+/// E5 — Section 6 area scaling:
+/// `Area_total = (N−1)·Area_router + Area_pipelines`, and the demonstrator
+/// total (paper: 0.73 mm², 0.73 % of the 100 mm² die).
+#[must_use]
+pub fn e5() -> String {
+    let mut t = Table::new(
+        "E5: area scaling (Section 6); paper demonstrator: 0.73 mm^2 = 0.73% of die",
+        &["ports", "routers", "stages", "router mm^2", "pipeline mm^2", "total mm^2", "mm^2/port"],
+    );
+    for ports in [4usize, 8, 16, 32, 64, 128, 256] {
+        let sys = SystemBuilder::new(TreeKind::Binary, ports)
+            .build()
+            .expect("powers of two build");
+        let a = sys.area();
+        t.row_owned(vec![
+            ports.to_string(),
+            a.router_count.to_string(),
+            a.stage_count.to_string(),
+            format!("{:.3}", a.routers.value()),
+            format!("{:.4}", a.pipelines.value()),
+            format!("{:.3}", a.total.value()),
+            format!("{:.5}", a.total.value() / ports as f64),
+        ]);
+    }
+    t.note("area is linear in N; per-port cost converges to Area_router + stages/port");
+    t.note("64-port row is the demonstrator: H-tree estimate 0.64 vs paper 0.73 (fewer stages than routed layout)");
+    t.render()
+}
+
+/// E6 — Section 3 tree-vs-mesh: worst/average hops, router count, area and
+/// per-flit energy (paper: `2·log₂N − 1` vs `2·√N`; tree wins power per
+/// \[12\]).
+#[must_use]
+pub fn e6() -> String {
+    let mut t = Table::new(
+        "E6: binary tree vs mesh (Section 3); paper: 2*log2(N)-1 vs 2*sqrt(N) hops",
+        &[
+            "ports",
+            "tree worst",
+            "mesh worst",
+            "tree avg",
+            "mesh avg",
+            "tree local",
+            "tree routers",
+            "mesh routers",
+            "tree mm^2",
+            "mesh mm^2",
+            "tree pJ/flit",
+            "mesh pJ/flit",
+            "bisect t/m",
+        ],
+    );
+    for (ports, die) in [(16usize, 5.0), (64, 10.0), (256, 20.0)] {
+        let row = analysis::compare(ports, Millimeters::new(die), 32)
+            .expect("ports are powers of two and perfect squares");
+        let tree = TreeTopology::binary(ports).expect("valid");
+        let mesh = icnoc_topology::MeshTopology::new(ports).expect("valid");
+        t.row_owned(vec![
+            ports.to_string(),
+            row.tree_worst_hops.to_string(),
+            row.mesh_worst_hops.to_string(),
+            format!("{:.2}", row.tree_avg_hops),
+            format!("{:.2}", row.mesh_avg_hops),
+            format!("{:.1}", row.tree_neighbor_hops),
+            row.tree_routers.to_string(),
+            row.mesh_routers.to_string(),
+            format!("{:.2}", row.tree_area.value()),
+            format!("{:.2}", row.mesh_area.value()),
+            format!("{:.1}", row.tree_energy.value()),
+            format!("{:.1}", row.mesh_energy.value()),
+            format!(
+                "{}/{}",
+                analysis::tree_bisection_links(&tree),
+                analysis::mesh_bisection_links(&mesh)
+            ),
+        ]);
+    }
+    t.note("local = tile-neighbour hops: 1 router in a binary tree (Section 3)");
+    t.note("bisection favours the mesh: the tree bets on locality, not cross traffic");
+    let mut out = t.render();
+
+    // Measured confirmation: simulate both fabrics at 64 ports under
+    // uniform traffic (the mesh's best case) and tile-local neighbour
+    // traffic (the mapping the paper argues applications should use).
+    let tree_sys = SystemBuilder::new(TreeKind::Binary, 64).build().expect("valid");
+    let mesh = SynchronousMesh::new(64).expect("square");
+    let mut m = Table::new(
+        "E6 (measured): simulated traffic at 64 ports, rate 0.05",
+        &["fabric", "workload", "delivered", "avg lat (cycles)", "max lat (cycles)"],
+    );
+    let workloads: [(&str, TrafficPattern); 2] = [
+        ("uniform", TrafficPattern::uniform(0.05)),
+        ("neighbour", TrafficPattern::Neighbor { rate: 0.05 }),
+    ];
+    for (name, pattern) in workloads {
+        let tr = tree_sys.simulate(pattern.clone(), 1_500, 6);
+        let mr = mesh.simulate(pattern, 1_500, 6);
+        assert!(tr.is_correct() && mr.is_correct());
+        for (fabric, r) in [("binary tree", tr), ("XY mesh", mr)] {
+            m.row_owned(vec![
+                fabric.into(),
+                name.into(),
+                r.delivered.to_string(),
+                format!("{:.1}", r.latency.mean_cycles()),
+                format!("{:.1}", r.latency.max_cycles()),
+            ]);
+        }
+    }
+    m.note("uniform favours the mesh (paper concedes root routing); locality favours the tree");
+    m.note("identical router depth (3 half-cycles) in both fabrics: the delta is topological");
+    out.push('\n');
+    out.push_str(&m.render());
+    out
+}
+
+/// E7 — Section 6 quad-vs-binary trade-off at 64 ports: latency, area,
+/// throughput, local performance.
+#[must_use]
+pub fn e7() -> String {
+    let binary = SystemBuilder::new(TreeKind::Binary, 64).build().expect("valid");
+    let quad = SystemBuilder::new(TreeKind::Quad, 64).build().expect("valid");
+
+    let mut t = Table::new(
+        "E7: quad tree vs binary tree, 64 ports (Section 6)",
+        &["metric", "binary (3x3)", "quad (5x5)", "paper says"],
+    );
+    let b_lat = RouterClass::Binary3x3.forward_latency_cycles();
+    let q_lat = RouterClass::Quad5x5.forward_latency_cycles();
+    t.row_owned(vec![
+        "worst-case latency (cycles)".into(),
+        format!("{:.1}", binary.tree().worst_case_hops() as f64 * b_lat),
+        format!("{:.1}", quad.tree().worst_case_hops() as f64 * q_lat),
+        "quad lower".into(),
+    ]);
+    t.row_owned(vec![
+        "local (neighbour) latency (cycles)".into(),
+        format!("{b_lat:.1}"),
+        format!("{q_lat:.1}"),
+        "binary lower".into(),
+    ]);
+    t.row_owned(vec![
+        "router area total (mm^2)".into(),
+        format!("{:.2}", binary.area().routers.value()),
+        format!("{:.2}", quad.area().routers.value()),
+        "quad lower".into(),
+    ]);
+    t.row_owned(vec![
+        "longest link (mm)".into(),
+        format!("{:.2}", binary.floorplan().longest_link_length().value()),
+        format!("{:.2}", quad.floorplan().longest_link_length().value()),
+        "binary shorter near root".into(),
+    ]);
+    // Aggregate throughput under saturating uniform traffic.
+    let thr = |sys: &icnoc::System| {
+        let report = sys.simulate(TrafficPattern::uniform(1.0), 1_500, 99);
+        assert!(report.is_correct(), "{report}");
+        report.throughput_per_cycle()
+    };
+    t.row_owned(vec![
+        "saturation throughput (flits/cycle)".into(),
+        format!("{:.1}", thr(&binary)),
+        format!("{:.1}", thr(&quad)),
+        "quad higher aggregate".into(),
+    ]);
+    t.note("paper: differences marginal at this size; demonstrator uses the binary tree");
+    t.render()
+}
+
+/// E8 — **Figure 4**: the 2-phase handshake under congestion. A saturated
+/// pipeline streams at full speed, stops instantly when the consumer
+/// stalls, and resumes without loss.
+#[must_use]
+pub fn e8() -> String {
+    let mut net = Network::pipeline(
+        8,
+        TrafficPattern::saturate(),
+        SinkMode::StallDuring { from: 200, to: 400 },
+        2026,
+    );
+    let mut t = Table::new(
+        "E8 (Figure 4): handshake pipeline through a stall window (cycles 200..400)",
+        &["phase", "cycles", "delivered", "throughput (flits/cycle)"],
+    );
+    let mut last_delivered = 0;
+    let mut last_cycles = 0;
+    for (phase, until) in [
+        ("streaming", 200u64),
+        ("stalled", 400),
+        ("resumed", 600),
+    ] {
+        net.run_cycles(until - last_cycles);
+        let r = net.report();
+        let delta = r.delivered - last_delivered;
+        t.row_owned(vec![
+            phase.into(),
+            format!("{last_cycles}..{until}"),
+            delta.to_string(),
+            format!("{:.2}", delta as f64 / (until - last_cycles) as f64),
+        ]);
+        last_delivered = r.delivered;
+        last_cycles = until;
+    }
+    let drained = net.drain(100);
+    let r = net.report();
+    t.note(&format!(
+        "drained: {drained}; lost {} duplicated {} reordered {} (must all be 0)",
+        r.lost(),
+        r.duplicated,
+        r.reordered
+    ));
+    assert!(r.is_correct(), "Fig. 4 scenario must be lossless: {r}");
+    t.render()
+}
+
+/// E9 — Section 5 clock gating: gated-edge fraction tracks traffic
+/// idleness under bursty workloads.
+#[must_use]
+pub fn e9() -> String {
+    let mut t = Table::new(
+        "E9: fine-grained clock gating vs burst duty cycle (Section 5)",
+        &["duty (%)", "gated edges (%)", "delivered", "correct"],
+    );
+    for duty in [1u32, 5, 10, 25, 50, 100] {
+        let (burst, idle) = (duty, 100 - duty);
+        let mut net = Network::pipeline(
+            8,
+            TrafficPattern::Bursty { burst, idle },
+            SinkMode::AlwaysAccept,
+            7,
+        );
+        let r = net.run_cycles(4_000);
+        t.row_owned(vec![
+            duty.to_string(),
+            format!("{:.1}", r.gating.gated_fraction() * 100.0),
+            r.delivered.to_string(),
+            r.is_correct().to_string(),
+        ]);
+    }
+    t.note("idle networks gate ~all register clocks: power tracks traffic, not clock rate");
+    t.render()
+}
+
+/// E10 — Section 4 graceful degradation: for any delay variation there is
+/// a clock frequency at which the demonstrator is timing-safe.
+#[must_use]
+pub fn e10() -> String {
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+    let mut t = Table::new(
+        "E10: graceful degradation (Section 4): safe clock vs process variation",
+        &[
+            "systematic (+%)",
+            "random sigma (%)",
+            "safe f (GHz)",
+            "safe at 1 GHz?",
+            "verified at safe f",
+        ],
+    );
+    for (sys_pct, sigma_pct) in [
+        (0.0, 0.0),
+        (0.0, 5.0),
+        (10.0, 5.0),
+        (30.0, 5.0),
+        (50.0, 10.0),
+        (100.0, 10.0),
+        (200.0, 20.0),
+    ] {
+        let var = ProcessVariation::new(sys_pct / 100.0, sigma_pct / 100.0);
+        let safe_f = sys.max_safe_frequency(var, 3.0);
+        let at_full = sys.verify_under(var, 3.0).is_timing_safe();
+        let at_safe = sys.derated(safe_f).verify_under(var, 3.0).is_timing_safe();
+        t.row_owned(vec![
+            format!("{sys_pct:.0}"),
+            format!("{sigma_pct:.0}"),
+            format!("{:.3}", safe_f.value()),
+            at_full.to_string(),
+            at_safe.to_string(),
+        ]);
+    }
+    t.note("every row verifies at its safe frequency: correct by construction");
+    let mut out = t.render();
+
+    // Monte-Carlo extension: the per-die f_max distribution behind the
+    // worst-case numbers above.
+    let mut y = Table::new(
+        "E10 (Monte-Carlo): demonstrator yield over 200 virtual dies",
+        &[
+            "systematic (+%)",
+            "sigma (%)",
+            "min fmax",
+            "median fmax",
+            "yield @1 GHz (%)",
+            "99%-yield f (GHz)",
+        ],
+    );
+    for (sys_pct, sigma_pct) in [(0.0, 3.0), (10.0, 5.0), (20.0, 8.0), (50.0, 10.0)] {
+        let var = ProcessVariation::new(sys_pct / 100.0, sigma_pct / 100.0);
+        let analysis = sys.yield_analysis(var, 200, 1776);
+        y.row_owned(vec![
+            format!("{sys_pct:.0}"),
+            format!("{sigma_pct:.0}"),
+            format!("{:.3}", analysis.min_fmax().value()),
+            format!("{:.3}", analysis.median_fmax().value()),
+            format!(
+                "{:.1}",
+                analysis.yield_at(Gigahertz::new(1.0)) * 100.0
+            ),
+            format!("{:.3}", analysis.frequency_at_yield(0.99).value()),
+        ]);
+    }
+    y.note("every die has a positive fmax: yield shifts down in frequency, never to zero");
+    out.push('\n');
+    out.push_str(&y.render());
+    out
+}
+
+/// E11 — Section 6 demonstrator: the 64-port binary-tree system at 1 GHz,
+/// verified timing-safe and simulated under the tile workloads.
+#[must_use]
+pub fn e11() -> String {
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+    let summary = sys.summary();
+    let verification = sys.verify_nominal();
+    assert!(verification.is_timing_safe(), "{verification}");
+
+    let mut t = Table::new(
+        "E11: demonstrator (Section 6): 64-port binary tree, 10x10 mm, 32-bit, 1 GHz",
+        &[
+            "workload",
+            "delivered",
+            "avg lat (cycles)",
+            "p99 lat",
+            "max lat",
+            "gated (%)",
+            "correct",
+        ],
+    );
+    let presets: [(&str, TilePreset); 4] = [
+        ("local compute (p->m)", TilePreset::LocalCompute { rate: 0.4 }),
+        ("uniform sharing", TilePreset::UniformSharing { rate: 0.2 }),
+        (
+            "shared-memory hotspot",
+            TilePreset::SharedMemoryHotspot {
+                rate: 0.3,
+                fraction: 0.5,
+            },
+        ),
+        ("bursty tiles 10/90", TilePreset::BurstyTiles { burst: 10, idle: 90 }),
+    ];
+    for (name, preset) in presets {
+        let patterns = demonstrator_patterns(preset, 64);
+        let mut net = sys.network(&patterns, 2_007);
+        net.run_cycles(1_500);
+        net.drain(3_000);
+        let r = net.report();
+        t.row_owned(vec![
+            name.into(),
+            r.delivered.to_string(),
+            format!("{:.1}", r.latency.mean_cycles()),
+            format!("{:.0}", r.histogram.p99()),
+            format!("{:.1}", r.latency.max_cycles()),
+            format!("{:.1}", r.gating.gated_fraction() * 100.0),
+            r.is_correct().to_string(),
+        ]);
+    }
+    t.note(&format!("{summary}"));
+    t.note(&format!("timing verification: {verification}"));
+    let mut out = t.render();
+
+    // Closed-loop tiles: processors issue requests, memories answer after
+    // a service latency, and round trips are measured — the demonstrator's
+    // actual processor/memory structure.
+    let closed = sys.simulate_tiles(
+        icnoc_sim::TrafficPattern::Neighbor { rate: 0.3 },
+        icnoc_sim::TileTraffic {
+            max_outstanding: 4,
+            service_cycles: 5,
+        },
+        1_500,
+        2_008,
+    );
+    assert!(closed.is_correct(), "{closed}");
+    // Wormhole: 4-flit packets through the same fabric.
+    let patterns = demonstrator_patterns(TilePreset::UniformSharing { rate: 0.1 }, 64);
+    let mut worm_net = sys.network(&patterns, 2_009);
+    worm_net.set_packet_length(4);
+    worm_net.run_cycles(1_500);
+    worm_net.drain(3_000);
+    let worm = worm_net.report();
+    assert!(worm.is_correct(), "{worm}");
+
+    let mut x = Table::new(
+        "E11 (extensions): closed-loop tiles and wormhole packets",
+        &["mode", "delivered", "packets", "metric", "value", "correct"],
+    );
+    x.row_owned(vec![
+        "closed-loop (uP <-> local memory)".into(),
+        closed.delivered.to_string(),
+        closed.packets_delivered.to_string(),
+        "mean round trip (cycles)".into(),
+        format!("{:.1}", closed.round_trip.mean_cycles()),
+        closed.is_correct().to_string(),
+    ]);
+    x.row_owned(vec![
+        "wormhole, 4-flit packets".into(),
+        worm.delivered.to_string(),
+        worm.packets_delivered.to_string(),
+        "interleaving violations".into(),
+        worm.interleaved.to_string(),
+        worm.is_correct().to_string(),
+    ]);
+    out.push('\n');
+    out.push_str(&x.render());
+    out
+}
+
+/// E12 — Section 2: overheads of general mesochronous synchronisation
+/// schemes vs the IC-NoC, on the demonstrator's 126 links.
+#[must_use]
+pub fn e12() -> String {
+    let links = TreeTopology::binary(64).expect("valid").link_count();
+    let mut t = Table::new(
+        "E12: mesochronous scheme overheads on the 64-port demonstrator (Section 2)",
+        &[
+            "scheme",
+            "init phase",
+            "bring-up (cycles)",
+            "detector mm^2 total",
+            "extra latency (cycles/hop)",
+            "MTBF/link @1GHz",
+            "topology constraint",
+        ],
+    );
+    let mtbf_text = |s: f64| -> String {
+        if s.is_infinite() {
+            "deterministic".into()
+        } else if s > 3.15e7 {
+            format!("{:.0} years", s / 3.15e7)
+        } else {
+            format!("{s:.1e} s")
+        }
+    };
+    for scheme in SyncScheme::ALL {
+        let c = SchemeComparison::evaluate(scheme, links);
+        let mtbf = scheme.mtbf_seconds(Gigahertz::new(1.0), Gigahertz::new(0.1));
+        t.row_owned(vec![
+            scheme.to_string(),
+            scheme.needs_init_phase().to_string(),
+            c.bring_up_cycles.to_string(),
+            format!("{:.3}", c.total_detector_area.value()),
+            format!("{:.2}", c.extra_latency_cycles),
+            mtbf_text(mtbf),
+            if scheme.requires_tree_topology() {
+                "tree".into()
+            } else {
+                "none".to_string()
+            },
+        ]);
+    }
+    t.note("IC-NoC trades a topology constraint for zero detectors, zero bring-up and no metastability at all");
+    t.note("MTBF: e^(tr/tau)/(T0*fc*fd), 90nm tau=20ps T0=10ps, 100 MHz data toggle");
+    t.render()
+}
+
+/// E13 — Section 7 future-work ablations: (a) latch-based stages, (b)
+/// ring-augmented trees, (c) weighted-skew surge spreading; plus the
+/// balanced-global-clock power comparison motivating the whole design.
+#[must_use]
+pub fn e13() -> String {
+    let mut out = String::new();
+
+    // (a) Latch-based pipeline stages.
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+    let stage_registers = sys.area().stage_count + sys.tree().router_count() * 9;
+    let latch = LatchAblation::for_stages(stage_registers, 32);
+    let mut ta = Table::new(
+        "E13a: latch-based stages (Section 7): area/clock-power vs flip-flops",
+        &["variant", "stage area (mm^2)", "clock power @1GHz, 50% act (mW)"],
+    );
+    let f = Gigahertz::new(1.0);
+    ta.row_owned(vec![
+        "edge-triggered FF".into(),
+        format!("{:.4}", latch.flip_flop_area().value()),
+        format!("{:.2}", latch.flip_flop_clock_power(f, 0.5).value()),
+    ]);
+    ta.row_owned(vec![
+        "latch-based".into(),
+        format!("{:.4}", latch.latch_area().value()),
+        format!("{:.2}", latch.latch_clock_power(f, 0.5).value()),
+    ]);
+    ta.note(&format!(
+        "saving: {:.0}% of stage storage area",
+        latch.area_saving_fraction() * 100.0
+    ));
+    out.push_str(&ta.render());
+    out.push('\n');
+
+    // (b) Ring-augmented tree.
+    let mut tb = Table::new(
+        "E13b: ring-augmented tree (Section 7): average latency vs ring reach",
+        &["ring reach (leaves)", "avg latency (cycles)", "worst pair (hops)"],
+    );
+    for reach in [0usize, 1, 2, 4, 8] {
+        let net = icnoc_topology::RingAugmentedTree::binary(64, reach).expect("valid");
+        let worst = (0..64)
+            .flat_map(|a| (0..64).map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| net.route_hops(PortId(a), PortId(b)))
+            .max()
+            .expect("non-empty");
+        tb.row_owned(vec![
+            reach.to_string(),
+            format!("{:.2}", net.average_latency_cycles()),
+            worst.to_string(),
+        ]);
+    }
+    tb.note("ring links use conventional mesochronous sync (2-cycle penalty per crossing)");
+    out.push_str(&tb.render());
+    out.push('\n');
+
+    // (b, measured) Simulated ring shortcuts on a cross-root stream.
+    let ring_run = |ring: bool| {
+        let mut net = icnoc_sim::TreeNetworkConfig::new(
+            TreeTopology::binary(16).expect("valid"),
+        )
+        .with_port_pattern(
+            PortId(7),
+            TrafficPattern::Hotspot {
+                rate: 0.05,
+                target: PortId(8),
+                fraction: 1.0,
+            },
+        )
+        .with_ring_shortcuts(ring)
+        .with_seed(2_013)
+        .build();
+        net.run_cycles(2_000);
+        net.drain(500);
+        net.report()
+    };
+    let plain = ring_run(false);
+    let ringed = ring_run(true);
+    assert!(plain.is_correct() && ringed.is_correct());
+    let mut tbm = Table::new(
+        "E13b (measured): cross-root adjacent-leaf stream (port 7 -> 8, 16 ports)",
+        &["fabric", "delivered", "avg latency (cycles)"],
+    );
+    tbm.row_owned(vec![
+        "pure tree (7 routers)".into(),
+        plain.delivered.to_string(),
+        format!("{:.1}", plain.latency.mean_cycles()),
+    ]);
+    tbm.row_owned(vec![
+        "ring shortcut (mesochronous sync)".into(),
+        ringed.delivered.to_string(),
+        format!("{:.1}", ringed.latency.mean_cycles()),
+    ]);
+    out.push_str(&tbm.render());
+    out.push('\n');
+
+    // (c) Weighted-skew surge spreading.
+    let tree = TreeTopology::binary(64).expect("valid");
+    let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+    let clocks =
+        ClockDistribution::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
+    let period = Picoseconds::new(1_000.0);
+    let mut tc = Table::new(
+        "E13c: weighted-skew leaf staggering (Section 7): peak supply current",
+        &["stagger window (ps)", "peak current (A)", "vs no stagger"],
+    );
+    let profile_for = |window: f64| {
+        let stagger = LeafStagger::uniform(64, Picoseconds::new(window));
+        SurgeProfile::from_edge_times(
+            &stagger.leaf_edge_times(&tree, &clocks),
+            Picojoules::new(2.0),
+            period,
+            20,
+        )
+    };
+    let base = profile_for(0.0);
+    let sys = SystemBuilder::demonstrator().build().expect("valid");
+    let safe_window = sys.max_stagger_window();
+    for window in [0.0, 125.0, safe_window.value(), 500.0, 900.0] {
+        let p = profile_for(window);
+        let safe = sys.stagger_is_timing_safe(&LeafStagger::uniform(
+            64,
+            Picoseconds::new(window),
+        ));
+        tc.row_owned(vec![
+            format!(
+                "{window:.0}{}",
+                if (window - safe_window.value()).abs() < 1e-6 {
+                    " (max safe)"
+                } else {
+                    ""
+                }
+            ),
+            format!("{:.3}", p.peak_current_amps()),
+            format!("{:.2}x{}", p.peak_ratio_vs(&base), if safe { "" } else { " TIMING-UNSAFE" }),
+        ]);
+    }
+    tc.note(&format!(
+        "stagger eats the leaf links' upstream margin: max timing-safe window at 1 GHz is {safe_window:.0}"
+    ));
+    out.push_str(&tc.render());
+    out.push('\n');
+
+    // (d) The motivating clock-power comparison (Section 2).
+    let mut td = Table::new(
+        "E13d: balanced global clock tree vs forwarded clock (Section 2 motivation)",
+        &["skew target (ps)", "balanced power (mW)", "forwarded power (mW)", "ratio"],
+    );
+    for target in [10.0, 30.0, 100.0, 500.0] {
+        let g = GlobalClockTree::balanced(64, Millimeters::new(10.0), Picoseconds::new(target))
+            .expect("valid");
+        let f = Gigahertz::new(1.0);
+        td.row_owned(vec![
+            format!("{target:.0}"),
+            format!("{:.1}", g.power(f).value()),
+            format!("{:.1}", g.forwarded_equivalent_power(f).value()),
+            format!("{:.1}x", g.power_ratio_vs_forwarded()),
+        ]);
+    }
+    out.push_str(&td.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reproduces_eq4() {
+        let out = e1();
+        assert!(out.contains("-540"), "{out}");
+        assert!(out.contains("380"), "{out}");
+    }
+
+    #[test]
+    fn e2_reproduces_eq7_budget() {
+        let out = e2();
+        // At 1 GHz: 380 ps bound, 190 ps per wire.
+        assert!(out.contains("380"), "{out}");
+        assert!(out.contains("190"), "{out}");
+    }
+
+    #[test]
+    fn e3_curve_anchors() {
+        let out = e3();
+        assert!(out.contains("1.800"), "head-to-head 1.8 GHz: {out}");
+        assert!(out.contains("forward path"), "{out}");
+        assert!(out.contains("upstream handshake"), "{out}");
+    }
+
+    #[test]
+    fn e4_router_rows() {
+        let out = e4();
+        assert!(out.contains("3x3"));
+        assert!(out.contains("5x5"));
+        assert!(out.contains("1.4"));
+        assert!(out.contains("1.2"));
+    }
+
+    #[test]
+    fn e6_shows_tree_advantage() {
+        let out = e6();
+        assert!(out.contains("11"), "tree worst case at 64: {out}");
+        assert!(out.contains("15"), "mesh worst case at 64: {out}");
+    }
+
+    #[test]
+    fn e8_is_lossless() {
+        // e8 asserts internally; just run it.
+        let out = e8();
+        assert!(out.contains("lost 0"), "{out}");
+    }
+
+    #[test]
+    fn e10_always_finds_a_safe_frequency() {
+        let out = e10();
+        for line in out.lines().filter(|l| l.ends_with("true")) {
+            assert!(line.contains("true"));
+        }
+        assert!(out.matches("true").count() >= 7, "{out}");
+    }
+
+    #[test]
+    fn e12_lists_all_schemes() {
+        let out = e12();
+        assert!(out.contains("[15]"));
+        assert!(out.contains("[20]"));
+        assert!(out.contains("[13]"));
+        assert!(out.contains("IC-NoC"));
+    }
+
+    #[test]
+    fn experiment_ids_cover_all_functions() {
+        assert_eq!(EXPERIMENT_IDS.len(), 13);
+    }
+}

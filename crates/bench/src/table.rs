@@ -1,0 +1,131 @@
+//! Minimal fixed-width table formatter for the experiment outputs.
+
+/// A simple left-aligned text table with a title and a caption.
+///
+/// ```
+/// use icnoc_bench::Table;
+///
+/// let mut t = Table::new("demo", &["a", "b"]);
+/// t.row(&["1", "2"]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    #[track_caller]
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends an owned-string row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    #[track_caller]
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a free-form footnote below the table.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", &["col", "x"]);
+        t.row(&["short", "1"]);
+        t.row(&["a much longer cell", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        // Both data rows align the second column.
+        let pos1 = lines[3].find('1').expect("row 1 present");
+        let pos2 = lines[4].find('2').expect("row 2 present");
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    fn notes_are_appended() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1"]);
+        t.note("hello");
+        assert!(t.render().contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Hand-rolled argument parsing (no external dependencies needed for five
+//! subcommands of `--key value` flags).
+
+use icnoc_sim::TrafficPattern;
+use icnoc_topology::{PortId, TreeKind};
+
+/// A parse or validation failure, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Build options shared by most subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildOpts {
+    /// Network port count.
+    pub ports: usize,
+    /// Tree kind.
+    pub kind: TreeKind,
+    /// Clock frequency in GHz.
+    pub freq: f64,
+    /// Die edge in mm (square die).
+    pub die: f64,
+    /// Data-path width in bits.
+    pub width: u32,
+}
+
+impl Default for BuildOpts {
+    fn default() -> Self {
+        Self {
+            ports: 64,
+            kind: TreeKind::Binary,
+            freq: 1.0,
+            die: 10.0,
+            width: 32,
+        }
+    }
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Which subcommand to run.
+    pub command: Command,
+}
+
+/// One subcommand with its options.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the system summary.
+    Info(BuildOpts),
+    /// Run timing verification and print the STA report.
+    Verify {
+        /// Build options.
+        build: BuildOpts,
+        /// Systematic variation fraction.
+        variation: f64,
+        /// Random mismatch sigma.
+        sigma: f64,
+        /// Critical paths to list.
+        top: usize,
+    },
+    /// Simulate traffic and print the run + power report.
+    Sim {
+        /// Build options.
+        build: BuildOpts,
+        /// Per-port traffic pattern.
+        pattern: TrafficPattern,
+        /// Cycles to simulate before draining.
+        cycles: u64,
+        /// Master seed.
+        seed: u64,
+        /// Flits per packet.
+        packet_len: u32,
+        /// Closed-loop tiles as `(max_outstanding, service_cycles)`.
+        tiles: Option<(usize, u64)>,
+        /// Write a VCD waveform of the first `cycles.min(200)` cycles here.
+        vcd: Option<String>,
+    },
+    /// Monte-Carlo yield analysis.
+    Yield {
+        /// Build options.
+        build: BuildOpts,
+        /// Systematic variation fraction.
+        variation: f64,
+        /// Random mismatch sigma.
+        sigma: f64,
+        /// Sample dies.
+        samples: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// Print the Figure 7 frequency-vs-length curve.
+    Fig7 {
+        /// Longest length to sample (mm).
+        max_mm: f64,
+        /// Sampling step (mm).
+        step_mm: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+impl Cli {
+    /// Parses a full argument list (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for unknown subcommands, unknown flags,
+    /// missing values or malformed numbers.
+    pub fn parse<I, S>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let args: Vec<String> = args.into_iter().map(Into::into).collect();
+        let Some((sub, rest)) = args.split_first() else {
+            return Ok(Cli {
+                command: Command::Help,
+            });
+        };
+        let mut flags = Flags::parse(rest)?;
+        let command = match sub.as_str() {
+            "info" => Command::Info(flags.build_opts()?),
+            "verify" => Command::Verify {
+                build: flags.build_opts()?,
+                variation: flags.take_f64("variation", 0.0)?,
+                sigma: flags.take_f64("sigma", 0.0)?,
+                top: flags.take_usize("top", 10)?,
+            },
+            "sim" => Command::Sim {
+                build: flags.build_opts()?,
+                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                cycles: flags.take_u64("cycles", 2_000)?,
+                seed: flags.take_u64("seed", 42)?,
+                packet_len: flags.take_usize("packet-len", 1)? as u32,
+                tiles: match flags.take_opt_string("tiles") {
+                    Some(spec) => Some(parse_tiles(&spec)?),
+                    None => None,
+                },
+                vcd: flags.take_opt_string("vcd"),
+            },
+            "yield" => Command::Yield {
+                build: flags.build_opts()?,
+                variation: flags.take_f64("variation", 0.2)?,
+                sigma: flags.take_f64("sigma", 0.05)?,
+                samples: flags.take_usize("samples", 200)?,
+                seed: flags.take_u64("seed", 42)?,
+            },
+            "fig7" => Command::Fig7 {
+                max_mm: flags.take_f64("max-mm", 3.0)?,
+                step_mm: flags.take_f64("step-mm", 0.1)?,
+            },
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(CliError(format!("unknown subcommand {other:?}; try help"))),
+        };
+        flags.finish()?;
+        Ok(Cli { command })
+    }
+}
+
+/// Parses a traffic-pattern spec:
+/// `uniform:RATE`, `neighbor:RATE`, `saturate`, `silent`,
+/// `hotspot:RATE:TARGET:FRACTION`, `bursty:BURST:IDLE`, `memory:RATE`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown pattern names or malformed numbers.
+pub fn parse_pattern(spec: &str) -> Result<TrafficPattern, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<f64, CliError> {
+        s.parse()
+            .map_err(|_| CliError(format!("bad number {s:?} in pattern {spec:?}")))
+    };
+    match parts.as_slice() {
+        ["saturate"] => Ok(TrafficPattern::Saturate),
+        ["silent"] => Ok(TrafficPattern::Silent),
+        ["uniform", r] => Ok(TrafficPattern::Uniform { rate: num(r)? }),
+        ["neighbor", r] | ["neighbour", r] => Ok(TrafficPattern::Neighbor { rate: num(r)? }),
+        ["memory", r] => Ok(TrafficPattern::RandomMemory { rate: num(r)? }),
+        ["hotspot", r, t, f] => Ok(TrafficPattern::Hotspot {
+            rate: num(r)?,
+            target: PortId(num(t)? as u32),
+            fraction: num(f)?,
+        }),
+        ["bursty", b, i] => Ok(TrafficPattern::Bursty {
+            burst: num(b)? as u32,
+            idle: num(i)? as u32,
+        }),
+        _ => Err(CliError(format!(
+            "unknown pattern {spec:?}; try uniform:0.2, neighbor:0.3, \
+             hotspot:0.3:0:0.5, bursty:10:90, memory:0.2, saturate, silent"
+        ))),
+    }
+}
+
+fn parse_tiles(spec: &str) -> Result<(usize, u64), CliError> {
+    let (a, b) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError(format!("tiles spec {spec:?} must be OUTSTANDING:SERVICE")))?;
+    Ok((
+        a.parse()
+            .map_err(|_| CliError(format!("bad outstanding count {a:?}")))?,
+        b.parse()
+            .map_err(|_| CliError(format!("bad service cycles {b:?}")))?,
+    ))
+}
+
+/// `--key value` flag multiset with consumption tracking.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(CliError(format!("expected --flag, got {key:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+            flags.push((name.to_owned(), value.clone()));
+        }
+        Ok(Self(flags))
+    }
+
+    fn take_opt_string(&mut self, name: &str) -> Option<String> {
+        let idx = self.0.iter().position(|(k, _)| k == name)?;
+        Some(self.0.remove(idx).1)
+    }
+
+    fn take_string(&mut self, name: &str, default: &str) -> String {
+        self.take_opt_string(name)
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    fn take_f64(&mut self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.take_opt_string(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn take_u64(&mut self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.take_opt_string(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+
+    fn take_usize(&mut self, name: &str, default: usize) -> Result<usize, CliError> {
+        self.take_u64(name, default as u64).map(|v| v as usize)
+    }
+
+    fn build_opts(&mut self) -> Result<BuildOpts, CliError> {
+        let defaults = BuildOpts::default();
+        let kind = match self.take_string("kind", "binary").as_str() {
+            "binary" => TreeKind::Binary,
+            "quad" => TreeKind::Quad,
+            other => return Err(CliError(format!("--kind must be binary or quad, got {other:?}"))),
+        };
+        Ok(BuildOpts {
+            ports: self.take_usize("ports", defaults.ports)?,
+            kind,
+            freq: self.take_f64("freq", defaults.freq)?,
+            die: self.take_f64("die", defaults.die)?,
+            width: self.take_usize("width", defaults.width as usize)? as u32,
+        })
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if let Some((k, _)) = self.0.first() {
+            return Err(CliError(format!("unknown flag --{k}")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_args_mean_help() {
+        let cli = Cli::parse(Vec::<String>::new()).expect("parses");
+        assert_eq!(cli.command, Command::Help);
+    }
+
+    #[test]
+    fn info_with_defaults() {
+        let cli = Cli::parse(["info"]).expect("parses");
+        let Command::Info(build) = cli.command else {
+            panic!("expected info");
+        };
+        assert_eq!(build, BuildOpts::default());
+    }
+
+    #[test]
+    fn sim_with_everything() {
+        let cli = Cli::parse([
+            "sim",
+            "--ports",
+            "16",
+            "--kind",
+            "quad",
+            "--freq",
+            "1.2",
+            "--pattern",
+            "hotspot:0.3:0:0.5",
+            "--cycles",
+            "500",
+            "--packet-len",
+            "4",
+            "--tiles",
+            "4:5",
+        ])
+        .expect("parses");
+        let Command::Sim {
+            build,
+            pattern,
+            cycles,
+            packet_len,
+            tiles,
+            ..
+        } = cli.command
+        else {
+            panic!("expected sim");
+        };
+        assert_eq!(build.ports, 16);
+        assert_eq!(build.kind, TreeKind::Quad);
+        assert_eq!(cycles, 500);
+        assert_eq!(packet_len, 4);
+        assert_eq!(tiles, Some((4, 5)));
+        assert!(matches!(pattern, TrafficPattern::Hotspot { .. }));
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_are_rejected() {
+        assert!(Cli::parse(["info", "--bogus", "1"]).is_err());
+        assert!(Cli::parse(["frobnicate"]).is_err());
+        assert!(Cli::parse(["info", "--ports"]).is_err()); // missing value
+        assert!(Cli::parse(["info", "--kind", "ring"]).is_err());
+    }
+
+    #[test]
+    fn pattern_specs_round_trip() {
+        assert_eq!(
+            parse_pattern("uniform:0.25").expect("parses"),
+            TrafficPattern::Uniform { rate: 0.25 }
+        );
+        assert_eq!(parse_pattern("saturate").expect("parses"), TrafficPattern::Saturate);
+        assert_eq!(
+            parse_pattern("bursty:10:90").expect("parses"),
+            TrafficPattern::Bursty { burst: 10, idle: 90 }
+        );
+        assert_eq!(
+            parse_pattern("memory:0.1").expect("parses"),
+            TrafficPattern::RandomMemory { rate: 0.1 }
+        );
+        assert!(parse_pattern("wavy:1").is_err());
+        assert!(parse_pattern("uniform:abc").is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Command execution: turns a parsed [`Cli`] into output text.
+
+use crate::args::{BuildOpts, Cli, CliError, Command};
+use icnoc::{System, SystemBuilder};
+use icnoc_sim::{TileTraffic, VcdTrace};
+use icnoc_timing::{PipelineTimingModel, ProcessVariation};
+use icnoc_units::{Gigahertz, Millimeters};
+use std::fmt::Write as _;
+
+const USAGE: &str = "\
+icnoc — build, verify and simulate IC-NoC systems (DATE 2007 reproduction)
+
+USAGE:
+  icnoc info   [--ports 64] [--kind binary|quad] [--freq 1.0] [--die 10] [--width 32]
+  icnoc verify [build opts] [--variation 0.3] [--sigma 0.05] [--top 10]
+  icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
+               [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
+  icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
+  icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
+
+PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent";
+
+/// Executes `cli`, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the system cannot be built or an output file
+/// cannot be written.
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Info(build) => {
+            let sys = build_system(build)?;
+            Ok(sys.summary().to_string())
+        }
+        Command::Verify {
+            build,
+            variation,
+            sigma,
+            top,
+        } => {
+            let sys = build_system(build)?;
+            let var = ProcessVariation::new(*variation, *sigma);
+            let verification = sys.verify_under(var, 3.0);
+            let mut out = verification.sta_report(*top);
+            if !verification.is_timing_safe() {
+                let safe = sys.max_safe_frequency(var, 3.0);
+                let _ = write!(
+                    out,
+                    "\n  hint: this variation is safe at {safe:.3} or below \
+                     (graceful degradation)"
+                );
+            }
+            Ok(out)
+        }
+        Command::Sim {
+            build,
+            pattern,
+            cycles,
+            seed,
+            packet_len,
+            tiles,
+            vcd,
+        } => {
+            let sys = build_system(build)?;
+            let patterns = vec![pattern.clone(); sys.tree().num_ports()];
+            let mut net = match tiles {
+                Some((max_outstanding, service_cycles)) => sys.tile_network(
+                    &patterns,
+                    TileTraffic {
+                        max_outstanding: *max_outstanding,
+                        service_cycles: *service_cycles,
+                    },
+                    *seed,
+                ),
+                None => sys.network(&patterns, *seed),
+            };
+            net.set_packet_length(*packet_len);
+
+            let mut trace = vcd.as_ref().map(|_| VcdTrace::new(&net));
+            if let Some(trace) = &mut trace {
+                for _ in 0..(*cycles).min(200) * 2 {
+                    trace.sample(&net);
+                    net.step();
+                }
+            }
+            let already = net.tick() / 2;
+            net.run_cycles(cycles.saturating_sub(already));
+            net.drain((*cycles).max(1_000));
+            let report = net.report();
+
+            let mut out = String::new();
+            let _ = writeln!(out, "{report}");
+            if report.responses > 0 {
+                let _ = writeln!(
+                    out,
+                    "round trips: {} responses, mean {:.1} cycles (max {:.1})",
+                    report.responses,
+                    report.round_trip.mean_cycles(),
+                    report.round_trip.max_cycles()
+                );
+            }
+            let _ = writeln!(out, "{}", sys.power_report(&report));
+            let _ = write!(
+                out,
+                "correct: {} (lost {}, dup {}, reordered {}, interleaved {})",
+                report.is_correct(),
+                report.lost(),
+                report.duplicated,
+                report.reordered,
+                report.interleaved
+            );
+            if let (Some(path), Some(trace)) = (vcd, trace) {
+                std::fs::write(path, trace.render(half_period_ps(build)))
+                    .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+                let _ = write!(out, "\nwaveform written to {path}");
+            }
+            Ok(out)
+        }
+        Command::Yield {
+            build,
+            variation,
+            sigma,
+            samples,
+            seed,
+        } => {
+            let sys = build_system(build)?;
+            let var = ProcessVariation::new(*variation, *sigma);
+            let y = sys.yield_analysis(var, *samples, *seed);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "yield over {} dies (systematic +{:.0}%, sigma {:.0}%):",
+                y.samples(),
+                variation * 100.0,
+                sigma * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "  fmax: min {:.3}, median {:.3}, max {:.3}",
+                y.min_fmax(),
+                y.median_fmax(),
+                y.max_fmax()
+            );
+            for f in [0.6, 0.8, 1.0, 1.2] {
+                let _ = writeln!(
+                    out,
+                    "  yield at {f:.1} GHz: {:>5.1}%",
+                    y.yield_at(Gigahertz::new(f)) * 100.0
+                );
+            }
+            let _ = write!(
+                out,
+                "  99% yield frequency: {:.3}",
+                y.frequency_at_yield(0.99)
+            );
+            Ok(out)
+        }
+        Command::Fig7 { max_mm, step_mm } => {
+            let model = PipelineTimingModel::nominal_90nm();
+            let mut out = String::from("length (mm)  f_max (GHz)  binding\n");
+            for p in model.fig7_curve(Millimeters::new(*max_mm), Millimeters::new(*step_mm)) {
+                let _ = writeln!(
+                    out,
+                    "{:>11.2}  {:>11.3}  {}",
+                    p.length.value(),
+                    p.frequency.value(),
+                    p.binding
+                );
+            }
+            Ok(out.trim_end().to_owned())
+        }
+    }
+}
+
+fn build_system(build: &BuildOpts) -> Result<System, CliError> {
+    SystemBuilder::new(build.kind, build.ports)
+        .frequency(Gigahertz::new(build.freq))
+        .die(Millimeters::new(build.die), Millimeters::new(build.die))
+        .width_bits(build.width)
+        .build()
+        .map_err(|e| CliError(e.to_string()))
+}
+
+fn half_period_ps(build: &BuildOpts) -> u64 {
+    (500.0 / build.freq).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        run(&Cli::parse(line.iter().copied()).expect("parses"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_line(&["help"]).expect("runs");
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn info_prints_summary() {
+        let out = run_line(&["info", "--ports", "16"]).expect("runs");
+        assert!(out.contains("16 ports"));
+        assert!(out.contains("15 routers"));
+    }
+
+    #[test]
+    fn verify_prints_sta_report() {
+        let out = run_line(&["verify", "--ports", "16"]).expect("runs");
+        assert!(out.contains("TIMING SAFE"), "{out}");
+        // Unsafe corner gets the derating hint.
+        let out = run_line(&["verify", "--ports", "16", "--variation", "1.5"]).expect("runs");
+        assert!(out.contains("TIMING UNSAFE"), "{out}");
+        assert!(out.contains("hint"), "{out}");
+    }
+
+    #[test]
+    fn sim_reports_correctness_and_power() {
+        let out = run_line(&[
+            "sim", "--ports", "16", "--pattern", "uniform:0.2", "--cycles", "300",
+        ])
+        .expect("runs");
+        assert!(out.contains("correct: true"), "{out}");
+        assert!(out.contains("power:"), "{out}");
+    }
+
+    #[test]
+    fn closed_loop_sim_reports_round_trips() {
+        let out = run_line(&[
+            "sim",
+            "--ports",
+            "16",
+            "--pattern",
+            "neighbor:0.2",
+            "--cycles",
+            "500",
+            "--tiles",
+            "4:5",
+        ])
+        .expect("runs");
+        assert!(out.contains("round trips"), "{out}");
+        assert!(out.contains("correct: true"), "{out}");
+    }
+
+    #[test]
+    fn yield_prints_curve() {
+        let out = run_line(&[
+            "yield", "--ports", "16", "--variation", "0.2", "--samples", "50",
+        ])
+        .expect("runs");
+        assert!(out.contains("yield at 1.0 GHz"), "{out}");
+        assert!(out.contains("99% yield frequency"), "{out}");
+    }
+
+    #[test]
+    fn fig7_prints_declining_curve() {
+        let out = run_line(&["fig7", "--max-mm", "1.0", "--step-mm", "0.5"]).expect("runs");
+        assert!(out.contains("1.800"), "{out}");
+        assert!(out.contains("forward path"), "{out}");
+    }
+
+    #[test]
+    fn bad_builds_are_reported_as_errors() {
+        let err = run_line(&["info", "--ports", "48"]).unwrap_err();
+        assert!(err.0.contains("power of 2"), "{err}");
+        let err = run_line(&["info", "--freq", "5.0"]).unwrap_err();
+        assert!(err.0.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn vcd_file_is_written() {
+        let dir = std::env::temp_dir().join("icnoc_cli_test_vcd");
+        let path = dir.join("wave.vcd");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_line(&[
+            "sim",
+            "--ports",
+            "16",
+            "--pattern",
+            "neighbor:0.3",
+            "--cycles",
+            "100",
+            "--vcd",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .expect("runs");
+        assert!(out.contains("waveform written"), "{out}");
+        let vcd = std::fs::read_to_string(&path).expect("file exists");
+        assert!(vcd.contains("$enddefinitions"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

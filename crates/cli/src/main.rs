@@ -1,0 +1,18 @@
+//! The `icnoc` command-line tool. See [`icnoc_cli`] for the implementation.
+
+fn main() {
+    let cli = match icnoc_cli::Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match icnoc_cli::run(&cli) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Forwarded-clock distribution along the tree branches.
+
+use icnoc_timing::WireModel;
+use icnoc_topology::{Floorplan, LinkId, NodeId, TreeTopology};
+use icnoc_units::{Gigahertz, Picoseconds};
+use serde::{Deserialize, Serialize};
+
+/// Which clock edge triggers a node's registers.
+///
+/// The clock is inverted as it is forwarded on every link (paper Fig. 6),
+/// so polarity alternates along each branch — the mechanism behind the
+/// 2-phase handshake of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClockPolarity {
+    /// Triggered by the rising edge.
+    Rising,
+    /// Triggered by the falling edge.
+    Falling,
+}
+
+impl ClockPolarity {
+    /// The opposite polarity — what a signal sees after one link inversion.
+    #[must_use]
+    pub fn inverted(self) -> Self {
+        match self {
+            ClockPolarity::Rising => ClockPolarity::Falling,
+            ClockPolarity::Falling => ClockPolarity::Rising,
+        }
+    }
+}
+
+impl core::fmt::Display for ClockPolarity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClockPolarity::Rising => f.write_str("rising"),
+            ClockPolarity::Falling => f.write_str("falling"),
+        }
+    }
+}
+
+/// Per-node clock arrival times and polarities for a placed tree, under the
+/// paper's forwarded-clock scheme.
+///
+/// The clock enters at the root and travels down every branch on the same
+/// wires (lengths) the data uses, so:
+///
+/// * the *local* skew between a parent and child is exactly the link's wire
+///   delay — bounded and correlated with the data delay, which is what the
+///   Section 4 analysis exploits;
+/// * the *global* skew between distant leaves grows with tree depth, but —
+///   the scalability argument — never needs to be controlled, because no
+///   two nodes communicate except along branches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockDistribution {
+    frequency: Gigahertz,
+    arrival: Vec<Picoseconds>,
+    polarity: Vec<ClockPolarity>,
+}
+
+impl ClockDistribution {
+    /// Propagates the clock from the root along every branch of `tree`,
+    /// accumulating `wire` delay over the floorplanned link lengths and
+    /// inverting polarity per link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is not strictly positive.
+    #[must_use]
+    #[track_caller]
+    pub fn forwarded(
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+    ) -> Self {
+        assert!(frequency.value() > 0.0, "clock must run");
+        let n = tree.node_count();
+        let mut arrival = vec![Picoseconds::ZERO; n];
+        let mut polarity = vec![ClockPolarity::Rising; n];
+        // BFS from the root; parents are always visited first.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(tree.root());
+        while let Some(node) = queue.pop_front() {
+            for &child in tree.children(node) {
+                let link = tree.uplink(child).expect("children are non-root");
+                arrival[child.index()] =
+                    arrival[node.index()] + wire.delay(plan.link_length(link));
+                polarity[child.index()] = polarity[node.index()].inverted();
+                queue.push_back(child);
+            }
+        }
+        Self {
+            frequency,
+            arrival,
+            polarity,
+        }
+    }
+
+    /// The distributed clock frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Gigahertz {
+        self.frequency
+    }
+
+    /// Clock arrival time at `node`, measured from the root's edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn arrival(&self, node: NodeId) -> Picoseconds {
+        self.arrival[node.index()]
+    }
+
+    /// Triggering edge of `node`'s registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn polarity(&self, node: NodeId) -> ClockPolarity {
+        self.polarity[node.index()]
+    }
+
+    /// Local skew across a link: the clock wire delay between its endpoints
+    /// (always ≥ 0: the child's clock lags the parent's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn link_skew(&self, tree: &TreeTopology, link: LinkId) -> Picoseconds {
+        let (child, parent) = tree.link_endpoints(link);
+        self.arrival[child.index()] - self.arrival[parent.index()]
+    }
+
+    /// Largest local (link) skew in the network — the quantity the timing
+    /// analysis must absorb.
+    #[must_use]
+    pub fn max_link_skew(&self, tree: &TreeTopology) -> Picoseconds {
+        tree.links()
+            .map(|l| self.link_skew(tree, l))
+            .fold(Picoseconds::ZERO, Picoseconds::max)
+    }
+
+    /// Largest *global* skew — between the root and the latest leaf. Grows
+    /// with the die; harmless because the IC-NoC never compares clocks of
+    /// non-adjacent nodes.
+    #[must_use]
+    pub fn max_global_skew(&self) -> Picoseconds {
+        self.arrival
+            .iter()
+            .copied()
+            .fold(Picoseconds::ZERO, Picoseconds::max)
+    }
+
+    /// Checks the alternating-edge invariant: every link joins nodes of
+    /// opposite polarity. Holds by construction for [`forwarded`]
+    /// distributions; exposed so system-level verification can assert it.
+    ///
+    /// [`forwarded`]: Self::forwarded
+    #[must_use]
+    pub fn alternation_holds(&self, tree: &TreeTopology) -> bool {
+        tree.links().all(|l| {
+            let (child, parent) = tree.link_endpoints(l);
+            self.polarity[child.index()] == self.polarity[parent.index()].inverted()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icnoc_units::Millimeters;
+    use proptest::prelude::*;
+
+    fn demo() -> (TreeTopology, Floorplan, ClockDistribution) {
+        let tree = TreeTopology::binary(64).expect("valid");
+        let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+        let dist =
+            ClockDistribution::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
+        (tree, plan, dist)
+    }
+
+    #[test]
+    fn root_is_time_zero_rising() {
+        let (tree, _, dist) = demo();
+        assert_eq!(dist.arrival(tree.root()), Picoseconds::ZERO);
+        assert_eq!(dist.polarity(tree.root()), ClockPolarity::Rising);
+    }
+
+    #[test]
+    fn polarity_alternates_with_depth() {
+        let (tree, _, dist) = demo();
+        for node in tree.routers().chain(tree.leaves()) {
+            let expected = if tree.node_depth(node) % 2 == 0 {
+                ClockPolarity::Rising
+            } else {
+                ClockPolarity::Falling
+            };
+            assert_eq!(dist.polarity(node), expected, "node {node}");
+        }
+        assert!(dist.alternation_holds(&tree));
+    }
+
+    #[test]
+    fn arrival_accumulates_down_branches() {
+        let (tree, plan, dist) = demo();
+        let wire = WireModel::nominal_90nm();
+        for link in tree.links() {
+            let (child, parent) = tree.link_endpoints(link);
+            let expected = dist.arrival(parent) + wire.delay(plan.link_length(link));
+            assert_eq!(dist.arrival(child), expected);
+            assert_eq!(
+                dist.link_skew(&tree, link),
+                wire.delay(plan.link_length(link))
+            );
+        }
+    }
+
+    #[test]
+    fn local_skew_is_bounded_by_longest_link() {
+        let (tree, plan, dist) = demo();
+        let wire = WireModel::nominal_90nm();
+        let bound = wire.delay(plan.longest_link_length());
+        assert_eq!(dist.max_link_skew(&tree), bound);
+        // 2.5 mm root link: 114·2.5 + 30.4·6.25 = 475 ps.
+        assert!((bound.value() - 475.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_skew_exceeds_local_skew() {
+        // The whole point: global skew is large (sum over a branch) but
+        // only local skew matters.
+        let (tree, _, dist) = demo();
+        assert!(dist.max_global_skew() > dist.max_link_skew(&tree));
+    }
+
+    #[test]
+    fn inverted_is_involutive() {
+        assert_eq!(ClockPolarity::Rising.inverted().inverted(), ClockPolarity::Rising);
+        assert_ne!(ClockPolarity::Rising, ClockPolarity::Falling);
+    }
+
+    proptest! {
+        /// Scalability: growing the tree never changes the *local* skew
+        /// profile of the shared upper levels, and alternation always holds.
+        #[test]
+        fn alternation_and_monotone_arrival(depth in 1u32..8) {
+            let tree = TreeTopology::binary(1usize << depth).expect("power of 2");
+            let plan =
+                Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+            let dist = ClockDistribution::forwarded(
+                &tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0),
+            );
+            prop_assert!(dist.alternation_holds(&tree));
+            for link in tree.links() {
+                let (child, parent) = tree.link_endpoints(link);
+                prop_assert!(dist.arrival(child) > dist.arrival(parent));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Fine-grained clock gating accounting (Section 5).
+//!
+//! In the IC-NoC's flow control, a stage's registers are only enabled when
+//! valid data can actually advance; otherwise the clock is gated. Since NoC
+//! traffic is bursty, "the network will lay idle for long periods, and
+//! power consumption during idleness is of a major concern" — the gated
+//! fraction is therefore a first-order power metric.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of enabled vs gated register clock edges, accumulated by the
+/// simulator per stage (or aggregated network-wide).
+///
+/// ```
+/// use icnoc_clock::ClockGatingStats;
+///
+/// let mut stats = ClockGatingStats::new();
+/// for _ in 0..3 {
+///     stats.record_enabled();
+/// }
+/// stats.record_gated();
+/// assert_eq!(stats.total_edges(), 4);
+/// assert_eq!(stats.gated_fraction(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClockGatingStats {
+    enabled: u64,
+    gated: u64,
+}
+
+impl ClockGatingStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one active (register-enabled) clock edge.
+    pub fn record_enabled(&mut self) {
+        self.enabled += 1;
+    }
+
+    /// Records one gated (register held) clock edge.
+    pub fn record_gated(&mut self) {
+        self.gated += 1;
+    }
+
+    /// Records an edge with the given enable value.
+    pub fn record(&mut self, enabled: bool) {
+        if enabled {
+            self.record_enabled();
+        } else {
+            self.record_gated();
+        }
+    }
+
+    /// Number of enabled edges.
+    #[must_use]
+    pub fn enabled_edges(&self) -> u64 {
+        self.enabled
+    }
+
+    /// Number of gated edges.
+    #[must_use]
+    pub fn gated_edges(&self) -> u64 {
+        self.gated
+    }
+
+    /// All observed edges.
+    #[must_use]
+    pub fn total_edges(&self) -> u64 {
+        self.enabled + self.gated
+    }
+
+    /// Fraction of edges that were gated (0.0 with no observations).
+    #[must_use]
+    pub fn gated_fraction(&self) -> f64 {
+        if self.total_edges() == 0 {
+            0.0
+        } else {
+            self.gated as f64 / self.total_edges() as f64
+        }
+    }
+
+    /// Fraction of edges that clocked the registers.
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        if self.total_edges() == 0 {
+            0.0
+        } else {
+            self.enabled as f64 / self.total_edges() as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ClockGatingStats) {
+        self.enabled += other.enabled;
+        self.gated += other.gated;
+    }
+}
+
+impl core::iter::Sum for ClockGatingStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for s in iter {
+            acc.merge(&s);
+        }
+        acc
+    }
+}
+
+impl core::fmt::Display for ClockGatingStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{} edges gated ({:.1}%)",
+            self.gated,
+            self.total_edges(),
+            self.gated_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = ClockGatingStats::new();
+        assert_eq!(s.total_edges(), 0);
+        assert_eq!(s.gated_fraction(), 0.0);
+        assert_eq!(s.activity(), 0.0);
+    }
+
+    #[test]
+    fn fractions_are_complementary() {
+        let mut s = ClockGatingStats::new();
+        for i in 0..10 {
+            s.record(i % 3 == 0);
+        }
+        assert!((s.gated_fraction() + s.activity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_sum_accumulate() {
+        let mut a = ClockGatingStats::new();
+        a.record_enabled();
+        let mut b = ClockGatingStats::new();
+        b.record_gated();
+        b.record_gated();
+        let total: ClockGatingStats = [a, b].into_iter().sum();
+        assert_eq!(total.enabled_edges(), 1);
+        assert_eq!(total.gated_edges(), 2);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let mut s = ClockGatingStats::new();
+        s.record_gated();
+        s.record_enabled();
+        assert!(s.to_string().contains("50.0%"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The skew-balanced global clock tree baseline (Section 2).
+//!
+//! Globally synchronous NoCs need the clock delivered to every tile with
+//! tightly controlled skew. That takes a balanced H-tree plus "large power
+//! hungry buffers ... to reduce the delay variations". This module models
+//! that cost so it can be compared against the IC-NoC's forwarded clock,
+//! which spends the same wire but none of the balancing overhead.
+
+use crate::ClockPowerModel;
+use icnoc_topology::{Floorplan, TopologyError, TreeTopology};
+use icnoc_units::{Gigahertz, Millimeters, Milliwatts, Picoseconds};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of a clock branch's delay that mismatches between branches when
+/// no active compensation is spent (process variation across the die).
+/// ITRS-era analyses put uncompensated branch mismatch around 10 %.
+const UNCOMPENSATED_MISMATCH: f64 = 0.10;
+
+/// A balanced global clock tree serving every leaf of a die, with buffer
+/// sizing driven by a target skew.
+///
+/// The buffer power overhead scales inversely with the skew target: halving
+/// the allowed skew requires roughly doubling the compensation effort
+/// (buffer upsizing, de-skew circuitry). The forwarded IC-NoC clock needs
+/// **no** skew target at all — its comparison point is
+/// [`GlobalClockTree::forwarded_equivalent_power`].
+///
+/// ```
+/// use icnoc_clock::GlobalClockTree;
+/// use icnoc_units::{Gigahertz, Millimeters, Picoseconds};
+///
+/// let tree = GlobalClockTree::balanced(64, Millimeters::new(10.0),
+///                                      Picoseconds::new(30.0))?;
+/// let f = Gigahertz::new(1.0);
+/// // Tight-skew balancing costs strictly more than the forwarded clock.
+/// assert!(tree.power(f) > tree.forwarded_equivalent_power(f));
+/// # Ok::<(), icnoc_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalClockTree {
+    leaves: usize,
+    total_wire: Millimeters,
+    branch_delay: Picoseconds,
+    target_skew: Picoseconds,
+    power_model: ClockPowerModel,
+}
+
+impl GlobalClockTree {
+    /// Builds a balanced binary H-tree delivering the clock to `leaves`
+    /// tiles on a square die of edge `die_edge`, engineered to keep skew
+    /// below `target_skew`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if `leaves` is not a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_skew` is not strictly positive.
+    pub fn balanced(
+        leaves: usize,
+        die_edge: Millimeters,
+        target_skew: Picoseconds,
+    ) -> Result<Self, TopologyError> {
+        assert!(
+            target_skew.value() > 0.0,
+            "a skew target of zero is unachievable"
+        );
+        let tree = TreeTopology::binary(leaves)?;
+        let plan = Floorplan::h_tree(&tree, die_edge, die_edge);
+        let power_model = ClockPowerModel::nominal_90nm();
+        // Branch delay: root-to-leaf wire delay (all branches equal in a
+        // balanced H-tree).
+        let mut branch_delay = Picoseconds::ZERO;
+        let mut node = tree.leaf(icnoc_topology::PortId(0)).expect("port 0 exists");
+        while let Some(link) = tree.uplink(node) {
+            branch_delay += power_model.wire().delay(plan.link_length(link));
+            node = tree.link_endpoints(link).1;
+        }
+        Ok(Self {
+            leaves,
+            total_wire: plan.total_wire_length(),
+            branch_delay,
+            target_skew,
+            power_model,
+        })
+    }
+
+    /// Number of leaves served.
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Total clock wire length in the balanced tree.
+    #[must_use]
+    pub fn total_wire(&self) -> Millimeters {
+        self.total_wire
+    }
+
+    /// Nominal root-to-leaf wire delay of one branch.
+    #[must_use]
+    pub fn branch_delay(&self) -> Picoseconds {
+        self.branch_delay
+    }
+
+    /// Uncompensated skew between branches: the mismatch fraction of the
+    /// branch delay.
+    #[must_use]
+    pub fn uncompensated_skew(&self) -> Picoseconds {
+        self.branch_delay * UNCOMPENSATED_MISMATCH
+    }
+
+    /// Buffer/de-skew power multiplier needed to squeeze the uncompensated
+    /// skew down to the target: `max(1, uncompensated / target)`.
+    #[must_use]
+    pub fn balancing_overhead(&self) -> f64 {
+        (self.uncompensated_skew() / self.target_skew).max(1.0)
+    }
+
+    /// Total clock distribution power at frequency `f`, including the
+    /// balancing overhead.
+    #[must_use]
+    pub fn power(&self, f: Gigahertz) -> Milliwatts {
+        self.power_model.wire_power(self.total_wire, f) * self.balancing_overhead()
+    }
+
+    /// Power of the same wire when driven as a *forwarded* clock: no skew
+    /// target, overhead factor 1. This is the IC-NoC's clock cost on the
+    /// identical floorplan (before clock gating shrinks it further).
+    #[must_use]
+    pub fn forwarded_equivalent_power(&self, f: Gigahertz) -> Milliwatts {
+        self.power_model.wire_power(self.total_wire, f)
+    }
+
+    /// How many times more power the balanced tree burns than the
+    /// forwarded clock.
+    #[must_use]
+    pub fn power_ratio_vs_forwarded(&self) -> f64 {
+        self.balancing_overhead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn demo(target_ps: f64) -> GlobalClockTree {
+        GlobalClockTree::balanced(
+            64,
+            Millimeters::new(10.0),
+            Picoseconds::new(target_ps),
+        )
+        .expect("64 is a power of 2")
+    }
+
+    #[test]
+    fn branch_delay_is_root_to_leaf_wire_delay() {
+        let t = demo(30.0);
+        // Branch lengths: 2.5 + 2.5 + 1.25 + 1.25 + 0.625 + 0.625 mm,
+        // each with its own quadratic term: ≈1.5 ns root-to-leaf.
+        assert!(t.branch_delay().value() > 1200.0 && t.branch_delay().value() < 1800.0);
+    }
+
+    #[test]
+    fn tighter_skew_targets_cost_more_power() {
+        let loose = demo(100.0);
+        let tight = demo(10.0);
+        let f = Gigahertz::new(1.0);
+        assert!(tight.power(f) > loose.power(f));
+        assert!(tight.balancing_overhead() > loose.balancing_overhead());
+    }
+
+    #[test]
+    fn forwarded_clock_never_loses() {
+        for target in [5.0, 20.0, 50.0, 500.0] {
+            let t = demo(target);
+            let f = Gigahertz::new(1.0);
+            assert!(t.power(f) >= t.forwarded_equivalent_power(f));
+            assert!(t.power_ratio_vs_forwarded() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn generous_target_reaches_unity_overhead() {
+        // If the target exceeds the natural mismatch, nothing extra is paid.
+        let t = demo(10_000.0);
+        assert_eq!(t.balancing_overhead(), 1.0);
+    }
+
+    #[test]
+    fn non_power_of_two_leaf_count_is_error() {
+        assert!(GlobalClockTree::balanced(
+            48,
+            Millimeters::new(10.0),
+            Picoseconds::new(30.0)
+        )
+        .is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn power_scales_linearly_with_frequency(f in 0.1f64..3.0) {
+            let t = demo(30.0);
+            let p1 = t.power(Gigahertz::new(f));
+            let p2 = t.power(Gigahertz::new(2.0 * f));
+            prop_assert!((p2.value() - 2.0 * p1.value()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn bigger_dies_burn_more_clock_power(edge in 5.0f64..30.0) {
+            let small = GlobalClockTree::balanced(
+                64, Millimeters::new(edge), Picoseconds::new(30.0),
+            ).expect("valid");
+            let large = GlobalClockTree::balanced(
+                64, Millimeters::new(edge * 1.5), Picoseconds::new(30.0),
+            ).expect("valid");
+            prop_assert!(large.power(Gigahertz::new(1.0)) > small.power(Gigahertz::new(1.0)));
+        }
+    }
+}

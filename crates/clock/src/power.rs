@@ -1,0 +1,200 @@
+//! Dynamic power of the clock network.
+
+use icnoc_timing::WireModel;
+use icnoc_units::{Gigahertz, Millimeters, Milliwatts, Picofarads, Picojoules};
+use serde::{Deserialize, Serialize};
+
+/// Dynamic-power model for clock wires and register clock pins.
+///
+/// Clock nets toggle on **both** edges (two transitions per cycle), so a net
+/// of capacitance `C` dissipates `C·V²·f`. Register clock pins behind a
+/// clock gate stop toggling when the stage is gated, which is how the
+/// Section 5 flow control converts idleness into power savings.
+///
+/// ```
+/// use icnoc_clock::ClockPowerModel;
+/// use icnoc_timing::WireModel;
+/// use icnoc_units::{Gigahertz, Millimeters};
+///
+/// let model = ClockPowerModel::nominal_90nm();
+/// let p = model.wire_power(Millimeters::new(10.0), Gigahertz::new(1.0));
+/// // 10 mm × 0.2 pF/mm × 1 V² × 1 GHz = 2 mW
+/// assert!((p.value() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockPowerModel {
+    wire: WireModel,
+    vdd: f64,
+    register_pin_cap: Picofarads,
+}
+
+impl ClockPowerModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is negative or `register_pin_cap` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(wire: WireModel, vdd: f64, register_pin_cap: Picofarads) -> Self {
+        assert!(vdd >= 0.0, "supply voltage must be >= 0");
+        assert!(
+            !register_pin_cap.is_negative(),
+            "register pin capacitance must be >= 0"
+        );
+        Self {
+            wire,
+            vdd,
+            register_pin_cap,
+        }
+    }
+
+    /// The paper's operating point: nominal 90 nm wire, 1 V supply, and a
+    /// 2 fF flip-flop clock-pin capacitance (typical for a 90 nm standard
+    /// cell).
+    #[must_use]
+    pub fn nominal_90nm() -> Self {
+        Self::new(WireModel::nominal_90nm(), 1.0, Picofarads::new(0.002))
+    }
+
+    /// Supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// The wire model in use.
+    #[must_use]
+    pub fn wire(&self) -> WireModel {
+        self.wire
+    }
+
+    /// Energy per clock **cycle** of a clock wire of the given length
+    /// (two transitions): `C·V²`.
+    #[must_use]
+    pub fn wire_energy_per_cycle(&self, length: Millimeters) -> Picojoules {
+        // switching_energy is ½CV² per transition; a clock makes two.
+        self.wire.switching_energy(length, self.vdd) * 2.0
+    }
+
+    /// Average power of a clock wire at frequency `f`: `C·V²·f`.
+    #[must_use]
+    pub fn wire_power(&self, length: Millimeters, f: Gigahertz) -> Milliwatts {
+        self.wire_energy_per_cycle(length).at_rate(f, 1.0)
+    }
+
+    /// Average power of `registers` clock pins at frequency `f`, when only
+    /// `active_fraction` of edges are enabled (clock-gated otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_fraction` is outside `[0, 1]`.
+    #[must_use]
+    #[track_caller]
+    pub fn register_power(
+        &self,
+        registers: usize,
+        f: Gigahertz,
+        active_fraction: f64,
+    ) -> Milliwatts {
+        assert!(
+            (0.0..=1.0).contains(&active_fraction),
+            "active fraction must be in [0, 1]"
+        );
+        let cap = self.register_pin_cap.value() * registers as f64;
+        let energy_per_cycle = Picojoules::new(cap * self.vdd * self.vdd); // C·V² (two edges)
+        energy_per_cycle.at_rate(f, active_fraction)
+    }
+
+    /// Total clock power of a network with the given total clock wire
+    /// length and register count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn network_power(
+        &self,
+        total_wire: Millimeters,
+        registers: usize,
+        f: Gigahertz,
+        active_fraction: f64,
+    ) -> Milliwatts {
+        self.wire_power(total_wire, f) + self.register_power(registers, f, active_fraction)
+    }
+}
+
+impl Default for ClockPowerModel {
+    /// Defaults to the paper's 90 nm / 1 V operating point.
+    fn default() -> Self {
+        Self::nominal_90nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wire_power_formula() {
+        let m = ClockPowerModel::nominal_90nm();
+        // 1 mm: C = 0.2 pF, CV²f at 1 GHz = 0.2 mW.
+        let p = m.wire_power(Millimeters::new(1.0), Gigahertz::new(1.0));
+        assert!((p.value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_gated_registers_draw_nothing() {
+        let m = ClockPowerModel::nominal_90nm();
+        assert_eq!(
+            m.register_power(10_000, Gigahertz::new(1.0), 0.0),
+            Milliwatts::ZERO
+        );
+    }
+
+    #[test]
+    fn register_power_scales_with_count_and_activity() {
+        let m = ClockPowerModel::nominal_90nm();
+        let full = m.register_power(1000, Gigahertz::new(1.0), 1.0);
+        // 1000 × 2 fF × 1 V² × 1 GHz = 2 mW
+        assert!((full.value() - 2.0).abs() < 1e-12);
+        let half = m.register_power(1000, Gigahertz::new(1.0), 0.5);
+        assert!((half.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "active fraction")]
+    fn activity_above_one_rejected() {
+        let m = ClockPowerModel::nominal_90nm();
+        let _ = m.register_power(1, Gigahertz::new(1.0), 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn network_power_is_sum_of_parts(
+            wire in 0.0f64..100.0, regs in 0usize..100_000,
+            f in 0.1f64..3.0, act in 0.0f64..1.0
+        ) {
+            let m = ClockPowerModel::nominal_90nm();
+            let total = m.network_power(
+                Millimeters::new(wire), regs, Gigahertz::new(f), act,
+            );
+            let parts = m.wire_power(Millimeters::new(wire), Gigahertz::new(f))
+                + m.register_power(regs, Gigahertz::new(f), act);
+            prop_assert!((total.value() - parts.value()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn power_monotone_in_frequency(
+            f1 in 0.1f64..3.0, extra in 0.01f64..2.0
+        ) {
+            let m = ClockPowerModel::nominal_90nm();
+            let lo = m.network_power(Millimeters::new(10.0), 1000, Gigahertz::new(f1), 0.5);
+            let hi = m.network_power(
+                Millimeters::new(10.0), 1000, Gigahertz::new(f1 + extra), 0.5,
+            );
+            prop_assert!(hi > lo);
+        }
+    }
+}

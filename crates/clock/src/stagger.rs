@@ -1,0 +1,272 @@
+//! Weighted skew variation for power-surge spreading (Section 7).
+//!
+//! Future work in the paper: "by the use of weighted skew variation on
+//! links, it is possible to distribute power surge temporally, by making
+//! sure that the leaves of the tree are not clocked within close temporal
+//! proximity". This module implements that idea: deliberate extra per-leaf
+//! clock delay, plus a surge profile that measures the resulting peak
+//! current.
+
+use crate::ClockDistribution;
+use icnoc_topology::TreeTopology;
+use icnoc_units::{Picojoules, Picoseconds};
+use serde::{Deserialize, Serialize};
+
+/// A deliberate per-leaf clock-delay assignment spreading leaf edges over a
+/// window.
+///
+/// ```
+/// use icnoc_clock::LeafStagger;
+/// use icnoc_units::Picoseconds;
+///
+/// let stagger = LeafStagger::uniform(8, Picoseconds::new(140.0));
+/// assert_eq!(stagger.delay(0), Picoseconds::ZERO);
+/// assert_eq!(stagger.delay(7), Picoseconds::new(140.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeafStagger {
+    delays: Vec<Picoseconds>,
+}
+
+impl LeafStagger {
+    /// No staggering: all leaves keep their natural clock arrival.
+    #[must_use]
+    pub fn none(leaves: usize) -> Self {
+        Self {
+            delays: vec![Picoseconds::ZERO; leaves],
+        }
+    }
+
+    /// Spreads `leaves` uniformly over `window`: leaf `i` is delayed by
+    /// `i · window / (leaves − 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn uniform(leaves: usize, window: Picoseconds) -> Self {
+        assert!(!window.is_negative(), "stagger window must be >= 0");
+        if leaves <= 1 {
+            return Self::none(leaves);
+        }
+        let step = window / (leaves - 1) as f64;
+        Self {
+            delays: (0..leaves).map(|i| step * i as f64).collect(),
+        }
+    }
+
+    /// Number of leaves covered.
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Extra clock delay of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn delay(&self, i: usize) -> Picoseconds {
+        self.delays[i]
+    }
+
+    /// Effective leaf clock-edge times: natural forwarded-clock arrival
+    /// plus the stagger, one entry per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stagger covers a different number of leaves than
+    /// `tree` has ports.
+    #[must_use]
+    pub fn leaf_edge_times(
+        &self,
+        tree: &TreeTopology,
+        clocks: &ClockDistribution,
+    ) -> Vec<Picoseconds> {
+        assert_eq!(
+            self.leaves(),
+            tree.num_ports(),
+            "stagger must cover every leaf"
+        );
+        tree.leaves()
+            .enumerate()
+            .map(|(i, leaf)| clocks.arrival(leaf) + self.delays[i])
+            .collect()
+    }
+}
+
+/// A histogram of switching charge over one clock period, yielding the peak
+/// supply-current estimate the staggering is meant to reduce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurgeProfile {
+    bin_charge: Vec<f64>,
+    bin_width: Picoseconds,
+}
+
+impl SurgeProfile {
+    /// Bins each leaf's clock edge (time modulo `period`) into `bins`
+    /// buckets, depositing `energy_per_leaf` of switching energy (at 1 V,
+    /// numerically equal to charge in pC) per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `period` is not strictly positive.
+    #[must_use]
+    #[track_caller]
+    pub fn from_edge_times(
+        edge_times: &[Picoseconds],
+        energy_per_leaf: Picojoules,
+        period: Picoseconds,
+        bins: usize,
+    ) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(period.value() > 0.0, "period must be positive");
+        let mut bin_charge = vec![0.0; bins];
+        for &t in edge_times {
+            let phase = t.value().rem_euclid(period.value()) / period.value();
+            let mut idx = (phase * bins as f64) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            bin_charge[idx] += energy_per_leaf.value();
+        }
+        Self {
+            bin_charge,
+            bin_width: period / bins as f64,
+        }
+    }
+
+    /// Charge deposited per bin (pC at 1 V).
+    #[must_use]
+    pub fn bin_charge(&self) -> &[f64] {
+        &self.bin_charge
+    }
+
+    /// Peak instantaneous current estimate: the largest bin charge divided
+    /// by the bin width — in pC/ps = amperes.
+    #[must_use]
+    pub fn peak_current_amps(&self) -> f64 {
+        let peak = self.bin_charge.iter().copied().fold(0.0, f64::max);
+        peak / self.bin_width.value()
+    }
+
+    /// Ratio of this profile's peak to another's — e.g. staggered vs
+    /// aligned. Below 1.0 means this profile has the lower surge.
+    #[must_use]
+    pub fn peak_ratio_vs(&self, other: &SurgeProfile) -> f64 {
+        self.peak_current_amps() / other.peak_current_amps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icnoc_timing::WireModel;
+    use icnoc_topology::Floorplan;
+    use icnoc_units::{Gigahertz, Millimeters};
+    use proptest::prelude::*;
+
+    fn edges(stagger: &LeafStagger) -> Vec<Picoseconds> {
+        let tree = TreeTopology::binary(stagger.leaves()).expect("power of 2");
+        let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+        let clocks = ClockDistribution::forwarded(
+            &tree,
+            &plan,
+            WireModel::nominal_90nm(),
+            Gigahertz::new(1.0),
+        );
+        stagger.leaf_edge_times(&tree, &clocks)
+    }
+
+    #[test]
+    fn uniform_stagger_spans_the_window() {
+        let s = LeafStagger::uniform(64, Picoseconds::new(630.0));
+        assert_eq!(s.delay(0), Picoseconds::ZERO);
+        assert_eq!(s.delay(63), Picoseconds::new(630.0));
+        assert!(s.delay(31) < s.delay(32));
+    }
+
+    #[test]
+    fn single_leaf_cannot_be_staggered() {
+        let s = LeafStagger::uniform(1, Picoseconds::new(100.0));
+        assert_eq!(s.delay(0), Picoseconds::ZERO);
+    }
+
+    #[test]
+    fn aligned_edges_concentrate_charge() {
+        let times = vec![Picoseconds::ZERO; 64];
+        let profile = SurgeProfile::from_edge_times(
+            &times,
+            Picojoules::new(1.0),
+            Picoseconds::new(1000.0),
+            20,
+        );
+        // All 64 pC land in one 50 ps bin: 1.28 A.
+        assert!((profile.peak_current_amps() - 64.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staggering_reduces_peak_current() {
+        // The headline claim of Section 7's third extension.
+        let aligned = SurgeProfile::from_edge_times(
+            &edges(&LeafStagger::none(64)),
+            Picojoules::new(1.0),
+            Picoseconds::new(1000.0),
+            20,
+        );
+        let staggered = SurgeProfile::from_edge_times(
+            &edges(&LeafStagger::uniform(64, Picoseconds::new(900.0))),
+            Picojoules::new(1.0),
+            Picoseconds::new(1000.0),
+            20,
+        );
+        let ratio = staggered.peak_ratio_vs(&aligned);
+        assert!(ratio < 0.8, "stagger should cut the peak, ratio {ratio}");
+    }
+
+    #[test]
+    fn edge_times_include_natural_arrival() {
+        let e = edges(&LeafStagger::none(64));
+        assert_eq!(e.len(), 64);
+        // Forwarded clock arrival is never zero at a leaf.
+        assert!(e.iter().all(|t| t.value() > 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn total_charge_is_conserved(leaves in 2usize..128, bins in 1usize..64) {
+            let times: Vec<Picoseconds> = (0..leaves)
+                .map(|i| Picoseconds::new(i as f64 * 13.7))
+                .collect();
+            let profile = SurgeProfile::from_edge_times(
+                &times, Picojoules::new(0.5), Picoseconds::new(1000.0), bins,
+            );
+            let total: f64 = profile.bin_charge().iter().sum();
+            prop_assert!((total - 0.5 * leaves as f64).abs() < 1e-9);
+        }
+
+        /// Fully aligned edges are the worst case: no stagger assignment
+        /// can produce a higher peak than all leaves switching in one bin.
+        #[test]
+        fn no_stagger_exceeds_the_aligned_peak(
+            leaves in 2usize..128, w in 0.0f64..2000.0, bins in 1usize..64
+        ) {
+            let period = Picoseconds::new(1000.0);
+            let aligned = SurgeProfile::from_edge_times(
+                &vec![Picoseconds::ZERO; leaves],
+                Picojoules::new(1.0), period, bins,
+            );
+            let stagger = LeafStagger::uniform(leaves, Picoseconds::new(w));
+            let times: Vec<Picoseconds> =
+                (0..leaves).map(|i| stagger.delay(i)).collect();
+            let spread = SurgeProfile::from_edge_times(
+                &times, Picojoules::new(1.0), period, bins,
+            );
+            prop_assert!(
+                spread.peak_current_amps() <= aligned.peak_current_amps() + 1e-9
+            );
+        }
+    }
+}

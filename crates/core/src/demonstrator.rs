@@ -1,0 +1,144 @@
+//! Traffic presets for the Section 6 demonstrator.
+//!
+//! The demonstrator is "a homogeneous multiprocessor system ... 32
+//! processing tiles, each with a microprocessor and a local memory". We map
+//! tile `i`'s processor to the even port `2i` and its memory to the odd
+//! port `2i+1`; the builder's leaf-router arbitration then gives each
+//! processor priority over remote traffic to its own memory, as the paper
+//! specifies.
+
+use icnoc_sim::TrafficPattern;
+use icnoc_topology::PortId;
+
+/// Workload presets for the demonstrator's 32 processor/memory tiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TilePreset {
+    /// Each processor streams to its local memory at `rate` — the
+    /// locality-exploiting mapping Section 3 argues for.
+    LocalCompute {
+        /// Injection probability per cycle per processor.
+        rate: f64,
+    },
+    /// Processors address uniformly random remote memories at `rate`.
+    UniformSharing {
+        /// Injection probability per cycle per processor.
+        rate: f64,
+    },
+    /// All processors hammer tile 0's memory with probability `fraction`,
+    /// uniform elsewhere.
+    SharedMemoryHotspot {
+        /// Injection probability per cycle per processor.
+        rate: f64,
+        /// Fraction of injected flits aimed at the hotspot memory.
+        fraction: f64,
+    },
+    /// On/off bursts of local traffic — the bursty workload motivating the
+    /// clock-gating argument of Section 5.
+    BurstyTiles {
+        /// Saturated cycles per burst.
+        burst: u32,
+        /// Idle cycles between bursts.
+        idle: u32,
+    },
+}
+
+/// Expands a preset into one [`TrafficPattern`] per port: processors (even
+/// ports) inject, memories (odd ports) are passive receivers.
+///
+/// # Panics
+///
+/// Panics if `ports` is odd — tiles come in processor/memory pairs.
+#[must_use]
+#[track_caller]
+pub fn demonstrator_patterns(preset: TilePreset, ports: usize) -> Vec<TrafficPattern> {
+    assert!(ports % 2 == 0, "tiles are processor/memory pairs");
+    (0..ports)
+        .map(|p| {
+            if p % 2 == 1 {
+                return TrafficPattern::Silent; // memories only respond
+            }
+            match preset {
+                TilePreset::LocalCompute { rate } => TrafficPattern::Neighbor { rate },
+                TilePreset::UniformSharing { rate } => TrafficPattern::Uniform { rate },
+                TilePreset::SharedMemoryHotspot { rate, fraction } => TrafficPattern::Hotspot {
+                    rate,
+                    target: PortId(1),
+                    fraction,
+                },
+                TilePreset::BurstyTiles { burst, idle } => TrafficPattern::Bursty { burst, idle },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+
+    #[test]
+    fn memories_are_silent_processors_inject() {
+        let pats = demonstrator_patterns(TilePreset::LocalCompute { rate: 0.5 }, 64);
+        assert_eq!(pats.len(), 64);
+        for (i, p) in pats.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(*p, TrafficPattern::Silent, "port {i}");
+            } else {
+                assert_eq!(*p, TrafficPattern::Neighbor { rate: 0.5 }, "port {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "processor/memory pairs")]
+    fn odd_port_count_rejected() {
+        let _ = demonstrator_patterns(TilePreset::LocalCompute { rate: 0.5 }, 63);
+    }
+
+    #[test]
+    fn local_compute_runs_losslessly_on_the_demonstrator() {
+        let sys = SystemBuilder::demonstrator().build().expect("valid");
+        let pats = demonstrator_patterns(TilePreset::LocalCompute { rate: 0.3 }, 64);
+        let mut net = sys.network(&pats, 2026);
+        net.run_cycles(1_000);
+        net.drain(500);
+        let report = net.report();
+        assert!(report.is_correct(), "{report}");
+        assert!(report.delivered > 5_000);
+        // Local traffic: latency stays near the single-router minimum.
+        assert!(report.latency.mean_cycles() < 4.0, "{report}");
+    }
+
+    #[test]
+    fn hotspot_preset_congests_but_stays_correct() {
+        let sys = SystemBuilder::demonstrator().build().expect("valid");
+        let pats = demonstrator_patterns(
+            TilePreset::SharedMemoryHotspot {
+                rate: 0.5,
+                fraction: 0.9,
+            },
+            64,
+        );
+        let mut net = sys.network(&pats, 4);
+        net.run_cycles(1_000);
+        net.drain(5_000);
+        let report = net.report();
+        assert!(report.is_correct(), "{report}");
+        assert!(report.source_stall_edges > 0);
+    }
+
+    #[test]
+    fn bursty_preset_gates_most_edges() {
+        let sys = SystemBuilder::demonstrator().build().expect("valid");
+        let pats = demonstrator_patterns(TilePreset::BurstyTiles { burst: 5, idle: 95 }, 64);
+        let mut net = sys.network(&pats, 8);
+        net.run_cycles(2_000);
+        let report = net.report();
+        assert!(report.is_correct(), "{report}");
+        assert!(
+            report.gating.gated_fraction() > 0.8,
+            "bursty traffic should gate most edges: {}",
+            report.gating
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for system construction.
+
+use icnoc_topology::TopologyError;
+use icnoc_units::Gigahertz;
+
+/// Errors from building or operating an IC-NoC [`System`](crate::System).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The underlying topology could not be built.
+    Topology(TopologyError),
+    /// The requested clock outruns even a head-to-head pipeline segment.
+    FrequencyUnreachable {
+        /// The clock the caller asked for.
+        requested: Gigahertz,
+        /// The fastest clock the pipeline model supports at zero length.
+        max: Gigahertz,
+    },
+    /// The requested clock outruns the routers of the chosen tree kind.
+    RouterTooSlow {
+        /// The clock the caller asked for.
+        requested: Gigahertz,
+        /// The router's maximum frequency.
+        router_max: Gigahertz,
+    },
+    /// A configuration field failed validation.
+    InvalidConfig(String),
+}
+
+impl core::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SystemError::Topology(e) => write!(f, "topology error: {e}"),
+            SystemError::FrequencyUnreachable { requested, max } => write!(
+                f,
+                "requested clock {requested} exceeds the pipeline limit {max}"
+            ),
+            SystemError::RouterTooSlow {
+                requested,
+                router_max,
+            } => write!(
+                f,
+                "requested clock {requested} exceeds the router limit {router_max}"
+            ),
+            SystemError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for SystemError {
+    fn from(e: TopologyError) -> Self {
+        SystemError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icnoc_topology::TreeTopology;
+
+    #[test]
+    fn topology_errors_convert_and_chain() {
+        let err: SystemError = TreeTopology::binary(3).unwrap_err().into();
+        assert!(err.to_string().contains("topology error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn display_messages_name_the_limits() {
+        let err = SystemError::FrequencyUnreachable {
+            requested: Gigahertz::new(3.0),
+            max: Gigahertz::new(1.8),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("3 GHz"));
+        assert!(msg.contains("1.8 GHz"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Whole-system power estimation, combining the clock model with measured
+//! simulation activity.
+//!
+//! The IC-NoC's power story has two legs (Sections 2 and 5): the forwarded
+//! clock avoids the balanced global tree's buffer overhead, and the
+//! flow-control-inherent clock gating makes register clock power track
+//! *traffic* instead of the clock rate. This module turns a finished
+//! [`SimReport`] into milliwatts.
+
+use crate::System;
+use icnoc_clock::ClockPowerModel;
+use icnoc_sim::SimReport;
+use icnoc_topology::analysis;
+use icnoc_units::{Milliwatts, Picojoules};
+use serde::{Deserialize, Serialize};
+
+/// Control overhead bits per pipeline stage (valid + handshake state).
+const CONTROL_BITS: u32 = 2;
+
+/// A power breakdown for one simulated run of a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemPowerReport {
+    /// Forwarded-clock wiring: the whole tree's wire toggling every cycle.
+    pub clock_wire: Milliwatts,
+    /// Register clock pins, scaled by the measured un-gated activity.
+    pub register_clock: Milliwatts,
+    /// Data wire switching for the delivered traffic.
+    pub data_wire: Milliwatts,
+    /// Router crossing energy (arbitration, crossbar, control).
+    pub router_logic: Milliwatts,
+}
+
+impl SystemPowerReport {
+    /// Total network power.
+    #[must_use]
+    pub fn total(&self) -> Milliwatts {
+        self.clock_wire + self.register_clock + self.data_wire + self.router_logic
+    }
+
+    /// The traffic-dependent share (everything but the always-on clock
+    /// wire).
+    #[must_use]
+    pub fn dynamic_share(&self) -> f64 {
+        let total = self.total();
+        if total.value() == 0.0 {
+            0.0
+        } else {
+            (total - self.clock_wire) / total
+        }
+    }
+}
+
+impl core::fmt::Display for SystemPowerReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "power: {:.2} total ({:.2} clock wire, {:.2} register clock, \
+             {:.2} data wire, {:.2} router logic)",
+            self.total(),
+            self.clock_wire,
+            self.register_clock,
+            self.data_wire,
+            self.router_logic
+        )
+    }
+}
+
+impl System {
+    /// Total pipeline registers in the network: every router stage column
+    /// plus every intermediate link stage, `width + 2` bits each.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        let per_stage = (self.width_bits() + CONTROL_BITS) as usize;
+        let router_stage_columns: usize = self
+            .tree()
+            .routers()
+            .map(|r| {
+                let ports = self.tree().children(r).len()
+                    + usize::from(self.tree().parent(r).is_some());
+                let depth = self.tree().router_class().forward_latency_half_cycles() as usize;
+                ports * depth
+            })
+            .sum();
+        (router_stage_columns + self.area().stage_count) * per_stage
+    }
+
+    /// Estimates the power drawn during the simulated run `report`, using
+    /// the measured clock-gating activity and delivered traffic.
+    #[must_use]
+    pub fn power_report(&self, report: &SimReport) -> SystemPowerReport {
+        let f = self.frequency();
+        let model = ClockPowerModel::nominal_90nm();
+
+        let clock_wire = model.wire_power(self.floorplan().total_wire_length(), f);
+        let register_clock =
+            model.register_power(self.register_count(), f, report.gating.activity());
+
+        // Delivered traffic energy: average routed wire length and router
+        // hops per flit under uniform weighting of the actual floorplan.
+        let (data_wire, router_logic) = if report.cycles == 0 || report.delivered == 0 {
+            (Milliwatts::ZERO, Milliwatts::ZERO)
+        } else {
+            let avg_wire = analysis::tree_average_wire_length(self.tree(), self.floorplan());
+            let avg_hops = analysis::tree_average_hops(self.tree());
+            let width_scale = f64::from(self.width_bits()) / 32.0;
+            let wire_energy = Picojoules::new(
+                analysis::WIRE_ENERGY_PER_MM * width_scale * avg_wire.value(),
+            );
+            let router_energy = Picojoules::new(
+                analysis::ROUTER_ENERGY_PER_MM2
+                    * self.tree().router_class().area(self.width_bits()).value()
+                    * avg_hops,
+            );
+            let flits_per_cycle = report.delivered as f64 / report.cycles as f64;
+            (
+                wire_energy.at_rate(f, flits_per_cycle),
+                router_energy.at_rate(f, flits_per_cycle),
+            )
+        };
+
+        SystemPowerReport {
+            clock_wire,
+            register_clock,
+            data_wire,
+            router_logic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use icnoc_sim::TrafficPattern;
+
+    fn demo() -> System {
+        SystemBuilder::demonstrator().build().expect("valid")
+    }
+
+    #[test]
+    fn register_count_covers_routers_and_link_stages() {
+        let sys = demo();
+        // 63 routers: root 2 ports, 62 others 3 ports, 3 columns each,
+        // plus 6 link stages; 34 bits per stage column.
+        let columns = (2 * 3) + 62 * (3 * 3) + 6;
+        assert_eq!(sys.register_count(), columns * 34);
+    }
+
+    #[test]
+    fn idle_network_draws_only_clock_wire() {
+        let sys = demo();
+        let report = sys.simulate(TrafficPattern::Silent, 500, 1);
+        let power = sys.power_report(&report);
+        assert_eq!(power.data_wire, Milliwatts::ZERO);
+        assert_eq!(power.router_logic, Milliwatts::ZERO);
+        // Fully gated: register clock ~0.
+        assert!(power.register_clock.value() < 0.01, "{power}");
+        assert!(power.clock_wire.value() > 1.0);
+    }
+
+    #[test]
+    fn busier_traffic_draws_more_power() {
+        let sys = demo();
+        let quiet = sys.power_report(&sys.simulate(TrafficPattern::uniform(0.05), 1_000, 2));
+        let busy = sys.power_report(&sys.simulate(TrafficPattern::uniform(0.4), 1_000, 2));
+        assert!(busy.total() > quiet.total(), "{busy} vs {quiet}");
+        assert!(busy.register_clock > quiet.register_clock);
+        assert!(busy.data_wire > quiet.data_wire);
+        // The always-on share is identical.
+        assert_eq!(busy.clock_wire, quiet.clock_wire);
+    }
+
+    #[test]
+    fn display_breaks_down_the_total() {
+        let sys = demo();
+        let report = sys.simulate(TrafficPattern::uniform(0.2), 500, 3);
+        let text = sys.power_report(&report).to_string();
+        assert!(text.contains("clock wire"));
+        assert!(text.contains("router logic"));
+    }
+
+    #[test]
+    fn dynamic_share_grows_with_traffic() {
+        let sys = demo();
+        let quiet = sys.power_report(&sys.simulate(TrafficPattern::Silent, 500, 4));
+        let busy = sys.power_report(&sys.simulate(TrafficPattern::uniform(0.5), 1_000, 4));
+        assert!(busy.dynamic_share() > quiet.dynamic_share());
+    }
+}

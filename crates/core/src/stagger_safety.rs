@@ -1,0 +1,158 @@
+//! Timing-safe bounds for weighted-skew leaf staggering (Section 7).
+//!
+//! The future-work idea of deliberately skewing leaf clocks to spread the
+//! supply-current surge is not free: a leaf whose clock is delayed by `s`
+//! sees its leaf-link *upstream* budget shrink by `s` (eq. (5): the clock
+//! delay adds to `Δsum`) and its *downstream* hold margin shrink likewise.
+//! This module computes exactly how much stagger each leaf can absorb at
+//! the operating frequency, and verifies concrete stagger assignments —
+//! closing the loop between the Section 7 power trick and the Section 4
+//! timing analysis.
+
+use crate::System;
+use icnoc_clock::LeafStagger;
+use icnoc_timing::LinkTiming;
+use icnoc_units::Picoseconds;
+
+impl System {
+    /// The extra clock delay each leaf can absorb on its leaf link while
+    /// both transfer directions keep non-negative slack, indexed by port.
+    ///
+    /// For leaf stagger `s`: upstream `Δsum` becomes `2·d + s` (setup
+    /// side), downstream `Δdiff` becomes `−s` (hold side); the allowance
+    /// is the smaller of the two remaining margins.
+    #[must_use]
+    pub fn leaf_stagger_margins(&self) -> Vec<Picoseconds> {
+        let link_timing = LinkTiming::new(self.pipeline_model().flip_flop(), self.frequency());
+        let window = link_timing.downstream_window();
+        let wire = self.pipeline_model().wire();
+        self.tree()
+            .ports()
+            .map(|port| {
+                let leaf = self.tree().leaf(port).expect("ports enumerate in range");
+                let link = self.tree().uplink(leaf).expect("leaves are non-root");
+                let geo = self
+                    .floorplan()
+                    .pipelined_link(link, self.max_segment());
+                let d = wire.delay(geo.segment_length());
+                let upstream_allowance = window.max() - d * 2.0;
+                let downstream_allowance = -window.min();
+                upstream_allowance
+                    .min(downstream_allowance)
+                    .max(Picoseconds::ZERO)
+            })
+            .collect()
+    }
+
+    /// The widest *uniform* stagger window (see [`LeafStagger::uniform`])
+    /// that keeps every leaf timing-safe: leaf `i` absorbs
+    /// `i·W/(N−1)`, so `W ≤ margin_i · (N−1)/i` for every `i > 0`.
+    #[must_use]
+    pub fn max_stagger_window(&self) -> Picoseconds {
+        let margins = self.leaf_stagger_margins();
+        let n = margins.len();
+        if n <= 1 {
+            return Picoseconds::INFINITY;
+        }
+        margins
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &m)| m * ((n - 1) as f64 / i as f64))
+            .fold(Picoseconds::INFINITY, Picoseconds::min)
+    }
+
+    /// Whether a concrete stagger assignment keeps every leaf link
+    /// timing-safe at the operating frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stagger` does not cover every port.
+    #[must_use]
+    #[track_caller]
+    pub fn stagger_is_timing_safe(&self, stagger: &LeafStagger) -> bool {
+        let margins = self.leaf_stagger_margins();
+        assert_eq!(
+            stagger.leaves(),
+            margins.len(),
+            "stagger must cover every leaf"
+        );
+        margins
+            .iter()
+            .enumerate()
+            .all(|(i, &m)| stagger.delay(i) <= m + Picoseconds::new(1e-9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use icnoc_clock::{ClockDistribution, SurgeProfile};
+    use icnoc_units::{Gigahertz, Picojoules};
+
+    fn demo() -> System {
+        SystemBuilder::demonstrator().build().expect("valid")
+    }
+
+    #[test]
+    fn leaf_margins_are_positive_at_the_demonstrator_operating_point() {
+        // Leaf links are short (0.625 mm), so there is real stagger room
+        // even at the root-limited 1 GHz.
+        let sys = demo();
+        let margins = sys.leaf_stagger_margins();
+        assert_eq!(margins.len(), 64);
+        for (i, m) in margins.iter().enumerate() {
+            assert!(m.value() > 100.0, "leaf {i} margin {m}");
+        }
+    }
+
+    #[test]
+    fn max_window_is_safe_and_tight() {
+        let sys = demo();
+        let w = sys.max_stagger_window();
+        assert!(w.value() > 0.0);
+        let at_limit = LeafStagger::uniform(64, w);
+        assert!(sys.stagger_is_timing_safe(&at_limit));
+        let beyond = LeafStagger::uniform(64, w * 1.05);
+        assert!(!sys.stagger_is_timing_safe(&beyond));
+        assert!(sys.stagger_is_timing_safe(&LeafStagger::none(64)));
+    }
+
+    #[test]
+    fn slower_clock_allows_wider_stagger() {
+        let fast = demo();
+        let slow = fast.derated(Gigahertz::new(0.5));
+        assert!(slow.max_stagger_window() > fast.max_stagger_window());
+    }
+
+    #[test]
+    fn safe_stagger_still_cuts_the_surge_peak() {
+        // The Section 7 idea survives its own timing constraint: even the
+        // timing-limited window gives a useful peak-current reduction.
+        let sys = demo();
+        let w = sys.max_stagger_window();
+        let clocks = ClockDistribution::forwarded(
+            sys.tree(),
+            sys.floorplan(),
+            sys.pipeline_model().wire(),
+            sys.frequency(),
+        );
+        let period = sys.frequency().period();
+        let profile = |stagger: &LeafStagger| {
+            SurgeProfile::from_edge_times(
+                &stagger.leaf_edge_times(sys.tree(), &clocks),
+                Picojoules::new(2.0),
+                period,
+                20,
+            )
+        };
+        let base = profile(&LeafStagger::none(64));
+        let spread = profile(&LeafStagger::uniform(64, w));
+        let ratio = spread.peak_ratio_vs(&base);
+        assert!(
+            ratio < 0.7,
+            "timing-safe stagger should still cut the peak, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,937 @@
+//! The element-graph simulator core and the straight-pipeline builder.
+
+use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState};
+use crate::report::Scoreboard;
+use crate::{
+    Arbitration, ElementId, Flit, LatencyStats, RouteFilter, SimReport, SinkMode, TrafficPattern,
+    TrafficPhase,
+};
+use icnoc_clock::{ClockGatingStats, ClockPolarity};
+use icnoc_topology::PortId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simulated network: an element graph evaluated at half-cycle
+/// resolution.
+///
+/// Every connection joins elements of **opposite clock polarity** (checked
+/// at construction), so within one tick the active elements only read state
+/// written by the inactive half on the previous tick — exactly the paper's
+/// alternating-edge discipline, with every `valid`/`accept` level enjoying
+/// half a period of propagation time.
+#[derive(Debug, Clone)]
+pub struct Network {
+    elements: Vec<Element>,
+    tick: u64,
+    num_ports: u32,
+    scoreboard: Scoreboard,
+    finalized: bool,
+}
+
+impl Network {
+    /// Creates an empty network for `num_ports` ports.
+    ///
+    /// Prefer the high-level builders — [`Network::pipeline`] and
+    /// [`Network::tree`](crate::TreeNetworkConfig::build) — unless you are
+    /// constructing custom fabrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ports < 2`: traffic needs somewhere to go.
+    #[must_use]
+    #[track_caller]
+    pub fn new(num_ports: u32) -> Self {
+        assert!(num_ports >= 2, "a network needs at least two ports");
+        Self {
+            elements: Vec::new(),
+            tick: 0,
+            num_ports,
+            scoreboard: Scoreboard::default(),
+            finalized: false,
+        }
+    }
+
+    /// Builds the straight handshake pipeline of Fig. 4: one source,
+    /// `stages` pipeline registers at alternating polarities, one sink.
+    ///
+    /// Port 0 is the source, port 1 the sink; `pattern` drives injection
+    /// and `sink_mode` creates (or withholds) back pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn pipeline(
+        stages: usize,
+        pattern: TrafficPattern,
+        sink_mode: SinkMode,
+        seed: u64,
+    ) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        let mut net = Network::new(2);
+        let mut polarity = ClockPolarity::Rising;
+        let src = net.add_source(PortId(0), pattern, polarity, seed);
+        let mut prev = src;
+        for i in 0..stages {
+            polarity = polarity.inverted();
+            let stage = net.add_stage(
+                format!("s{i}"),
+                polarity,
+                RouteFilter::Any,
+                Arbitration::Priority,
+            );
+            net.connect(prev, stage);
+            prev = stage;
+        }
+        let sink = net.add_sink(PortId(1), sink_mode, polarity.inverted());
+        net.connect(prev, sink);
+        net.finalize();
+        net
+    }
+
+    /// Adds a pipeline/router register stage.
+    ///
+    /// Part of the low-level builder API for custom fabrics (the mesh
+    /// baseline is built this way); call [`finalize`](Self::finalize) once
+    /// wiring is complete.
+    pub fn add_stage(
+        &mut self,
+        label: String,
+        polarity: ClockPolarity,
+        filter: RouteFilter,
+        arb: Arbitration,
+    ) -> ElementId {
+        let mut el = Element::new(label, Kind::Stage, polarity);
+        el.filter = filter;
+        el.arb = arb;
+        self.push(el)
+    }
+
+    /// Adds a traffic source for `port` (low-level builder API).
+    pub fn add_source(
+        &mut self,
+        port: PortId,
+        pattern: TrafficPattern,
+        polarity: ClockPolarity,
+        seed: u64,
+    ) -> ElementId {
+        let state = SourceState {
+            port,
+            pattern,
+            rng: StdRng::seed_from_u64(seed ^ (u64::from(port.0) << 32) ^ 0x5EED),
+            cycle: 0,
+            next_seq: 0,
+            sent: 0,
+            stalled_edges: 0,
+            enabled: true,
+            packet_len: 1,
+            next_packet: 0,
+            packets_sent: 0,
+            emitting: None,
+            cursor: 0,
+            trace: None,
+        };
+        self.push(Element::new(
+            format!("src{}", port.0),
+            Kind::Source(state),
+            polarity,
+        ))
+    }
+
+    /// Adds a sink for `port` (low-level builder API).
+    pub fn add_sink(
+        &mut self,
+        port: PortId,
+        mode: SinkMode,
+        polarity: ClockPolarity,
+    ) -> ElementId {
+        let state = SinkState {
+            port,
+            mode,
+            cycle: 0,
+        };
+        self.push(Element::new(
+            format!("sink{}", port.0),
+            Kind::Sink(state),
+            polarity,
+        ))
+    }
+
+    /// Adds a closed-loop tile endpoint (low-level builder API): a
+    /// processor issuing requests or a memory answering them.
+    pub(crate) fn add_tile(
+        &mut self,
+        port: PortId,
+        role: TileRole,
+        polarity: ClockPolarity,
+        seed: u64,
+    ) -> ElementId {
+        let state = TileState {
+            port,
+            role,
+            rng: StdRng::seed_from_u64(seed ^ (u64::from(port.0) << 32) ^ 0x71E5),
+            cycle: 0,
+            next_seq: 0,
+            sent: 0,
+            packets_sent: 0,
+            stalled_edges: 0,
+            enabled: true,
+            pending: std::collections::VecDeque::new(),
+            outstanding: std::collections::HashMap::new(),
+            round_trip: LatencyStats::new(),
+            responses: 0,
+            cursor: 0,
+        };
+        self.push(Element::new(
+            format!("tile{}", port.0),
+            Kind::Tile(state),
+            polarity,
+        ))
+    }
+
+    /// Overrides an element's route filter (used by the tree builder to
+    /// exclude ring-shortcut destinations from a port's tree-side entry).
+    pub(crate) fn set_filter(&mut self, id: ElementId, filter: RouteFilter) {
+        self.elements[id.index()].filter = filter;
+    }
+
+    fn push(&mut self, el: Element) -> ElementId {
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(el);
+        id
+    }
+
+    /// Wires `up → down` (low-level builder API).
+    pub fn connect(&mut self, up: ElementId, down: ElementId) {
+        self.elements[down.index()].upstreams.push(up);
+    }
+
+    /// Completes construction: derives downstream lists and checks the
+    /// alternating-polarity invariant on every connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any connection joins two elements of equal polarity — such
+    /// a fabric would not be clockable by the IC-NoC scheme.
+    pub fn finalize(&mut self) {
+        for i in 0..self.elements.len() {
+            let ups = self.elements[i].upstreams.clone();
+            for u in ups {
+                assert_ne!(
+                    self.elements[u.index()].polarity,
+                    self.elements[i].polarity,
+                    "connection {} -> {} joins equal polarities; \
+                     the 2-phase protocol requires alternating edges",
+                    self.elements[u.index()].label,
+                    self.elements[i].label,
+                );
+                self.elements[u.index()].downstreams.push(ElementId(i as u32));
+            }
+        }
+        self.finalized = true;
+    }
+
+    /// Number of ports.
+    #[must_use]
+    pub fn num_ports(&self) -> u32 {
+        self.num_ports
+    }
+
+    /// Number of elements in the graph.
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The current half-cycle tick.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Enables or disables all traffic sources and processor tiles (used
+    /// for draining; memories keep answering outstanding requests).
+    pub fn set_sources_enabled(&mut self, enabled: bool) {
+        for el in &mut self.elements {
+            match &mut el.kind {
+                Kind::Source(s) => s.enabled = enabled,
+                Kind::Tile(t) => t.enabled = enabled,
+                _ => {}
+            }
+        }
+    }
+
+    /// Occupancy of every pipeline/router stage: `(label, holds_flit)`, in
+    /// construction order. Useful for waveform-style visualisation of the
+    /// Fig. 4 handshake.
+    pub fn stage_occupancy(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.elements.iter().filter_map(|e| match e.kind {
+            Kind::Stage => Some((e.label.as_str(), e.out_flit.is_some())),
+            _ => None,
+        })
+    }
+
+    /// Sets the packet length (flits per packet) of every source. Lengths
+    /// above 1 enable wormhole switching: heads lock arbitrated stages,
+    /// tails release them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[track_caller]
+    pub fn set_packet_length(&mut self, len: u32) {
+        assert!(len > 0, "packets need at least one flit");
+        for el in &mut self.elements {
+            if let Kind::Source(s) = &mut el.kind {
+                s.packet_len = len;
+            }
+        }
+    }
+
+    /// Flits currently held in registers or waiting in sources, plus
+    /// responses queued inside memory tiles.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.elements
+            .iter()
+            .map(|e| {
+                let held = u64::from(e.out_flit.is_some());
+                match &e.kind {
+                    Kind::Tile(t) => held + t.pending.len() as u64,
+                    _ => held,
+                }
+            })
+            .sum()
+    }
+
+    /// Advances the simulation by one half-cycle (one clock edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network was constructed manually and never finalized.
+    pub fn step(&mut self) {
+        assert!(self.finalized, "network must be finalized before stepping");
+        let parity = if self.tick % 2 == 0 {
+            ClockPolarity::Rising
+        } else {
+            ClockPolarity::Falling
+        };
+        for i in 0..self.elements.len() {
+            if self.elements[i].polarity != parity {
+                continue;
+            }
+            match self.elements[i].kind {
+                Kind::Stage => self.step_stage(i),
+                Kind::Source(_) => self.step_source(i),
+                Kind::Sink(_) => self.step_sink(i),
+                Kind::Tile(_) => self.step_tile(i),
+            }
+        }
+        self.tick += 1;
+    }
+
+    /// Whether any downstream element captured `i`'s presented flit on the
+    /// previous tick.
+    fn was_drained(&self, i: usize) -> bool {
+        self.elements[i].out_flit.is_some()
+            && self.elements[i]
+                .downstreams
+                .iter()
+                .any(|d| self.elements[d.index()].accepted_from == Some(ElementId(i as u32)))
+    }
+
+    fn step_stage(&mut self, i: usize) {
+        let drained = self.was_drained(i);
+        // Collect capture candidates. A locked stage (a wormhole in
+        // progress) only listens to the locked upstream and takes whatever
+        // it presents; an unlocked stage arbitrates among upstreams
+        // presenting route-opening flits (heads/singles) its filter wants.
+        let el = &self.elements[i];
+        let n = el.upstreams.len();
+        let mut winner: Option<(usize, Flit)> = None;
+        if let Some(locked) = el.lock {
+            if let Some(flit) = self.elements[locked.index()].out_flit {
+                let slot = el
+                    .upstreams
+                    .iter()
+                    .position(|&u| u == locked)
+                    .expect("lock always names an upstream");
+                winner = Some((slot, flit));
+            }
+        } else if n > 0 {
+            let start = match el.arb {
+                Arbitration::RoundRobin => el.rr_next % n,
+                Arbitration::Priority => 0,
+            };
+            for k in 0..n {
+                let slot = (start + k) % n;
+                let u = el.upstreams[slot];
+                if let Some(flit) = self.elements[u.index()].out_flit {
+                    if flit.kind.opens_route() && el.filter.wants(&flit) {
+                        winner = Some((slot, flit));
+                        break;
+                    }
+                }
+            }
+        }
+
+        let el = &mut self.elements[i];
+        let new_empty = el.out_flit.is_none() || drained;
+        match winner {
+            Some((slot, flit)) if new_empty => {
+                let upstream = el.upstreams[slot];
+                el.accepted_from = Some(upstream);
+                el.out_flit = Some(flit);
+                if flit.kind.opens_route() {
+                    el.rr_next = (slot + 1) % n.max(1);
+                }
+                el.lock = if flit.kind.closes_route() {
+                    None
+                } else {
+                    Some(upstream)
+                };
+                el.gating.record_enabled();
+            }
+            _ => {
+                if drained {
+                    el.out_flit = None;
+                }
+                el.accepted_from = None;
+                el.gating.record_gated();
+            }
+        }
+    }
+
+    fn step_source(&mut self, i: usize) {
+        let drained = self.was_drained(i);
+        let num_ports = self.num_ports;
+        let tick = self.tick;
+        let Kind::Source(_) = self.elements[i].kind else {
+            unreachable!("step_source called on non-source")
+        };
+        let el = &mut self.elements[i];
+        if drained {
+            el.out_flit = None;
+        }
+        el.accepted_from = None;
+        let out_empty = el.out_flit.is_none();
+        let Kind::Source(state) = &mut el.kind else {
+            unreachable!()
+        };
+        if state.enabled || state.emitting.is_some() {
+            if out_empty {
+                // Finish an in-flight packet before consulting the pattern
+                // (a started wormhole must complete even while draining).
+                if let Some((dest, remaining)) = state.emitting {
+                    let kind = if remaining == 1 {
+                        crate::FlitKind::Tail
+                    } else {
+                        crate::FlitKind::Body
+                    };
+                    let flit = Flit::with_kind(
+                        state.port,
+                        dest,
+                        state.next_seq,
+                        state.next_packet,
+                        kind,
+                        tick,
+                    );
+                    state.next_seq += 1;
+                    state.sent += 1;
+                    state.emitting = if remaining == 1 {
+                        state.next_packet += 1;
+                        state.packets_sent += 1;
+                        None
+                    } else {
+                        Some((dest, remaining - 1))
+                    };
+                    el.out_flit = Some(flit);
+                } else if state.enabled {
+                    let SourceState {
+                        pattern,
+                        port,
+                        cycle,
+                        rng,
+                        cursor,
+                        ..
+                    } = state;
+                    if let TrafficPhase::Inject(dest) =
+                        pattern.decide(*port, num_ports, *cycle, rng, cursor)
+                    {
+                        if let Some(trace) = &mut state.trace {
+                            trace.push((state.cycle, dest.0));
+                        }
+                        let flit = if state.packet_len == 1 {
+                            let f = Flit::with_kind(
+                                state.port,
+                                dest,
+                                state.next_seq,
+                                state.next_packet,
+                                crate::FlitKind::Single,
+                                tick,
+                            );
+                            state.next_packet += 1;
+                            state.packets_sent += 1;
+                            f
+                        } else {
+                            let f = Flit::with_kind(
+                                state.port,
+                                dest,
+                                state.next_seq,
+                                state.next_packet,
+                                crate::FlitKind::Head,
+                                tick,
+                            );
+                            state.emitting = Some((dest, state.packet_len - 1));
+                            f
+                        };
+                        state.next_seq += 1;
+                        state.sent += 1;
+                        el.out_flit = Some(flit);
+                    }
+                }
+            } else {
+                state.stalled_edges += 1;
+            }
+        }
+        let Kind::Source(state) = &mut el.kind else {
+            unreachable!()
+        };
+        state.cycle += 1;
+    }
+
+    fn step_sink(&mut self, i: usize) {
+        let tick = self.tick;
+        // Scan all upstreams (a port with ring shortcuts has several) and
+        // consume the first one offering a flit.
+        let (up, offered) = self.first_offer(i);
+        let el = &mut self.elements[i];
+        let Kind::Sink(state) = &mut el.kind else {
+            unreachable!("step_sink called on non-sink")
+        };
+        let accepts = state.mode.accepts(state.cycle);
+        let port = state.port;
+        state.cycle += 1;
+        match (accepts, offered) {
+            (true, Some(flit)) => {
+                el.accepted_from = up;
+                self.scoreboard.record_arrival(&flit, tick, port);
+            }
+            _ => {
+                el.accepted_from = None;
+            }
+        }
+    }
+
+    fn step_tile(&mut self, i: usize) {
+        let tick = self.tick;
+        let num_ports = self.num_ports;
+        let drained = self.was_drained(i);
+        // Input side: tiles always accept (they are their port's sink).
+        let (up, offered) = self.first_offer(i);
+
+        let el = &mut self.elements[i];
+        if drained {
+            el.out_flit = None;
+        }
+        let out_empty = el.out_flit.is_none();
+        let Kind::Tile(state) = &mut el.kind else {
+            unreachable!("step_tile called on non-tile")
+        };
+        let port = state.port;
+        let cycle = state.cycle;
+        state.cycle += 1;
+
+        // Consume whatever arrived.
+        let mut arrived = None;
+        if let Some(flit) = offered {
+            el.accepted_from = up;
+            arrived = Some(flit);
+        } else {
+            el.accepted_from = None;
+        }
+        if let Some(flit) = arrived {
+            match &mut state.role {
+                TileRole::Memory { service_cycles } => {
+                    // Answer once per packet, after the service latency.
+                    if flit.kind.closes_route() {
+                        state.pending.push_back((flit.src, cycle + *service_cycles));
+                    }
+                }
+                TileRole::Processor { .. } => {
+                    if let Some(queue) = state.outstanding.get_mut(&flit.src.0) {
+                        if let Some(sent_tick) = queue.pop_front() {
+                            state.round_trip.record(tick.saturating_sub(sent_tick));
+                            state.responses += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Produce at most one flit.
+        if out_empty {
+            let mut emit = None;
+            match &mut state.role {
+                TileRole::Memory { .. } => {
+                    if let Some(&(requester, ready)) = state.pending.front() {
+                        if cycle >= ready {
+                            state.pending.pop_front();
+                            emit = Some(requester);
+                        }
+                    }
+                }
+                TileRole::Processor {
+                    pattern,
+                    max_outstanding,
+                } => {
+                    if state.enabled {
+                        let in_flight: usize =
+                            state.outstanding.values().map(|q| q.len()).sum();
+                        if in_flight < *max_outstanding {
+                            if let TrafficPhase::Inject(dest) =
+                                pattern.decide(
+                                    port,
+                                    num_ports,
+                                    cycle,
+                                    &mut state.rng,
+                                    &mut state.cursor,
+                                )
+                            {
+                                emit = Some(dest);
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(dest) = emit {
+                let flit = Flit::with_kind(
+                    port,
+                    dest,
+                    state.next_seq,
+                    state.next_seq, // single-flit packets: packet id = seq
+                    crate::FlitKind::Single,
+                    tick,
+                );
+                state.next_seq += 1;
+                state.sent += 1;
+                state.packets_sent += 1;
+                if let TileRole::Processor { .. } = state.role {
+                    state.outstanding.entry(dest.0).or_default().push_back(tick);
+                }
+                el.out_flit = Some(flit);
+            }
+        } else if state.enabled {
+            state.stalled_edges += 1;
+        }
+        // A tile consumes flits itself; record them like a sink does.
+        if let Some(flit) = arrived {
+            self.scoreboard.record_arrival(&flit, tick, port);
+        }
+    }
+
+    /// Runs `cycles` full clock cycles (two ticks each) and returns the
+    /// cumulative report.
+    pub fn run_cycles(&mut self, cycles: u64) -> SimReport {
+        for _ in 0..cycles * 2 {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Stops injection and steps until the network is empty or
+    /// `max_cycles` elapse. Returns `true` if fully drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        self.set_sources_enabled(false);
+        for _ in 0..max_cycles * 2 {
+            if self.in_flight() == 0 {
+                return true;
+            }
+            self.step();
+        }
+        self.in_flight() == 0
+    }
+
+    /// The first upstream of `i` currently presenting a flit, if any.
+    fn first_offer(&self, i: usize) -> (Option<ElementId>, Option<Flit>) {
+        for &u in &self.elements[i].upstreams {
+            if let Some(flit) = self.elements[u.index()].out_flit {
+                return (Some(u), Some(flit));
+            }
+        }
+        (None, None)
+    }
+
+    /// Turns injection-trace recording on (or off) for every source.
+    /// Recorded traces are retrieved with
+    /// [`recorded_trace`](Self::recorded_trace) and replayed with
+    /// [`TrafficPattern::Replay`].
+    pub fn record_traces(&mut self, on: bool) {
+        for el in &mut self.elements {
+            if let Kind::Source(s) = &mut el.kind {
+                s.trace = on.then(Vec::new);
+            }
+        }
+    }
+
+    /// The recorded injection schedule of `port`'s source, if tracing was
+    /// enabled. `None` for unknown ports or disabled tracing.
+    #[must_use]
+    pub fn recorded_trace(&self, port: PortId) -> Option<Vec<(u64, u32)>> {
+        self.elements.iter().find_map(|el| match &el.kind {
+            Kind::Source(s) if s.port == port => s.trace.clone(),
+            _ => None,
+        })
+    }
+
+    /// Aggregated clock-gating statistics over the stages whose label
+    /// starts with `prefix` — e.g. `"r0."` for the root router, `"ring"`
+    /// for the ring synchronisers, `"l"` for link pipeline stages.
+    #[must_use]
+    pub fn gating_for_label_prefix(&self, prefix: &str) -> ClockGatingStats {
+        let mut acc = ClockGatingStats::new();
+        for el in &self.elements {
+            if matches!(el.kind, Kind::Stage) && el.label.starts_with(prefix) {
+                acc.merge(&el.gating);
+            }
+        }
+        acc
+    }
+
+    /// Diagnoses why the network will not drain: which elements still hold
+    /// flits, and what they hold. Intended for debugging after
+    /// [`drain`](Self::drain) returns `false` (a correct IC-NoC never
+    /// deadlocks, so a stuck network means a mis-built fabric — e.g. a
+    /// route filter that no destination satisfies).
+    #[must_use]
+    pub fn diagnose_stall(&self) -> Vec<String> {
+        self.elements
+            .iter()
+            .filter_map(|e| {
+                e.out_flit
+                    .map(|flit| format!("{} holds {} ({:?})", e.label, flit, flit.kind))
+            })
+            .collect()
+    }
+
+    /// Snapshot of the statistics so far.
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        let mut sent = 0;
+        let mut packets_sent = 0;
+        let mut stalls = 0;
+        let mut round_trip = LatencyStats::new();
+        let mut responses = 0;
+        let mut gating = ClockGatingStats::new();
+        for el in &self.elements {
+            match &el.kind {
+                Kind::Source(s) => {
+                    sent += s.sent;
+                    packets_sent += s.packets_sent;
+                    stalls += s.stalled_edges;
+                }
+                Kind::Stage => gating.merge(&el.gating),
+                Kind::Sink(_) => {}
+                Kind::Tile(t) => {
+                    sent += t.sent;
+                    packets_sent += t.packets_sent;
+                    stalls += t.stalled_edges;
+                    round_trip.merge(&t.round_trip);
+                    responses += t.responses;
+                }
+            }
+        }
+        SimReport {
+            cycles: self.tick / 2,
+            sent,
+            delivered: self.scoreboard.delivered,
+            in_flight: self.in_flight(),
+            duplicated: self.scoreboard.duplicated,
+            reordered: self.scoreboard.reordered,
+            misrouted: self.scoreboard.misrouted,
+            latency: self.scoreboard.latency,
+            histogram: self.scoreboard.histogram.clone(),
+            gating,
+            source_stall_edges: stalls,
+            packets_sent,
+            packets_delivered: self.scoreboard.packets_delivered,
+            interleaved: self.scoreboard.interleaved,
+            round_trip,
+            responses,
+        }
+    }
+
+    /// Latency statistics so far (shortcut into [`report`](Self::report)).
+    #[must_use]
+    pub fn latency(&self) -> LatencyStats {
+        self.scoreboard.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_pipeline_reaches_full_throughput() {
+        let mut net = Network::pipeline(8, TrafficPattern::saturate(), SinkMode::AlwaysAccept, 1);
+        let report = net.run_cycles(400);
+        assert!(report.is_correct(), "{report}");
+        // One flit per cycle minus pipeline fill.
+        assert!(
+            report.throughput_per_cycle() > 0.95,
+            "throughput {}",
+            report.throughput_per_cycle()
+        );
+    }
+
+    #[test]
+    fn pipeline_forward_latency_is_half_cycle_per_stage() {
+        // A lone flit crosses each stage in half a cycle (Fig. 4).
+        for stages in [1usize, 2, 4, 8, 16] {
+            let mut net = Network::pipeline(
+                stages,
+                TrafficPattern::Bursty { burst: 1, idle: 1000 },
+                SinkMode::AlwaysAccept,
+                3,
+            );
+            net.run_cycles(100);
+            let report = net.report();
+            assert_eq!(report.delivered, 1, "stages={stages}");
+            // Latency: one half-cycle per stage plus the sink's capture.
+            let expected = (stages as f64 + 1.0) / 2.0;
+            assert!(
+                (report.latency.mean_cycles() - expected).abs() <= 0.5,
+                "stages={stages}: got {} expected ~{expected}",
+                report.latency.mean_cycles()
+            );
+        }
+    }
+
+    #[test]
+    fn stall_and_resume_lose_nothing() {
+        // The Fig. 4 scenario: full-speed stream, congestion appears, the
+        // pipeline stops "in an instance", then resumes without loss.
+        let mut net = Network::pipeline(
+            6,
+            TrafficPattern::saturate(),
+            SinkMode::StallDuring { from: 50, to: 150 },
+            7,
+        );
+        net.run_cycles(300);
+        assert!(net.drain(100), "pipeline must drain after the stall");
+        let report = net.report();
+        assert!(report.is_correct(), "{report}");
+        assert_eq!(report.lost(), 0);
+        // The stall produced back pressure at the source.
+        assert!(report.source_stall_edges > 0);
+    }
+
+    #[test]
+    fn throttled_sink_limits_throughput() {
+        let mut net = Network::pipeline(
+            4,
+            TrafficPattern::saturate(),
+            SinkMode::Throttle { period: 4 },
+            9,
+        );
+        let report = net.run_cycles(400);
+        assert!((report.throughput_per_cycle() - 0.25).abs() < 0.05, "{report}");
+        assert_eq!(report.duplicated, 0);
+        assert_eq!(report.reordered, 0);
+    }
+
+    #[test]
+    fn idle_pipeline_is_fully_clock_gated() {
+        let mut net = Network::pipeline(8, TrafficPattern::Silent, SinkMode::AlwaysAccept, 5);
+        let report = net.run_cycles(100);
+        assert_eq!(report.sent, 0);
+        assert_eq!(report.gating.enabled_edges(), 0);
+        assert!(report.gating.gated_fraction() > 0.99);
+    }
+
+    #[test]
+    fn bursty_traffic_gates_in_proportion_to_idleness() {
+        let mut net = Network::pipeline(
+            8,
+            TrafficPattern::Bursty { burst: 10, idle: 90 },
+            SinkMode::AlwaysAccept,
+            5,
+        );
+        let report = net.run_cycles(2000);
+        assert!(report.is_correct());
+        // ~10% duty => ~90% gated (within fill/drain slop).
+        assert!(
+            (report.gating.gated_fraction() - 0.9).abs() < 0.05,
+            "gated {}",
+            report.gating.gated_fraction()
+        );
+    }
+
+    #[test]
+    fn alternating_polarity_is_enforced() {
+        let mut net = Network::new(2);
+        let a = net.add_stage(
+            "a".into(),
+            ClockPolarity::Rising,
+            RouteFilter::Any,
+            Arbitration::Priority,
+        );
+        let b = net.add_stage(
+            "b".into(),
+            ClockPolarity::Rising,
+            RouteFilter::Any,
+            Arbitration::Priority,
+        );
+        net.connect(a, b);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.finalize()));
+        assert!(result.is_err(), "equal-polarity connection must be rejected");
+    }
+
+    #[test]
+    fn stall_diagnosis_names_the_blocked_stages() {
+        // A sink that never accepts wedges the pipeline full; the
+        // diagnosis lists every holding element.
+        let mut net = Network::pipeline(
+            4,
+            TrafficPattern::saturate(),
+            SinkMode::StallDuring { from: 0, to: u64::MAX },
+            1,
+        );
+        net.run_cycles(50);
+        assert!(!net.drain(20), "a permanently wedged pipeline cannot drain");
+        let diagnosis = net.diagnose_stall();
+        assert!(diagnosis.len() >= 4, "{diagnosis:?}");
+        assert!(diagnosis.iter().any(|d| d.contains("s0")), "{diagnosis:?}");
+        assert!(diagnosis.iter().any(|d| d.contains("Single")), "{diagnosis:?}");
+        // A drained network diagnoses clean.
+        let mut ok = Network::pipeline(
+            4,
+            TrafficPattern::saturate(),
+            SinkMode::AlwaysAccept,
+            1,
+        );
+        ok.run_cycles(50);
+        assert!(ok.drain(50));
+        assert!(ok.diagnose_stall().is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = Network::pipeline(
+                6,
+                TrafficPattern::uniform(0.3),
+                SinkMode::AlwaysAccept,
+                seed,
+            );
+            net.run_cycles(500)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b);
+        let c = run(43);
+        assert_ne!(a.sent, c.sent);
+    }
+}

@@ -1,0 +1,303 @@
+//! Synthetic traffic generation.
+//!
+//! The paper's demonstrator tiles (a microprocessor and a local memory per
+//! tile) are substituted by open-loop traffic generators. Every generator is
+//! seeded deterministically, so a run is exactly reproducible from its
+//! master seed.
+
+use icnoc_topology::PortId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a source does on one of its active edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPhase {
+    /// Try to inject a flit to the given destination.
+    Inject(PortId),
+    /// Stay idle this edge.
+    Idle,
+}
+
+/// An open-loop traffic pattern, evaluated once per source edge.
+///
+/// Rates are per *cycle* (one active edge per cycle per stage), in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Inject every cycle, round-robining over all other ports. Used to
+    /// saturate a pipeline or measure peak throughput.
+    Saturate,
+    /// Bernoulli injection at `rate`, destination uniform over other ports.
+    Uniform {
+        /// Injection probability per cycle.
+        rate: f64,
+    },
+    /// Bernoulli injection at `rate`, always to the tile-local partner port
+    /// (`port ^ 1`) — the processor↔memory traffic of the demonstrator.
+    Neighbor {
+        /// Injection probability per cycle.
+        rate: f64,
+    },
+    /// Mix of a hotspot target and uniform background.
+    Hotspot {
+        /// Injection probability per cycle.
+        rate: f64,
+        /// The congested destination.
+        target: PortId,
+        /// Probability that an injected flit goes to the hotspot.
+        fraction: f64,
+    },
+    /// On/off bursts: `burst` cycles of saturated neighbour traffic, then
+    /// `idle` cycles of silence — the "bursty nature" the paper's
+    /// clock-gating argument relies on.
+    Bursty {
+        /// Cycles of back-to-back injection per burst.
+        burst: u32,
+        /// Idle cycles between bursts.
+        idle: u32,
+    },
+    /// Bernoulli injection at `rate` towards a uniformly random *memory*
+    /// port (odd port id) — the natural request pattern of a closed-loop
+    /// processor tile in the demonstrator's even/odd port mapping.
+    RandomMemory {
+        /// Injection probability per cycle.
+        rate: f64,
+    },
+    /// Replays a recorded injection schedule: `(cycle, destination)` pairs
+    /// sorted by cycle. Produced by
+    /// [`Network::record_traces`](crate::Network::record_traces) /
+    /// [`Network::recorded_trace`](crate::Network::recorded_trace), letting
+    /// a measured workload be re-run bit-exactly on a modified network.
+    /// Entries whose cycle has passed (e.g. due to back pressure) inject
+    /// as soon as the port unblocks.
+    Replay {
+        /// Sorted `(cycle, destination port)` injection schedule.
+        schedule: Vec<(u64, u32)>,
+    },
+    /// Never inject (pure sink port, e.g. a memory that only replies — or
+    /// in open-loop form, does nothing).
+    Silent,
+}
+
+impl TrafficPattern {
+    /// Convenience constructor for [`TrafficPattern::Saturate`].
+    #[must_use]
+    pub fn saturate() -> Self {
+        TrafficPattern::Saturate
+    }
+
+    /// Convenience constructor for uniform traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    #[must_use]
+    #[track_caller]
+    pub fn uniform(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        TrafficPattern::Uniform { rate }
+    }
+
+    /// Decides this edge's action for the source on `port` of an
+    /// `num_ports`-port network, at local cycle `cycle`. `cursor` is the
+    /// source's replay position (unused by the stochastic patterns).
+    pub(crate) fn decide(
+        &self,
+        port: PortId,
+        num_ports: u32,
+        cycle: u64,
+        rng: &mut StdRng,
+        cursor: &mut usize,
+    ) -> TrafficPhase {
+        match *self {
+            TrafficPattern::Saturate => {
+                TrafficPhase::Inject(other_port_round_robin(port, num_ports, cycle))
+            }
+            TrafficPattern::Uniform { rate } => {
+                if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                    TrafficPhase::Inject(random_other_port(port, num_ports, rng))
+                } else {
+                    TrafficPhase::Idle
+                }
+            }
+            TrafficPattern::Neighbor { rate } => {
+                if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                    TrafficPhase::Inject(partner_port(port, num_ports))
+                } else {
+                    TrafficPhase::Idle
+                }
+            }
+            TrafficPattern::Hotspot {
+                rate,
+                target,
+                fraction,
+            } => {
+                if !rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                    return TrafficPhase::Idle;
+                }
+                let dest = if target != port && rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                    target
+                } else {
+                    random_other_port(port, num_ports, rng)
+                };
+                TrafficPhase::Inject(dest)
+            }
+            TrafficPattern::Bursty { burst, idle } => {
+                let span = u64::from(burst) + u64::from(idle);
+                if span == 0 || cycle % span < u64::from(burst) {
+                    TrafficPhase::Inject(partner_port(port, num_ports))
+                } else {
+                    TrafficPhase::Idle
+                }
+            }
+            TrafficPattern::RandomMemory { rate } => {
+                if num_ports < 2 || !rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                    return TrafficPhase::Idle;
+                }
+                let memories = num_ports / 2;
+                let pick = rng.gen_range(0..memories);
+                TrafficPhase::Inject(PortId(2 * pick + 1))
+            }
+            TrafficPattern::Replay { ref schedule } => {
+                if let Some(&(when, dest)) = schedule.get(*cursor) {
+                    if when <= cycle {
+                        *cursor += 1;
+                        return TrafficPhase::Inject(PortId(dest));
+                    }
+                }
+                TrafficPhase::Idle
+            }
+            TrafficPattern::Silent => TrafficPhase::Idle,
+        }
+    }
+}
+
+/// The tile-local partner: `port ^ 1`, clamped into range for odd-sized
+/// networks.
+fn partner_port(port: PortId, num_ports: u32) -> PortId {
+    let p = port.0 ^ 1;
+    if p < num_ports {
+        PortId(p)
+    } else {
+        PortId(port.0.saturating_sub(1))
+    }
+}
+
+fn random_other_port(port: PortId, num_ports: u32, rng: &mut StdRng) -> PortId {
+    debug_assert!(num_ports >= 2);
+    let pick = rng.gen_range(0..num_ports - 1);
+    PortId(if pick >= port.0 { pick + 1 } else { pick })
+}
+
+fn other_port_round_robin(port: PortId, num_ports: u32, cycle: u64) -> PortId {
+    debug_assert!(num_ports >= 2);
+    let pick = (cycle % u64::from(num_ports - 1)) as u32;
+    PortId(if pick >= port.0 { pick + 1 } else { pick })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn saturate_always_injects_to_someone_else() {
+        let mut r = rng();
+        for cycle in 0..100 {
+            match TrafficPattern::Saturate.decide(PortId(3), 8, cycle, &mut r, &mut 0) {
+                TrafficPhase::Inject(d) => assert_ne!(d, PortId(3)),
+                TrafficPhase::Idle => panic!("saturate must inject"),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_rate_zero_never_injects_rate_one_always() {
+        let mut r = rng();
+        for cycle in 0..50 {
+            assert_eq!(
+                TrafficPattern::uniform(0.0).decide(PortId(0), 8, cycle, &mut r, &mut 0),
+                TrafficPhase::Idle
+            );
+            assert!(matches!(
+                TrafficPattern::uniform(1.0).decide(PortId(0), 8, cycle, &mut r, &mut 0),
+                TrafficPhase::Inject(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let mut r = rng();
+        for cycle in 0..1000 {
+            if let TrafficPhase::Inject(d) =
+                TrafficPattern::uniform(1.0).decide(PortId(5), 8, cycle, &mut r, &mut 0)
+            {
+                assert_ne!(d, PortId(5));
+                assert!(d.0 < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_targets_partner() {
+        let mut r = rng();
+        let p = TrafficPattern::Neighbor { rate: 1.0 };
+        assert_eq!(
+            p.decide(PortId(6), 8, 0, &mut r, &mut 0),
+            TrafficPhase::Inject(PortId(7))
+        );
+        assert_eq!(
+            p.decide(PortId(7), 8, 0, &mut r, &mut 0),
+            TrafficPhase::Inject(PortId(6))
+        );
+    }
+
+    #[test]
+    fn bursty_follows_duty_cycle() {
+        let mut r = rng();
+        let p = TrafficPattern::Bursty { burst: 2, idle: 3 };
+        let decisions: Vec<bool> = (0..10)
+            .map(|c| matches!(p.decide(PortId(0), 8, c, &mut r, &mut 0), TrafficPhase::Inject(_)))
+            .collect();
+        assert_eq!(
+            decisions,
+            [true, true, false, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn hotspot_prefers_target() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            rate: 1.0,
+            target: PortId(0),
+            fraction: 0.9,
+        };
+        let hits = (0..1000)
+            .filter(|&c| p.decide(PortId(5), 8, c, &mut r, &mut 0) == TrafficPhase::Inject(PortId(0)))
+            .count();
+        assert!(hits > 800, "expected ~900 hotspot hits, got {hits}");
+    }
+
+    #[test]
+    fn silent_never_injects() {
+        let mut r = rng();
+        for cycle in 0..10 {
+            assert_eq!(
+                TrafficPattern::Silent.decide(PortId(0), 8, cycle, &mut r, &mut 0),
+                TrafficPhase::Idle
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn out_of_range_rate_rejected() {
+        let _ = TrafficPattern::uniform(1.5);
+    }
+}

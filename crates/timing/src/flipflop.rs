@@ -1,0 +1,183 @@
+//! Register (flip-flop) timing parameters.
+
+use icnoc_units::Picoseconds;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of an edge-triggered register, the three scalars all of
+/// the paper's link-timing equations are expressed in.
+///
+/// The paper's typical values for a 90 nm standard-cell flip-flop are
+/// available as [`FlipFlopTiming::nominal_90nm`]; custom libraries can be
+/// described with [`FlipFlopTiming::new`].
+///
+/// ```
+/// use icnoc_timing::FlipFlopTiming;
+/// use icnoc_units::Picoseconds;
+///
+/// let ff = FlipFlopTiming::nominal_90nm();
+/// assert_eq!(ff.setup(), Picoseconds::new(60.0));
+/// assert_eq!(ff.hold(), Picoseconds::new(20.0));
+/// assert_eq!(ff.clk_to_q(), Picoseconds::new(60.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlipFlopTiming {
+    setup: Picoseconds,
+    hold: Picoseconds,
+    clk_to_q: Picoseconds,
+}
+
+impl FlipFlopTiming {
+    /// Creates register timing parameters.
+    ///
+    /// Following the paper, the contamination (minimum clk→Q) delay is
+    /// disregarded; `clk_to_q` is the propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative: physical libraries report
+    /// non-negative setup/hold/propagation values. (A *negative setup* cell
+    /// exists in exotic libraries but the paper's analysis assumes the usual
+    /// sign convention, so we enforce it.)
+    #[must_use]
+    #[track_caller]
+    pub fn new(setup: Picoseconds, hold: Picoseconds, clk_to_q: Picoseconds) -> Self {
+        assert!(!setup.is_negative(), "setup time must be non-negative");
+        assert!(!hold.is_negative(), "hold time must be non-negative");
+        assert!(!clk_to_q.is_negative(), "clk->Q delay must be non-negative");
+        Self {
+            setup,
+            hold,
+            clk_to_q,
+        }
+    }
+
+    /// The paper's typical 90 nm standard-cell values:
+    /// `t_setup` = 60 ps, `t_hold` = 20 ps, `t_clk→Q` = 60 ps.
+    #[must_use]
+    pub fn nominal_90nm() -> Self {
+        Self::new(
+            Picoseconds::new(60.0),
+            Picoseconds::new(20.0),
+            Picoseconds::new(60.0),
+        )
+    }
+
+    /// Setup time `t_setup`: how long data must be stable *before* the
+    /// capturing clock edge.
+    #[must_use]
+    pub fn setup(self) -> Picoseconds {
+        self.setup
+    }
+
+    /// Hold time `t_hold`: how long data must stay stable *after* the
+    /// capturing clock edge.
+    #[must_use]
+    pub fn hold(self) -> Picoseconds {
+        self.hold
+    }
+
+    /// Clock-to-output propagation delay `t_clk→Q`.
+    #[must_use]
+    pub fn clk_to_q(self) -> Picoseconds {
+        self.clk_to_q
+    }
+
+    /// The intrinsic per-stage register overhead `t_clk→Q + t_setup` that
+    /// bounds any single-cycle transfer.
+    #[must_use]
+    pub fn register_overhead(self) -> Picoseconds {
+        self.clk_to_q + self.setup
+    }
+
+    /// Returns a copy with every delay parameter scaled by `factor`, as a
+    /// simple model of a globally slow (`factor > 1`) or fast (`factor < 1`)
+    /// process corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        Self::new(
+            self.setup * factor,
+            self.hold * factor,
+            self.clk_to_q * factor,
+        )
+    }
+}
+
+impl Default for FlipFlopTiming {
+    /// Defaults to the paper's nominal 90 nm library.
+    fn default() -> Self {
+        Self::nominal_90nm()
+    }
+}
+
+impl core::fmt::Display for FlipFlopTiming {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "FF(setup {}, hold {}, clk->Q {})",
+            self.setup, self.hold, self.clk_to_q
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nominal_matches_paper_values() {
+        let ff = FlipFlopTiming::nominal_90nm();
+        assert_eq!(ff.setup().value(), 60.0);
+        assert_eq!(ff.hold().value(), 20.0);
+        assert_eq!(ff.clk_to_q().value(), 60.0);
+        assert_eq!(ff.register_overhead().value(), 120.0);
+    }
+
+    #[test]
+    fn default_is_nominal() {
+        assert_eq!(FlipFlopTiming::default(), FlipFlopTiming::nominal_90nm());
+    }
+
+    #[test]
+    #[should_panic(expected = "setup time must be non-negative")]
+    fn negative_setup_rejected() {
+        let _ = FlipFlopTiming::new(
+            Picoseconds::new(-1.0),
+            Picoseconds::ZERO,
+            Picoseconds::ZERO,
+        );
+    }
+
+    #[test]
+    fn scaled_slow_corner_inflates_all_parameters() {
+        let ff = FlipFlopTiming::nominal_90nm().scaled(1.5);
+        assert_eq!(ff.setup().value(), 90.0);
+        assert_eq!(ff.hold().value(), 30.0);
+        assert_eq!(ff.clk_to_q().value(), 90.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = FlipFlopTiming::nominal_90nm().to_string();
+        assert!(s.contains("setup 60 ps"));
+        assert!(s.contains("hold 20 ps"));
+    }
+
+    proptest! {
+        #[test]
+        fn scaling_is_multiplicative(f1 in 0.0f64..4.0, f2 in 0.0f64..4.0) {
+            let ff = FlipFlopTiming::nominal_90nm();
+            let a = ff.scaled(f1).scaled(f2);
+            let b = ff.scaled(f1 * f2);
+            prop_assert!((a.setup().value() - b.setup().value()).abs() < 1e-9);
+            prop_assert!((a.hold().value() - b.hold().value()).abs() < 1e-9);
+            prop_assert!((a.clk_to_q().value() - b.clk_to_q().value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Router-internal timing: where the 1.4 / 1.2 GHz limits come from.
+//!
+//! Section 6 reports the two router speeds as synthesis results. Their
+//! critical path is the arbitrated crossbar stage: per half-cycle it must
+//! fit the register overhead plus an arbitration-and-mux delay that grows
+//! with the number of contending inputs. Calibrating that linear model on
+//! the paper's two data points lets us *predict* other radixes — the
+//! quantitative backbone of the binary-vs-quad trade-off, extended to
+//! arbitrary tree arities.
+
+use crate::FlipFlopTiming;
+use icnoc_units::{Gigahertz, Picoseconds};
+use serde::{Deserialize, Serialize};
+
+/// A linear arbitration/crossbar delay model for the router's critical
+/// stage: `t_path = t_clk→Q + t_xbar + n_inputs · t_arb + t_setup`.
+///
+/// [`RouterTimingModel::nominal_90nm`] solves the two coefficients from
+/// the paper's measurements (3×3 at 1.4 GHz with 2 contending inputs per
+/// output, 5×5 at 1.2 GHz with 4), making those two points exact by
+/// construction:
+///
+/// ```
+/// use icnoc_timing::RouterTimingModel;
+///
+/// let model = RouterTimingModel::nominal_90nm();
+/// assert!((model.max_frequency(2).value() - 1.4).abs() < 1e-9);
+/// assert!((model.max_frequency(4).value() - 1.2).abs() < 1e-9);
+/// // An 8-input (9×9) router would clock at ~1.05 GHz:
+/// assert!(model.max_frequency(8).value() < 1.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterTimingModel {
+    flip_flop: FlipFlopTiming,
+    crossbar_base: Picoseconds,
+    arbitration_per_input: Picoseconds,
+}
+
+impl RouterTimingModel {
+    /// Creates a model from its coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either delay coefficient is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(
+        flip_flop: FlipFlopTiming,
+        crossbar_base: Picoseconds,
+        arbitration_per_input: Picoseconds,
+    ) -> Self {
+        assert!(
+            !crossbar_base.is_negative(),
+            "crossbar delay must be >= 0"
+        );
+        assert!(
+            !arbitration_per_input.is_negative(),
+            "arbitration delay must be >= 0"
+        );
+        Self {
+            flip_flop,
+            crossbar_base,
+            arbitration_per_input,
+        }
+    }
+
+    /// Calibrates the coefficients on the paper's two routers.
+    #[must_use]
+    pub fn nominal_90nm() -> Self {
+        let ff = FlipFlopTiming::nominal_90nm();
+        // T_half(1.4 GHz) = overhead + b + 2a;  T_half(1.2 GHz) = overhead + b + 4a.
+        let t2 = Gigahertz::new(1.4).half_period() - ff.register_overhead();
+        let t4 = Gigahertz::new(1.2).half_period() - ff.register_overhead();
+        let a = (t4 - t2) / 2.0;
+        let b = t2 - a * 2.0;
+        Self::new(ff, b, a)
+    }
+
+    /// Fixed crossbar/mux delay.
+    #[must_use]
+    pub fn crossbar_base(&self) -> Picoseconds {
+        self.crossbar_base
+    }
+
+    /// Incremental arbitration delay per contending input.
+    #[must_use]
+    pub fn arbitration_per_input(&self) -> Picoseconds {
+        self.arbitration_per_input
+    }
+
+    /// Critical-path delay of the arbitrated stage with `inputs`
+    /// contending inputs (register overhead included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is zero — a router output needs at least one
+    /// source.
+    #[must_use]
+    #[track_caller]
+    pub fn critical_path(&self, inputs: usize) -> Picoseconds {
+        assert!(inputs > 0, "an output needs at least one input");
+        self.flip_flop.register_overhead()
+            + self.crossbar_base
+            + self.arbitration_per_input * inputs as f64
+    }
+
+    /// Maximum router clock for `inputs` contending inputs per output —
+    /// for a tree router of arity `k`, `inputs = k` (the other children
+    /// plus the parent).
+    #[must_use]
+    pub fn max_frequency(&self, inputs: usize) -> Gigahertz {
+        Gigahertz::from_half_period(self.critical_path(inputs))
+    }
+}
+
+impl Default for RouterTimingModel {
+    /// Defaults to the paper's calibration.
+    fn default() -> Self {
+        Self::nominal_90nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn calibration_reproduces_both_paper_routers() {
+        let m = RouterTimingModel::nominal_90nm();
+        assert!((m.max_frequency(2).value() - 1.4).abs() < 1e-9);
+        assert!((m.max_frequency(4).value() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coefficients_are_physical() {
+        let m = RouterTimingModel::nominal_90nm();
+        assert!(m.arbitration_per_input().value() > 0.0);
+        assert!(m.crossbar_base().value() > 0.0);
+        // Sanity: ~30 ps/input arbitration, ~180 ps crossbar.
+        assert!((m.arbitration_per_input().value() - 29.76).abs() < 0.1);
+        assert!((m.crossbar_base().value() - 177.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn higher_radix_routers_are_slower() {
+        let m = RouterTimingModel::nominal_90nm();
+        let mut last = f64::INFINITY;
+        for inputs in 1..=16 {
+            let f = m.max_frequency(inputs).value();
+            assert!(f < last, "radix {inputs} not slower");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn degenerate_single_input_is_fastest() {
+        let m = RouterTimingModel::nominal_90nm();
+        // A 1-input "router" is just a pipeline stage with a mux: faster
+        // than any real router, slower than a bare register.
+        assert!(m.max_frequency(1) > Gigahertz::new(1.4));
+        let bare = Gigahertz::from_half_period(
+            FlipFlopTiming::nominal_90nm().register_overhead(),
+        );
+        assert!(m.max_frequency(1) < bare);
+    }
+
+    proptest! {
+        #[test]
+        fn critical_path_linear_in_inputs(base in 1usize..12, extra in 1usize..12) {
+            let m = RouterTimingModel::nominal_90nm();
+            let step = m.critical_path(base + extra) - m.critical_path(base);
+            let expected = m.arbitration_per_input() * extra as f64;
+            prop_assert!((step.value() - expected.value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! H-tree floorplanning: placing the tree on a die and deriving per-link
+//! wire lengths.
+//!
+//! The clock and the data share every branch of the tree, so the physical
+//! length of each branch is what feeds the link-timing model. We place
+//! routers recursively at the centre of their die region (the classic
+//! H-tree used for clock distribution), leaves at the centre of their tile
+//! cell, and measure links with the Manhattan metric of routed wires.
+
+use crate::{LinkId, NodeId, TreeTopology};
+use icnoc_units::Millimeters;
+use serde::{Deserialize, Serialize};
+
+/// A placed node: its centre coordinates on the die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Horizontal position of the node centre.
+    pub x: Millimeters,
+    /// Vertical position of the node centre.
+    pub y: Millimeters,
+}
+
+impl Placement {
+    /// Manhattan wire length to another placement.
+    #[must_use]
+    pub fn wire_length_to(self, other: Placement) -> Millimeters {
+        Millimeters::manhattan((self.x, self.y), (other.x, other.y))
+    }
+}
+
+/// Physical geometry of one link: its routed length and its division into
+/// pipeline segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkGeometry {
+    /// The link this geometry describes.
+    pub link: LinkId,
+    /// Total routed (Manhattan) length.
+    pub length: Millimeters,
+    /// Number of equal segments the link is split into (≥ 1).
+    pub segment_count: usize,
+}
+
+impl LinkGeometry {
+    /// Length of each equal segment.
+    #[must_use]
+    pub fn segment_length(&self) -> Millimeters {
+        self.length / self.segment_count as f64
+    }
+
+    /// Intermediate pipeline stages inserted on the link
+    /// (`segment_count − 1`; the endpoints' registers belong to the
+    /// routers).
+    #[must_use]
+    pub fn pipeline_stage_count(&self) -> usize {
+        self.segment_count - 1
+    }
+}
+
+/// An H-tree placement of a [`TreeTopology`] on a rectangular die.
+///
+/// ```
+/// use icnoc_topology::{Floorplan, TreeTopology};
+/// use icnoc_units::Millimeters;
+///
+/// // The paper's demonstrator: 64 ports on a 10 mm × 10 mm chip.
+/// let tree = TreeTopology::binary(64)?;
+/// let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+/// // Root links span half a die quadrant: 2.5 mm, pipelined at ≤1.25 mm
+/// // into the paper's "link segments of 1.25 mm near the root".
+/// let longest = plan.longest_link_length();
+/// assert_eq!(longest, Millimeters::new(2.5));
+/// # Ok::<(), icnoc_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    die_width: Millimeters,
+    die_height: Millimeters,
+    positions: Vec<Placement>,
+    link_lengths: Vec<Millimeters>,
+}
+
+impl Floorplan {
+    /// Places `tree` on a `die_width × die_height` die with the recursive
+    /// H-tree scheme: each router sits at the centre of its region; a binary
+    /// tree splits the region in two along its longer axis, a quad tree
+    /// into quadrants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either die dimension is not strictly positive.
+    #[must_use]
+    #[track_caller]
+    pub fn h_tree(tree: &TreeTopology, die_width: Millimeters, die_height: Millimeters) -> Self {
+        assert!(die_width.value() > 0.0, "die width must be positive");
+        assert!(die_height.value() > 0.0, "die height must be positive");
+
+        let mut positions = vec![
+            Placement {
+                x: Millimeters::ZERO,
+                y: Millimeters::ZERO
+            };
+            tree.node_count()
+        ];
+        // Region per node: (x0, y0, w, h).
+        let mut region = vec![(0.0f64, 0.0f64, die_width.value(), die_height.value())];
+        region.resize(tree.node_count(), (0.0, 0.0, 0.0, 0.0));
+        region[tree.root().index()] = (0.0, 0.0, die_width.value(), die_height.value());
+
+        // BFS order guarantees parents are processed before children.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(tree.root());
+        while let Some(node) = queue.pop_front() {
+            let (x0, y0, w, h) = region[node.index()];
+            positions[node.index()] = Placement {
+                x: Millimeters::new(x0 + w / 2.0),
+                y: Millimeters::new(y0 + h / 2.0),
+            };
+            let children = tree.children(node);
+            match children.len() {
+                0 => {}
+                2 => {
+                    // Split along the longer axis so cells stay square-ish.
+                    let halves = if w >= h {
+                        [(x0, y0, w / 2.0, h), (x0 + w / 2.0, y0, w / 2.0, h)]
+                    } else {
+                        [(x0, y0, w, h / 2.0), (x0, y0 + h / 2.0, w, h / 2.0)]
+                    };
+                    for (c, r) in children.iter().zip(halves) {
+                        region[c.index()] = r;
+                        queue.push_back(*c);
+                    }
+                }
+                4 => {
+                    let (hw, hh) = (w / 2.0, h / 2.0);
+                    let quads = [
+                        (x0, y0, hw, hh),
+                        (x0 + hw, y0, hw, hh),
+                        (x0, y0 + hh, hw, hh),
+                        (x0 + hw, y0 + hh, hw, hh),
+                    ];
+                    for (c, r) in children.iter().zip(quads) {
+                        region[c.index()] = r;
+                        queue.push_back(*c);
+                    }
+                }
+                n => unreachable!("tree arity {n} is not supported by the H-tree floorplanner"),
+            }
+        }
+
+        let mut link_lengths = vec![Millimeters::ZERO; tree.node_count()];
+        for link in tree.links() {
+            let (child, parent) = tree.link_endpoints(link);
+            link_lengths[link.index()] =
+                positions[child.index()].wire_length_to(positions[parent.index()]);
+        }
+
+        Self {
+            die_width,
+            die_height,
+            positions,
+            link_lengths,
+        }
+    }
+
+    /// Die width.
+    #[must_use]
+    pub fn die_width(&self) -> Millimeters {
+        self.die_width
+    }
+
+    /// Die height.
+    #[must_use]
+    pub fn die_height(&self) -> Millimeters {
+        self.die_height
+    }
+
+    /// Placement of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Placement {
+        self.positions[node.index()]
+    }
+
+    /// Routed length of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn link_length(&self, link: LinkId) -> Millimeters {
+        self.link_lengths[link.index()]
+    }
+
+    /// The longest link in the plan (near the root in an H-tree).
+    #[must_use]
+    pub fn longest_link_length(&self) -> Millimeters {
+        self.link_lengths
+            .iter()
+            .copied()
+            .fold(Millimeters::ZERO, Millimeters::max)
+    }
+
+    /// Sum of all link lengths.
+    #[must_use]
+    pub fn total_wire_length(&self) -> Millimeters {
+        self.link_lengths.iter().copied().sum()
+    }
+
+    /// Splits a link into the fewest equal segments not exceeding
+    /// `max_segment`, yielding its pipeline geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_segment` is not strictly positive or `link` is out of
+    /// range.
+    #[must_use]
+    #[track_caller]
+    pub fn pipelined_link(&self, link: LinkId, max_segment: Millimeters) -> LinkGeometry {
+        assert!(
+            max_segment.value() > 0.0,
+            "maximum segment length must be positive"
+        );
+        let length = self.link_length(link);
+        // A hair of tolerance so a link measuring exactly N segments is not
+        // split into N+1 by floating-point noise in the cap.
+        let ratio = length.value() / max_segment.value();
+        let segment_count = (ratio - 1e-9).ceil().max(1.0) as usize;
+        LinkGeometry {
+            link,
+            length,
+            segment_count,
+        }
+    }
+
+    /// Pipeline geometry for every link of `tree` at the given segment cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_segment` is not strictly positive.
+    #[must_use]
+    pub fn pipelined_links(
+        &self,
+        tree: &TreeTopology,
+        max_segment: Millimeters,
+    ) -> Vec<LinkGeometry> {
+        tree.links()
+            .map(|l| self.pipelined_link(l, max_segment))
+            .collect()
+    }
+
+    /// Total number of intermediate pipeline stages across all links at the
+    /// given segment cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_segment` is not strictly positive.
+    #[must_use]
+    pub fn total_pipeline_stages(&self, tree: &TreeTopology, max_segment: Millimeters) -> usize {
+        self.pipelined_links(tree, max_segment)
+            .iter()
+            .map(LinkGeometry::pipeline_stage_count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PortId, TreeTopology};
+    use proptest::prelude::*;
+
+    fn demonstrator() -> (TreeTopology, Floorplan) {
+        let tree = TreeTopology::binary(64).expect("power of 2");
+        let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+        (tree, plan)
+    }
+
+    #[test]
+    fn root_sits_at_die_centre() {
+        let (tree, plan) = demonstrator();
+        let p = plan.position(tree.root());
+        assert_eq!(p.x, Millimeters::new(5.0));
+        assert_eq!(p.y, Millimeters::new(5.0));
+    }
+
+    #[test]
+    fn root_links_are_2_5mm_and_pipeline_at_1_25() {
+        let (tree, plan) = demonstrator();
+        let root_child = tree.children(tree.root())[0];
+        let link = tree.uplink(root_child).expect("non-root");
+        assert_eq!(plan.link_length(link), Millimeters::new(2.5));
+        let geo = plan.pipelined_link(link, Millimeters::new(1.25));
+        assert_eq!(geo.segment_count, 2);
+        assert_eq!(geo.segment_length(), Millimeters::new(1.25));
+        assert_eq!(geo.pipeline_stage_count(), 1);
+    }
+
+    #[test]
+    fn all_nodes_are_on_die() {
+        let (tree, plan) = demonstrator();
+        for i in 0..tree.node_count() {
+            let p = plan.position(crate::NodeId(i as u32));
+            assert!(p.x.value() >= 0.0 && p.x.value() <= 10.0);
+            assert!(p.y.value() >= 0.0 && p.y.value() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn leaf_cells_tile_the_die_distinctly() {
+        let (tree, plan) = demonstrator();
+        // All 64 leaves have distinct positions.
+        let mut seen = std::collections::HashSet::new();
+        for leaf in tree.leaves() {
+            let p = plan.position(leaf);
+            let key = (
+                (p.x.value() * 1e6).round() as i64,
+                (p.y.value() * 1e6).round() as i64,
+            );
+            assert!(seen.insert(key), "leaf {leaf} overlaps another leaf");
+        }
+    }
+
+    #[test]
+    fn link_lengths_shrink_towards_the_leaves() {
+        let (tree, plan) = demonstrator();
+        // Paper: "the routers are more evenly spread out in a binary tree,
+        // so that links near the root are shorter" — in the H-tree, deeper
+        // links are never longer than shallower ones.
+        let mut by_depth = std::collections::BTreeMap::<u32, Millimeters>::new();
+        for link in tree.links() {
+            let (child, _) = tree.link_endpoints(link);
+            let d = tree.node_depth(child);
+            let e = by_depth.entry(d).or_insert(Millimeters::ZERO);
+            *e = e.max(plan.link_length(link));
+        }
+        let lengths: Vec<Millimeters> = by_depth.values().copied().collect();
+        for w in lengths.windows(2) {
+            assert!(w[1] <= w[0], "deeper link {} > shallower {}", w[1], w[0]);
+        }
+    }
+
+    #[test]
+    fn quad_tree_floorplan_also_works() {
+        let tree = TreeTopology::quad(64).expect("power of 4");
+        let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+        // Root at centre; root links are quadrant-centre distances:
+        // manhattan((5,5),(2.5,2.5)) = 5 mm.
+        assert_eq!(plan.longest_link_length(), Millimeters::new(5.0));
+        assert!(plan.total_wire_length().value() > 0.0);
+    }
+
+    #[test]
+    fn short_links_need_no_pipeline_stages() {
+        let (tree, plan) = demonstrator();
+        let leaf = tree.leaf(PortId(0)).expect("in range");
+        let link = tree.uplink(leaf).expect("non-root");
+        let geo = plan.pipelined_link(link, Millimeters::new(1.25));
+        assert_eq!(geo.pipeline_stage_count(), 0);
+        assert_eq!(geo.segment_length(), geo.length);
+    }
+
+    #[test]
+    fn demonstrator_stage_count_is_small() {
+        // Only the six links at the two top levels exceed 1.25 mm.
+        let (tree, plan) = demonstrator();
+        assert_eq!(
+            plan.total_pipeline_stages(&tree, Millimeters::new(1.25)),
+            6
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn every_link_positive_and_on_die(depth in 1u32..7) {
+            let tree = TreeTopology::binary(1 << depth).expect("power of 2");
+            let plan =
+                Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+            for link in tree.links() {
+                let len = plan.link_length(link);
+                prop_assert!(len.value() > 0.0, "{link} has zero length");
+                prop_assert!(len.value() <= 10.0);
+            }
+        }
+
+        #[test]
+        fn segmentation_respects_cap(depth in 1u32..7, cap in 0.3f64..3.0) {
+            let tree = TreeTopology::binary(1 << depth).expect("power of 2");
+            let plan =
+                Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+            for geo in plan.pipelined_links(&tree, Millimeters::new(cap)) {
+                prop_assert!(geo.segment_length().value() <= cap + 1e-12);
+                prop_assert_eq!(geo.pipeline_stage_count(), geo.segment_count - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Identifier newtypes for topology elements.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (router or leaf port attachment point) in a topology.
+///
+/// Node numbering is topology-specific; for a [`TreeTopology`] routers come
+/// first in breadth-first order (root is `NodeId(0)`), followed by the
+/// leaves.
+///
+/// [`TreeTopology`]: crate::TreeTopology
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a network port — an attachment point for an IP core (the
+/// paper's demonstrator has 64 of them, two per processing tile).
+///
+/// Ports are numbered `0..num_ports` left-to-right across the leaves.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct PortId(pub u32);
+
+impl PortId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for PortId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a bidirectional link (a pair of unidirectional handshake
+/// channels in the IC-NoC).
+///
+/// In a tree every non-root node owns exactly one link — the one towards its
+/// parent — so `LinkId` equals the child's [`NodeId`] index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_distinct_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(PortId(3).to_string(), "p3");
+        assert_eq!(LinkId(3).to_string(), "l3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<NodeId> = [NodeId(1), NodeId(2), NodeId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert!(PortId(1) < PortId(2));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(PortId(7).index(), 7);
+        assert_eq!(LinkId(7).index(), 7);
+    }
+}

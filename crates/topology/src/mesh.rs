@@ -1,0 +1,215 @@
+//! The 2-D mesh baseline the paper argues against (Section 3).
+
+use crate::{NodeId, PortId, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// A `side × side` 2-D mesh of 5×5 routers (four neighbours + one local
+/// port), routed with dimension-ordered XY routing.
+///
+/// This is the comparison topology of Section 3: worst-case hop count of
+/// roughly `2·√N` against the tree's `2·log₂N − 1`, one router per port
+/// against the tree's `N−1` (binary) or `(N−1)/3` (quad) routers.
+///
+/// ```
+/// use icnoc_topology::{MeshTopology, PortId};
+///
+/// let mesh = MeshTopology::new(64)?;
+/// assert_eq!(mesh.side(), 8);
+/// assert_eq!(mesh.worst_case_hops(), 15); // corner to corner
+/// assert_eq!(mesh.hops(PortId(0), PortId(63))?, 15);
+/// # Ok::<(), icnoc_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshTopology {
+    side: usize,
+}
+
+impl MeshTopology {
+    /// Builds a mesh with `ports` routers (one port each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::PortCountNotSquare`] unless `ports` is a
+    /// perfect square of at least 4.
+    pub fn new(ports: usize) -> Result<Self, TopologyError> {
+        let side = (ports as f64).sqrt().round() as usize;
+        if side < 2 || side * side != ports {
+            return Err(TopologyError::PortCountNotSquare { ports });
+        }
+        Ok(Self { side })
+    }
+
+    /// Routers per die edge.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of ports (= routers: one IP core per router).
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Number of routers.
+    #[must_use]
+    pub fn router_count(&self) -> usize {
+        self.num_ports()
+    }
+
+    /// Number of bidirectional inter-router links: `2·side·(side−1)`.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        2 * self.side * (self.side - 1)
+    }
+
+    /// Grid coordinates `(x, y)` of a port's router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::PortOutOfRange`] for unknown ports.
+    pub fn coordinates(&self, port: PortId) -> Result<(usize, usize), TopologyError> {
+        if port.index() >= self.num_ports() {
+            return Err(TopologyError::PortOutOfRange {
+                port,
+                ports: self.num_ports(),
+            });
+        }
+        Ok((port.index() % self.side, port.index() / self.side))
+    }
+
+    /// Router hops from `from` to `to` under XY routing: the Manhattan
+    /// distance plus one (the source router also counts as a traversed
+    /// router, matching how tree hops are counted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::PortOutOfRange`] for unknown ports.
+    pub fn hops(&self, from: PortId, to: PortId) -> Result<usize, TopologyError> {
+        if from == to {
+            // Self-route never enters the network.
+            self.coordinates(from)?;
+            return Ok(0);
+        }
+        let (ax, ay) = self.coordinates(from)?;
+        let (bx, by) = self.coordinates(to)?;
+        Ok(ax.abs_diff(bx) + ay.abs_diff(by) + 1)
+    }
+
+    /// The XY route as a sequence of router nodes (router id = port id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::PortOutOfRange`] for unknown ports.
+    pub fn route(&self, from: PortId, to: PortId) -> Result<Vec<NodeId>, TopologyError> {
+        let (ax, ay) = self.coordinates(from)?;
+        let (bx, by) = self.coordinates(to)?;
+        let mut path = Vec::new();
+        let (mut x, mut y) = (ax, ay);
+        path.push(self.node_at(x, y));
+        while x != bx {
+            x = if bx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != by {
+            y = if by > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        Ok(path)
+    }
+
+    /// Worst-case hops: corner to corner, `2·(side−1) + 1 ≈ 2·√N`.
+    #[must_use]
+    pub fn worst_case_hops(&self) -> usize {
+        2 * (self.side - 1) + 1
+    }
+
+    fn node_at(&self, x: usize, y: usize) -> NodeId {
+        NodeId((y * self.side + x) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_non_square_counts() {
+        assert!(MeshTopology::new(48).is_err());
+        assert!(MeshTopology::new(2).is_err());
+        assert!(MeshTopology::new(0).is_err());
+    }
+
+    #[test]
+    fn mesh_64_shape() {
+        let m = MeshTopology::new(64).expect("square");
+        assert_eq!(m.side(), 8);
+        assert_eq!(m.router_count(), 64);
+        assert_eq!(m.link_count(), 112);
+    }
+
+    #[test]
+    fn paper_hop_comparison_64_ports() {
+        // Section 3: tree worst case 2·log2 N − 1 = 11 beats mesh ~2·√N.
+        let m = MeshTopology::new(64).expect("square");
+        assert_eq!(m.worst_case_hops(), 15);
+        assert!(m.worst_case_hops() > 11);
+    }
+
+    #[test]
+    fn route_follows_xy_order() {
+        let m = MeshTopology::new(16).expect("square");
+        // From (1,0)=p1 to (3,2)=p11: x first, then y.
+        let path = m.route(PortId(1), PortId(11)).expect("valid ports");
+        let coords: Vec<(usize, usize)> = path
+            .iter()
+            .map(|n| (n.index() % 4, n.index() / 4))
+            .collect();
+        assert_eq!(coords, vec![(1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]);
+        assert_eq!(path.len(), m.hops(PortId(1), PortId(11)).expect("valid"));
+    }
+
+    #[test]
+    fn self_route_has_no_hops() {
+        let m = MeshTopology::new(16).expect("square");
+        assert_eq!(m.hops(PortId(5), PortId(5)).expect("valid"), 0);
+    }
+
+    #[test]
+    fn out_of_range_port_is_an_error() {
+        let m = MeshTopology::new(16).expect("square");
+        assert!(m.hops(PortId(16), PortId(0)).is_err());
+        assert!(m.coordinates(PortId(99)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn hops_symmetric_and_bounded(side in 2usize..12, a in any::<u32>(), b in any::<u32>()) {
+            let m = MeshTopology::new(side * side).expect("square");
+            let n = m.num_ports() as u32;
+            let a = PortId(a % n);
+            let b = PortId(b % n);
+            let h = m.hops(a, b).expect("valid");
+            prop_assert_eq!(h, m.hops(b, a).expect("valid"));
+            prop_assert!(h <= m.worst_case_hops());
+        }
+
+        #[test]
+        fn route_length_matches_hops(side in 2usize..10, a in any::<u32>(), b in any::<u32>()) {
+            let m = MeshTopology::new(side * side).expect("square");
+            let n = m.num_ports() as u32;
+            let a = PortId(a % n);
+            let b = PortId(b % n);
+            prop_assume!(a != b);
+            let path = m.route(a, b).expect("valid");
+            prop_assert_eq!(path.len(), m.hops(a, b).expect("valid"));
+            // consecutive routers are grid neighbours
+            for w in path.windows(2) {
+                let (x1, y1) = (w[0].index() % side, w[0].index() / side);
+                let (x2, y2) = (w[1].index() % side, w[1].index() / side);
+                prop_assert_eq!(x1.abs_diff(x2) + y1.abs_diff(y2), 1);
+            }
+        }
+    }
+}

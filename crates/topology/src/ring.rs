@@ -1,0 +1,204 @@
+//! Section 7 future work: non-tree topologies by breaking rings.
+//!
+//! The paper proposes augmenting the clock-carrying tree with *ring* links
+//! between geographically adjacent leaves, synchronised with traditional
+//! mesochronous methods (the clock is not forwarded on ring links, so each
+//! crossing pays a synchroniser penalty). Cross-traffic between nearby
+//! leaves in different subtrees can then skip the climb to a high ancestor.
+
+use crate::{PortId, TopologyError, TreeKind, TreeTopology};
+use serde::{Deserialize, Serialize};
+
+/// A tree augmented with mesochronous ring links between consecutive
+/// leaves.
+///
+/// Routing picks the cheaper of the pure tree path and the ring path, where
+/// each ring crossing costs one hop **plus** a synchroniser latency penalty
+/// (a brute-force two-flop synchroniser adds two cycles per crossing —
+/// exactly the overhead the IC-NoC's forwarded clock avoids on tree links).
+///
+/// ```
+/// use icnoc_topology::{RingAugmentedTree, PortId};
+///
+/// let net = RingAugmentedTree::binary(64, 2)?;
+/// // Ports 31 and 32 are adjacent leaves in different root subtrees: the
+/// // tree path crosses the root (11 hops) but the ring path is one link.
+/// assert_eq!(net.tree().hops(PortId(31), PortId(32))?, 11);
+/// assert_eq!(net.route_hops(PortId(31), PortId(32)), 1);
+/// # Ok::<(), icnoc_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RingAugmentedTree {
+    tree: TreeTopology,
+    max_ring_hops: usize,
+    sync_penalty_cycles: u32,
+}
+
+impl RingAugmentedTree {
+    /// Builds a binary tree with ring links, allowing at most
+    /// `max_ring_hops` consecutive ring crossings per route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::PortCountNotPower`] for invalid port counts.
+    pub fn binary(ports: usize, max_ring_hops: usize) -> Result<Self, TopologyError> {
+        Ok(Self {
+            tree: TreeTopology::new(TreeKind::Binary, ports)?,
+            max_ring_hops,
+            sync_penalty_cycles: 2,
+        })
+    }
+
+    /// The underlying clock-carrying tree.
+    #[must_use]
+    pub fn tree(&self) -> &TreeTopology {
+        &self.tree
+    }
+
+    /// Maximum consecutive ring crossings a route may use.
+    #[must_use]
+    pub fn max_ring_hops(&self) -> usize {
+        self.max_ring_hops
+    }
+
+    /// Synchroniser penalty per ring crossing, in clock cycles.
+    #[must_use]
+    pub fn sync_penalty_cycles(&self) -> u32 {
+        self.sync_penalty_cycles
+    }
+
+    /// Sets the per-crossing synchroniser penalty (default: 2 cycles for a
+    /// brute-force two-flop synchroniser).
+    #[must_use]
+    pub fn with_sync_penalty(mut self, cycles: u32) -> Self {
+        self.sync_penalty_cycles = cycles;
+        self
+    }
+
+    /// Hop count of the ring path between two ports, if within the ring
+    /// budget.
+    fn ring_hops(&self, from: PortId, to: PortId) -> Option<usize> {
+        let dist = from.index().abs_diff(to.index());
+        (dist > 0 && dist <= self.max_ring_hops).then_some(dist)
+    }
+
+    /// Router/link hops of the chosen (cheaper) route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is out of range.
+    #[must_use]
+    pub fn route_hops(&self, from: PortId, to: PortId) -> usize {
+        let tree_hops = self.tree.hops(from, to).expect("ports must be in range");
+        match self.ring_hops(from, to) {
+            Some(r) if r < tree_hops => r,
+            _ => tree_hops,
+        }
+    }
+
+    /// Latency estimate in cycles: tree hops cost the 3×3 router latency
+    /// (1½ cycles), ring crossings cost one cycle plus the synchroniser
+    /// penalty. The cheaper route wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is out of range.
+    #[must_use]
+    pub fn route_latency_cycles(&self, from: PortId, to: PortId) -> f64 {
+        let per_router = self.tree.router_class().forward_latency_cycles();
+        let tree_cost =
+            self.tree.hops(from, to).expect("ports must be in range") as f64 * per_router;
+        let ring_cost = self
+            .ring_hops(from, to)
+            .map(|r| r as f64 * (1.0 + f64::from(self.sync_penalty_cycles)));
+        match ring_cost {
+            Some(rc) if rc < tree_cost => rc,
+            _ => tree_cost,
+        }
+    }
+
+    /// Whether the route between two ports uses ring links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is out of range.
+    #[must_use]
+    pub fn uses_ring(&self, from: PortId, to: PortId) -> bool {
+        let tree_hops = self.tree.hops(from, to).expect("ports must be in range");
+        matches!(self.ring_hops(from, to), Some(r) if r < tree_hops)
+    }
+
+    /// Average route latency over all ordered distinct pairs, for the E13
+    /// ablation (with vs without rings).
+    #[must_use]
+    pub fn average_latency_cycles(&self) -> f64 {
+        let n = self.tree.num_ports();
+        let mut total = 0.0;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += self.route_latency_cycles(PortId(a as u32), PortId(b as u32));
+                }
+            }
+        }
+        total / (n * (n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ring_shortcuts_cross_subtree_neighbors() {
+        let net = RingAugmentedTree::binary(64, 2).expect("valid");
+        assert!(net.uses_ring(PortId(31), PortId(32)));
+        assert_eq!(net.route_hops(PortId(31), PortId(32)), 1);
+        // Tile-local pairs keep the tree: 1 hop either way, tree wins ties.
+        assert!(!net.uses_ring(PortId(0), PortId(1)));
+    }
+
+    #[test]
+    fn ring_budget_limits_reach() {
+        let net = RingAugmentedTree::binary(64, 2).expect("valid");
+        // Distance 3 exceeds the budget of 2: must take the tree.
+        assert!(!net.uses_ring(PortId(30), PortId(33)));
+    }
+
+    #[test]
+    fn sync_penalty_can_make_ring_unattractive() {
+        let cheap = RingAugmentedTree::binary(64, 4)
+            .expect("valid")
+            .with_sync_penalty(0);
+        let costly = RingAugmentedTree::binary(64, 4)
+            .expect("valid")
+            .with_sync_penalty(50);
+        let (a, b) = (PortId(31), PortId(33));
+        assert!(cheap.route_latency_cycles(a, b) < costly.route_latency_cycles(a, b));
+        // With a 50-cycle penalty the tree path (11 hops × 1.5 = 16.5) wins.
+        assert_eq!(costly.route_latency_cycles(a, b), 16.5);
+    }
+
+    #[test]
+    fn rings_lower_average_latency() {
+        let plain = RingAugmentedTree::binary(64, 0).expect("valid");
+        let ringed = RingAugmentedTree::binary(64, 4).expect("valid");
+        assert!(ringed.average_latency_cycles() < plain.average_latency_cycles());
+    }
+
+    proptest! {
+        #[test]
+        fn ring_never_worse_than_tree(
+            a in 0u32..64, b in 0u32..64, reach in 0usize..8
+        ) {
+            let plain = RingAugmentedTree::binary(64, 0).expect("valid");
+            let ringed = RingAugmentedTree::binary(64, reach).expect("valid");
+            let (a, b) = (PortId(a), PortId(b));
+            prop_assert!(ringed.route_hops(a, b) <= plain.route_hops(a, b));
+            prop_assert!(
+                ringed.route_latency_cycles(a, b) <= plain.route_latency_cycles(a, b)
+            );
+        }
+    }
+}

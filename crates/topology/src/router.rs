@@ -1,0 +1,158 @@
+//! Router classes and their Section 6 characterisation.
+
+use icnoc_units::{Gigahertz, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// The two router sizes the paper characterises, named by their port count.
+///
+/// A binary tree uses 3×3 routers (parent + two children), a quad tree uses
+/// 5×5 routers (parent + four children). The constants below are the paper's
+/// Section 6 back-annotated results for a 32-bit data path in 90 nm:
+///
+/// | class | speed | forward latency | area |
+/// |---|---|---|---|
+/// | 3×3 | 1.4 GHz | 1½ cycles | 0.010 mm² |
+/// | 5×5 | 1.2 GHz | 2½ cycles | 0.022 mm² |
+///
+/// Latencies are stored in **half-cycles** (3 and 5) because the IC-NoC
+/// clocks pipeline stages on alternating edges, making the half-cycle the
+/// natural latency quantum.
+///
+/// ```
+/// use icnoc_topology::RouterClass;
+///
+/// assert_eq!(RouterClass::Binary3x3.forward_latency_half_cycles(), 3);
+/// assert_eq!(RouterClass::Quad5x5.forward_latency_cycles(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterClass {
+    /// 3-port router for binary trees.
+    Binary3x3,
+    /// 5-port router for quad trees.
+    Quad5x5,
+}
+
+impl RouterClass {
+    /// Number of child ports (tree arity).
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            RouterClass::Binary3x3 => 2,
+            RouterClass::Quad5x5 => 4,
+        }
+    }
+
+    /// Total port count (children + parent).
+    #[must_use]
+    pub fn ports(self) -> usize {
+        self.arity() + 1
+    }
+
+    /// Maximum internal clock frequency (paper Section 6).
+    #[must_use]
+    pub fn max_frequency(self) -> Gigahertz {
+        match self {
+            RouterClass::Binary3x3 => Gigahertz::new(1.4),
+            RouterClass::Quad5x5 => Gigahertz::new(1.2),
+        }
+    }
+
+    /// Forward latency through the router in half-cycles: 3 for the 3×3
+    /// (1½ cycles), 5 for the 5×5 (2½ cycles).
+    #[must_use]
+    pub fn forward_latency_half_cycles(self) -> u32 {
+        match self {
+            RouterClass::Binary3x3 => 3,
+            RouterClass::Quad5x5 => 5,
+        }
+    }
+
+    /// Forward latency in (fractional) clock cycles.
+    #[must_use]
+    pub fn forward_latency_cycles(self) -> f64 {
+        f64::from(self.forward_latency_half_cycles()) / 2.0
+    }
+
+    /// Silicon area for a 32-bit data path (paper Section 6).
+    #[must_use]
+    pub fn area_32bit(self) -> SquareMillimeters {
+        match self {
+            RouterClass::Binary3x3 => SquareMillimeters::new(0.010),
+            RouterClass::Quad5x5 => SquareMillimeters::new(0.022),
+        }
+    }
+
+    /// Area scaled linearly to another data-path width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn area(self, width_bits: u32) -> SquareMillimeters {
+        assert!(width_bits > 0, "data path width must be positive");
+        self.area_32bit() * (f64::from(width_bits) / 32.0)
+    }
+}
+
+impl core::fmt::Display for RouterClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RouterClass::Binary3x3 => f.write_str("3x3"),
+            RouterClass::Quad5x5 => f.write_str("5x5"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let b = RouterClass::Binary3x3;
+        assert_eq!(b.max_frequency(), Gigahertz::new(1.4));
+        assert_eq!(b.area_32bit(), SquareMillimeters::new(0.010));
+        assert_eq!(b.forward_latency_cycles(), 1.5);
+        assert_eq!(b.ports(), 3);
+
+        let q = RouterClass::Quad5x5;
+        assert_eq!(q.max_frequency(), Gigahertz::new(1.2));
+        assert_eq!(q.area_32bit(), SquareMillimeters::new(0.022));
+        assert_eq!(q.forward_latency_cycles(), 2.5);
+        assert_eq!(q.ports(), 5);
+    }
+
+    #[test]
+    fn paper_tradeoff_claims_hold() {
+        // "the latency of a 5×5 router is less than the latency of two 3×3
+        // routers"
+        assert!(
+            RouterClass::Quad5x5.forward_latency_half_cycles()
+                < 2 * RouterClass::Binary3x3.forward_latency_half_cycles()
+        );
+        // "the area of a 5×5 router is less than that of three 3×3 routers"
+        assert!(
+            RouterClass::Quad5x5.area_32bit().value()
+                < 3.0 * RouterClass::Binary3x3.area_32bit().value()
+        );
+        // "the binary tree has better local performance" (1½ vs 2½ cycles)
+        assert!(
+            RouterClass::Binary3x3.forward_latency_cycles()
+                < RouterClass::Quad5x5.forward_latency_cycles()
+        );
+    }
+
+    #[test]
+    fn area_scales_with_width() {
+        let a64 = RouterClass::Binary3x3.area(64);
+        assert!((a64.value() - 0.020).abs() < 1e-12);
+        assert_eq!(RouterClass::Binary3x3.area(32), SquareMillimeters::new(0.010));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = RouterClass::Binary3x3.area(0);
+    }
+}

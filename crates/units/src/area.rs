@@ -1,0 +1,89 @@
+//! Silicon area quantities, for the paper's Section 6 area accounting.
+
+
+quantity!(
+    /// A silicon area in square millimetres.
+    ///
+    /// The demonstrator NoC totals 0.73 mm², 0.73 % of its 100 mm² die.
+    ///
+    /// ```
+    /// use icnoc_units::SquareMillimeters;
+    ///
+    /// let noc = SquareMillimeters::new(0.73);
+    /// let die = SquareMillimeters::new(100.0);
+    /// assert_eq!(noc.fraction_of(die), 0.0073);
+    /// ```
+    SquareMillimeters,
+    "mm^2"
+);
+
+quantity!(
+    /// A silicon area in square micrometres, for per-cell detail.
+    SquareMicrometers,
+    "um^2"
+);
+
+impl SquareMillimeters {
+    /// Returns what fraction of `whole` this area occupies (0.0–1.0 for
+    /// sub-areas, possibly more when this area exceeds `whole`).
+    #[must_use]
+    pub fn fraction_of(self, whole: Self) -> f64 {
+        self.value() / whole.value()
+    }
+
+    /// Converts to square micrometres.
+    #[must_use]
+    pub fn to_square_micrometers(self) -> SquareMicrometers {
+        SquareMicrometers::new(self.value() * 1e6)
+    }
+}
+
+impl SquareMicrometers {
+    /// Converts to square millimetres.
+    #[must_use]
+    pub fn to_square_millimeters(self) -> SquareMillimeters {
+        SquareMillimeters::new(self.value() / 1e6)
+    }
+}
+
+impl From<SquareMicrometers> for SquareMillimeters {
+    fn from(a: SquareMicrometers) -> Self {
+        a.to_square_millimeters()
+    }
+}
+
+impl From<SquareMillimeters> for SquareMicrometers {
+    fn from(a: SquareMillimeters) -> Self {
+        a.to_square_micrometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn demonstrator_area_fraction() {
+        let noc = SquareMillimeters::new(0.73);
+        let die = SquareMillimeters::new(100.0);
+        assert!((noc.fraction_of(die) - 0.0073).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(
+            SquareMillimeters::new(0.0015).to_square_micrometers(),
+            SquareMicrometers::new(1500.0)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn area_round_trip(v in 0.0f64..1e6) {
+            let a = SquareMillimeters::new(v);
+            let back = SquareMillimeters::from(SquareMicrometers::from(a));
+            prop_assert!((back.value() - v).abs() <= v * 1e-12 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Electrical wire parameters: distributed capacitance and resistance per
+//! unit length, as used by the paper's RC wire delay estimates.
+
+use crate::{Millimeters};
+
+quantity!(
+    /// Distributed wire capacitance in picofarads per millimetre.
+    ///
+    /// The paper quotes `0.2 pF/mm` for the target 90 nm technology.
+    ///
+    /// ```
+    /// use icnoc_units::{Millimeters, PicofaradsPerMm};
+    ///
+    /// let c = PicofaradsPerMm::new(0.2).total(Millimeters::new(2.0));
+    /// assert_eq!(c.value(), 0.4);
+    /// ```
+    PicofaradsPerMm,
+    "pF/mm"
+);
+
+quantity!(
+    /// Distributed wire resistance in kilo-ohms per millimetre.
+    ///
+    /// The paper quotes `0.4 kΩ/mm` for the target 90 nm technology.
+    KiloOhmsPerMm,
+    "kOhm/mm"
+);
+
+quantity!(
+    /// A lumped capacitance in picofarads.
+    Picofarads,
+    "pF"
+);
+
+impl PicofaradsPerMm {
+    /// Total capacitance of a wire of the given length.
+    #[must_use]
+    pub fn total(self, length: Millimeters) -> Picofarads {
+        Picofarads::new(self.value() * length.value())
+    }
+}
+
+impl KiloOhmsPerMm {
+    /// Total resistance (in kΩ) of a wire of the given length.
+    #[must_use]
+    pub fn total_kohm(self, length: Millimeters) -> f64 {
+        self.value() * length.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_constants_scale_linearly() {
+        let c = PicofaradsPerMm::new(0.2);
+        let r = KiloOhmsPerMm::new(0.4);
+        assert_eq!(c.total(Millimeters::new(1.5)).value(), 0.2 * 1.5);
+        assert_eq!(r.total_kohm(Millimeters::new(1.5)), 0.4 * 1.5);
+    }
+
+    #[test]
+    fn zero_length_wire_has_no_parasitics() {
+        assert_eq!(
+            PicofaradsPerMm::new(0.2).total(Millimeters::ZERO),
+            Picofarads::ZERO
+        );
+        assert_eq!(KiloOhmsPerMm::new(0.4).total_kohm(Millimeters::ZERO), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn capacitance_additive_in_length(c in 0.01f64..10.0, a in 0.0f64..10.0, b in 0.0f64..10.0) {
+            let cp = PicofaradsPerMm::new(c);
+            let joined = cp.total(Millimeters::new(a) + Millimeters::new(b));
+            let split = cp.total(Millimeters::new(a)) + cp.total(Millimeters::new(b));
+            prop_assert!((joined.value() - split.value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Clock frequency in [`Gigahertz`], with period conversions used throughout
+//! the link-timing analysis.
+
+use crate::{Picoseconds};
+
+quantity!(
+    /// A clock frequency in gigahertz.
+    ///
+    /// The paper's headline operating points all live here: the demonstrator
+    /// network runs at 1 GHz, a head-to-head pipeline reaches 1.8 GHz, the
+    /// 5×5 router 1.2 GHz and the 3×3 router 1.4 GHz.
+    ///
+    /// ```
+    /// use icnoc_units::{Gigahertz, Picoseconds};
+    ///
+    /// // Thalf at 1 GHz, the quantity eqs. (1)-(7) are written around:
+    /// assert_eq!(Gigahertz::new(1.0).half_period(), Picoseconds::new(500.0));
+    /// ```
+    Gigahertz,
+    "GHz"
+);
+
+impl Gigahertz {
+    /// Returns the full clock period `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative: a period is only
+    /// meaningful for a running clock.
+    #[must_use]
+    #[track_caller]
+    pub fn period(self) -> Picoseconds {
+        assert!(
+            self.value() > 0.0,
+            "period is undefined for non-positive frequency {self}"
+        );
+        Picoseconds::new(1000.0 / self.value())
+    }
+
+    /// Returns the half period `T_half`, assuming the paper's 50 % duty
+    /// cycle. This is the quantity entering timing equations (1)–(7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[must_use]
+    pub fn half_period(self) -> Picoseconds {
+        self.period().halved()
+    }
+
+    /// Builds a frequency from a full clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or negative.
+    #[must_use]
+    #[track_caller]
+    pub fn from_period(period: Picoseconds) -> Self {
+        assert!(
+            period.value() > 0.0,
+            "frequency is undefined for non-positive period {period}"
+        );
+        Self::new(1000.0 / period.value())
+    }
+
+    /// Builds a frequency whose *half* period equals `half`, i.e. the fastest
+    /// 50 %-duty clock whose phase is `half` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is zero or negative.
+    #[must_use]
+    pub fn from_half_period(half: Picoseconds) -> Self {
+        Self::from_period(half * 2.0)
+    }
+}
+
+impl Picoseconds {
+    /// Returns half of this span — `T_half` when applied to a clock period.
+    #[must_use]
+    pub fn halved(self) -> Self {
+        self / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_operating_points() {
+        assert_eq!(Gigahertz::new(1.0).period(), Picoseconds::new(1000.0));
+        assert_eq!(Gigahertz::new(1.0).half_period(), Picoseconds::new(500.0));
+        // 1.8 GHz head-to-head pipeline => ~278 ps half period
+        let half = Gigahertz::new(1.8).half_period();
+        assert!((half.value() - 277.78).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_period_inverts_period() {
+        let f = Gigahertz::from_period(Picoseconds::new(714.29));
+        assert!((f.value() - 1.4).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period is undefined")]
+    fn zero_frequency_has_no_period() {
+        let _ = Gigahertz::ZERO.period();
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency is undefined")]
+    fn zero_period_has_no_frequency() {
+        let _ = Gigahertz::from_period(Picoseconds::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn period_round_trip(f in 0.01f64..100.0) {
+            let back = Gigahertz::from_period(Gigahertz::new(f).period());
+            prop_assert!((back.value() - f).abs() < f * 1e-12);
+        }
+
+        #[test]
+        fn half_period_is_half_of_period(f in 0.01f64..100.0) {
+            let g = Gigahertz::new(f);
+            prop_assert_eq!(g.half_period() * 2.0, g.period());
+        }
+
+        #[test]
+        fn slower_clock_longer_period(a in 0.01f64..100.0, b in 0.01f64..100.0) {
+            prop_assume!(a < b);
+            prop_assert!(Gigahertz::new(a).period() > Gigahertz::new(b).period());
+        }
+    }
+}

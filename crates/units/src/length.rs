@@ -1,0 +1,137 @@
+//! Length quantities: [`Millimeters`] for wire/die geometry and
+//! [`Micrometers`] for fine-grained placement.
+
+
+quantity!(
+    /// A length in millimetres.
+    ///
+    /// Wire segments, die edges and floorplan coordinates all live in
+    /// millimetres: the paper's demonstrator is a 10 mm × 10 mm chip with
+    /// link segments of 0.6–1.25 mm.
+    ///
+    /// ```
+    /// use icnoc_units::Millimeters;
+    ///
+    /// let die_edge = Millimeters::new(10.0);
+    /// let segment = die_edge / 8.0;
+    /// assert_eq!(segment, Millimeters::new(1.25));
+    /// ```
+    Millimeters,
+    "mm"
+);
+
+quantity!(
+    /// A length in micrometres, for sub-millimetre placement detail.
+    ///
+    /// ```
+    /// use icnoc_units::{Micrometers, Millimeters};
+    ///
+    /// assert_eq!(Millimeters::from(Micrometers::new(900.0)), Millimeters::new(0.9));
+    /// ```
+    Micrometers,
+    "um"
+);
+
+impl Millimeters {
+    /// Converts this length to micrometres.
+    #[must_use]
+    pub fn to_micrometers(self) -> Micrometers {
+        Micrometers::new(self.value() * 1000.0)
+    }
+
+    /// Euclidean distance between two points given as (x, y) pairs.
+    ///
+    /// ```
+    /// use icnoc_units::Millimeters;
+    ///
+    /// let d = Millimeters::distance(
+    ///     (Millimeters::new(0.0), Millimeters::new(0.0)),
+    ///     (Millimeters::new(3.0), Millimeters::new(4.0)),
+    /// );
+    /// assert_eq!(d, Millimeters::new(5.0));
+    /// ```
+    #[must_use]
+    pub fn distance(a: (Self, Self), b: (Self, Self)) -> Self {
+        let dx = a.0.value() - b.0.value();
+        let dy = a.1.value() - b.1.value();
+        Self::new(dx.hypot(dy))
+    }
+
+    /// Manhattan (rectilinear) distance between two points, the natural
+    /// metric for on-chip routed wires.
+    #[must_use]
+    pub fn manhattan(a: (Self, Self), b: (Self, Self)) -> Self {
+        Self::new((a.0.value() - b.0.value()).abs() + (a.1.value() - b.1.value()).abs())
+    }
+}
+
+impl Micrometers {
+    /// Converts this length to millimetres.
+    #[must_use]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters::new(self.value() / 1000.0)
+    }
+}
+
+impl From<Micrometers> for Millimeters {
+    fn from(um: Micrometers) -> Self {
+        um.to_millimeters()
+    }
+}
+
+impl From<Millimeters> for Micrometers {
+    fn from(mm: Millimeters) -> Self {
+        mm.to_micrometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = (Millimeters::new(1.0), Millimeters::new(2.0));
+        let b = (Millimeters::new(4.0), Millimeters::new(6.0));
+        assert!(Millimeters::manhattan(a, b) >= Millimeters::distance(a, b));
+        assert_eq!(Millimeters::manhattan(a, b), Millimeters::new(7.0));
+    }
+
+    #[test]
+    fn distance_is_zero_for_identical_points() {
+        let p = (Millimeters::new(3.3), Millimeters::new(-1.1));
+        assert_eq!(Millimeters::distance(p, p), Millimeters::ZERO);
+        assert_eq!(Millimeters::manhattan(p, p), Millimeters::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn mm_um_round_trip(v in -1e6f64..1e6) {
+            let mm = Millimeters::new(v);
+            let back = Millimeters::from(Micrometers::from(mm));
+            prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+        }
+
+        #[test]
+        fn distance_symmetric(ax in -10f64..10.0, ay in -10f64..10.0,
+                              bx in -10f64..10.0, by in -10f64..10.0) {
+            let a = (Millimeters::new(ax), Millimeters::new(ay));
+            let b = (Millimeters::new(bx), Millimeters::new(by));
+            prop_assert_eq!(Millimeters::distance(a, b), Millimeters::distance(b, a));
+            prop_assert_eq!(Millimeters::manhattan(a, b), Millimeters::manhattan(b, a));
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -10f64..10.0, ay in -10f64..10.0,
+                               bx in -10f64..10.0, by in -10f64..10.0,
+                               cx in -10f64..10.0, cy in -10f64..10.0) {
+            let a = (Millimeters::new(ax), Millimeters::new(ay));
+            let b = (Millimeters::new(bx), Millimeters::new(by));
+            let c = (Millimeters::new(cx), Millimeters::new(cy));
+            let direct = Millimeters::distance(a, c).value();
+            let via = Millimeters::distance(a, b).value() + Millimeters::distance(b, c).value();
+            prop_assert!(direct <= via + 1e-9);
+        }
+    }
+}

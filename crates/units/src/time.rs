@@ -1,0 +1,110 @@
+//! Time quantities: [`Picoseconds`] (the workhorse of the timing model) and
+//! [`Nanoseconds`] for human-scale reporting.
+
+
+quantity!(
+    /// A time span in picoseconds.
+    ///
+    /// This is the canonical time unit of the whole IC-NoC timing model: the
+    /// flip-flop parameters of the paper are given in picoseconds
+    /// (`t_setup` = 60 ps, `t_hold` = 20 ps, `t_clk→Q` = 60 ps for the 90 nm
+    /// library) and all link-timing slack windows are reported in it.
+    ///
+    /// ```
+    /// use icnoc_units::Picoseconds;
+    ///
+    /// let setup = Picoseconds::new(60.0);
+    /// let clk_to_q = Picoseconds::new(60.0);
+    /// assert_eq!((setup + clk_to_q).to_string(), "120 ps");
+    /// ```
+    Picoseconds,
+    "ps"
+);
+
+quantity!(
+    /// A time span in nanoseconds, for human-scale latency reporting.
+    ///
+    /// ```
+    /// use icnoc_units::{Nanoseconds, Picoseconds};
+    ///
+    /// let t = Nanoseconds::new(1.5);
+    /// assert_eq!(Picoseconds::from(t), Picoseconds::new(1500.0));
+    /// ```
+    Nanoseconds,
+    "ns"
+);
+
+impl Picoseconds {
+    /// Converts this span to nanoseconds.
+    #[must_use]
+    pub fn to_nanoseconds(self) -> Nanoseconds {
+        Nanoseconds::new(self.value() / 1000.0)
+    }
+
+    /// Positive infinity, used by the timing solvers as "unconstrained".
+    pub const INFINITY: Self = Self(f64::INFINITY);
+
+    /// Negative infinity, used as "no lower bound".
+    pub const NEG_INFINITY: Self = Self(f64::NEG_INFINITY);
+}
+
+impl Nanoseconds {
+    /// Converts this span to picoseconds.
+    #[must_use]
+    pub fn to_picoseconds(self) -> Picoseconds {
+        Picoseconds::new(self.value() * 1000.0)
+    }
+}
+
+impl From<Nanoseconds> for Picoseconds {
+    fn from(ns: Nanoseconds) -> Self {
+        ns.to_picoseconds()
+    }
+}
+
+impl From<Picoseconds> for Nanoseconds {
+    fn from(ps: Picoseconds) -> Self {
+        ps.to_nanoseconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversion_round_trip_exact_cases() {
+        assert_eq!(
+            Picoseconds::new(1500.0).to_nanoseconds(),
+            Nanoseconds::new(1.5)
+        );
+        assert_eq!(
+            Nanoseconds::new(0.25).to_picoseconds(),
+            Picoseconds::new(250.0)
+        );
+    }
+
+    #[test]
+    fn infinities_behave_as_unconstrained_bounds() {
+        assert!(Picoseconds::new(1e12) < Picoseconds::INFINITY);
+        assert!(Picoseconds::NEG_INFINITY < Picoseconds::new(-1e12));
+        assert!(!Picoseconds::INFINITY.is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn ns_ps_round_trip(v in -1e9f64..1e9) {
+            let ps = Picoseconds::new(v);
+            let back = Picoseconds::from(Nanoseconds::from(ps));
+            prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+        }
+
+        #[test]
+        fn addition_commutes(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let x = Picoseconds::new(a) + Picoseconds::new(b);
+            let y = Picoseconds::new(b) + Picoseconds::new(a);
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! A Figure-4-style waveform of the 2-phase handshake pipeline.
+//!
+//! Prints the occupancy of each pipeline stage per half-cycle while the
+//! consumer stalls and resumes: data streams at full speed, freezes in
+//! place the instant congestion appears, and drains without loss the
+//! moment it clears — no stall buffers anywhere.
+//!
+//! ```text
+//! cargo run --release -p icnoc --example handshake_trace
+//! ```
+
+use icnoc_sim::{Network, SinkMode, TrafficPattern};
+
+fn main() {
+    let stages = 8;
+    let mut net = Network::pipeline(
+        stages,
+        TrafficPattern::saturate(),
+        SinkMode::StallDuring { from: 12, to: 22 },
+        7,
+    );
+
+    println!("one column per stage; '#' = stage holds a flit, '.' = empty\n");
+    println!("{:>5}  {:^8}  state", "tick", "stages");
+    for tick in 0..70u64 {
+        let occupancy: String = net
+            .stage_occupancy()
+            .map(|(_, full)| if full { '#' } else { '.' })
+            .collect();
+        let cycle = tick / 2;
+        let phase = if (12..22).contains(&cycle) {
+            "<- sink stalled"
+        } else {
+            ""
+        };
+        println!("{tick:>5}  {occupancy}  {phase}");
+        net.step();
+    }
+
+    net.drain(50);
+    let report = net.report();
+    println!("\n{report}");
+    assert!(report.is_correct(), "the Fig. 4 protocol must be lossless");
+    println!(
+        "stall froze the pipeline full; resume drained it instantly — \
+         exactly the Figure 4 behaviour."
+    );
+}

@@ -1,0 +1,33 @@
+//! Quickstart: build the paper's demonstrator, prove it timing-safe, and
+//! push traffic through it.
+//!
+//! ```text
+//! cargo run --release -p icnoc --example quickstart
+//! ```
+
+use icnoc::{SystemBuilder, SystemError};
+use icnoc_sim::TrafficPattern;
+
+fn main() -> Result<(), SystemError> {
+    // The Section 6 demonstrator: 64-port binary tree of 3×3 routers on a
+    // 10 mm × 10 mm die, 32-bit data path, 1 GHz forwarded clock.
+    let system = SystemBuilder::demonstrator().build()?;
+    println!("{}\n", system.summary());
+
+    // Timing signoff: every link segment, both transfer directions.
+    let verification = system.verify_nominal();
+    println!("{verification}\n");
+    assert!(verification.is_timing_safe());
+
+    // Simulate uniform random traffic at 20% injection for 2000 cycles.
+    let report = system.simulate(TrafficPattern::uniform(0.2), 2_000, 42);
+    println!("uniform 20% traffic: {report}");
+    assert!(report.is_correct(), "flow control must be lossless");
+
+    println!(
+        "\n{} flits delivered, zero lost/duplicated/reordered — \
+         the 2-phase handshake is timing-safe and correct.",
+        report.delivered
+    );
+    Ok(())
+}
