@@ -285,12 +285,8 @@ mod tests {
                 Picoseconds::new(30.0),
             )
             .expect("64 is a power of two");
-        let tree = GlobalClockTree::balanced(
-            64,
-            Millimeters::new(10.0),
-            Picoseconds::new(30.0),
-        )
-        .expect("valid");
+        let tree = GlobalClockTree::balanced(64, Millimeters::new(10.0), Picoseconds::new(30.0))
+            .expect("valid");
         assert!(p > tree.forwarded_equivalent_power(Gigahertz::new(1.0)));
     }
 }

@@ -150,9 +150,7 @@ impl SyncScheme {
     #[must_use]
     pub fn resolution_time(self, f: Gigahertz) -> Picoseconds {
         match self {
-            SyncScheme::SelfTestedDelayLine | SyncScheme::AdjustableClockDelay => {
-                f.period() / 4.0
-            }
+            SyncScheme::SelfTestedDelayLine | SyncScheme::AdjustableClockDelay => f.period() / 4.0,
             SyncScheme::SwitchingZoneDetector => f.half_period(),
             SyncScheme::IcNoc => Picoseconds::INFINITY,
         }
@@ -311,7 +309,11 @@ mod tests {
     #[test]
     fn display_names_cite_the_sources() {
         assert!(SyncScheme::SelfTestedDelayLine.to_string().contains("[15]"));
-        assert!(SyncScheme::AdjustableClockDelay.to_string().contains("[20]"));
-        assert!(SyncScheme::SwitchingZoneDetector.to_string().contains("[13]"));
+        assert!(SyncScheme::AdjustableClockDelay
+            .to_string()
+            .contains("[20]"));
+        assert!(SyncScheme::SwitchingZoneDetector
+            .to_string()
+            .contains("[13]"));
     }
 }

@@ -56,13 +56,11 @@ fn bench_ring_simulation(c: &mut Criterion) {
     use icnoc_sim::{TrafficPattern, TreeNetworkConfig};
     c.bench_function("e13b_ring_network_500cycles", |b| {
         b.iter(|| {
-            let mut net = TreeNetworkConfig::new(
-                TreeTopology::binary(16).expect("valid"),
-            )
-            .with_pattern(TrafficPattern::uniform(0.1))
-            .with_ring_shortcuts(true)
-            .with_seed(1)
-            .build();
+            let mut net = TreeNetworkConfig::new(TreeTopology::binary(16).expect("valid"))
+                .with_pattern(TrafficPattern::uniform(0.1))
+                .with_ring_shortcuts(true)
+                .with_seed(1)
+                .build();
             black_box(net.run_cycles(500))
         })
     });

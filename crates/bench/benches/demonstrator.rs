@@ -16,9 +16,7 @@ fn bench_demonstrator(c: &mut Criterion) {
         b.iter(|| black_box(sys.verify_nominal()))
     });
 
-    c.bench_function("e5_area_accounting", |b| {
-        b.iter(|| black_box(sys.area()))
-    });
+    c.bench_function("e5_area_accounting", |b| b.iter(|| black_box(sys.area())));
 
     let patterns = demonstrator_patterns(TilePreset::LocalCompute { rate: 0.4 }, 64);
     c.bench_function("e11_local_compute_300cycles", |b| {

@@ -32,7 +32,10 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut net = Network::pipeline(
                 8,
-                TrafficPattern::Bursty { burst: 10, idle: 90 },
+                TrafficPattern::Bursty {
+                    burst: 10,
+                    idle: 90,
+                },
                 SinkMode::AlwaysAccept,
                 1,
             );

@@ -1,0 +1,79 @@
+//! Observability overhead benches: the tracing hooks in `Network::step`
+//! must cost (next to) nothing when no sink is attached, and stay cheap
+//! when one is.
+//!
+//! Three variants of the same E8 saturated pipeline run:
+//!
+//! * `untraced`   — the baseline fast path (`sinks` empty);
+//! * `counters`   — a [`CountersSink`] attached (per-element ledger,
+//!   per-flow latency histograms);
+//! * `ringbuffer` — a bounded event ring attached (every event cloned in).
+//!
+//! The acceptance bar is `untraced` within a few percent of the historical
+//! baseline; compare its ns/iter against `e8_pipeline8_saturated_200cycles`
+//! in `handshake_pipeline.rs` — both run the identical simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icnoc_sim::{Network, SinkMode, TrafficPattern};
+
+fn saturated_pipeline() -> Network {
+    Network::pipeline(8, TrafficPattern::saturate(), SinkMode::AlwaysAccept, 1)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    c.bench_function("obs_pipeline8_untraced_200cycles", |b| {
+        b.iter(|| {
+            let mut net = saturated_pipeline();
+            black_box(net.run_cycles(200))
+        })
+    });
+
+    c.bench_function("obs_pipeline8_counters_200cycles", |b| {
+        b.iter(|| {
+            let mut net = saturated_pipeline();
+            net.enable_counters();
+            black_box(net.run_cycles(200))
+        })
+    });
+
+    c.bench_function("obs_pipeline8_ringbuffer_200cycles", |b| {
+        b.iter(|| {
+            let mut net = saturated_pipeline();
+            net.enable_event_buffer(1_024);
+            black_box(net.run_cycles(200))
+        })
+    });
+
+    // A bigger, routed workload: the 64-port tree with uniform traffic,
+    // where arbitration-contender counting is actually exercised.
+    c.bench_function("obs_tree64_untraced_100cycles", |b| {
+        b.iter(|| {
+            let mut net = tree64(false);
+            black_box(net.run_cycles(100))
+        })
+    });
+
+    c.bench_function("obs_tree64_counters_100cycles", |b| {
+        b.iter(|| {
+            let mut net = tree64(true);
+            black_box(net.run_cycles(100))
+        })
+    });
+}
+
+fn tree64(counters: bool) -> Network {
+    use icnoc_sim::TreeNetworkConfig;
+    use icnoc_topology::TreeTopology;
+    TreeNetworkConfig::new(TreeTopology::binary(64).expect("power of 2"))
+        .with_pattern(TrafficPattern::uniform(0.2))
+        .with_seed(42)
+        .with_counters(counters)
+        .build()
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_overhead
+}
+criterion_main!(benches);

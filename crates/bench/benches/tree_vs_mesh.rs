@@ -12,7 +12,9 @@ fn bench_tree_vs_mesh(c: &mut Criterion) {
         b.iter(|| black_box(analysis::compare(64, Millimeters::new(10.0), 32)))
     });
 
-    let tree = SystemBuilder::new(TreeKind::Binary, 16).build().expect("valid");
+    let tree = SystemBuilder::new(TreeKind::Binary, 16)
+        .build()
+        .expect("valid");
     c.bench_function("e6_tree16_uniform_500cycles", |b| {
         b.iter(|| black_box(tree.simulate(TrafficPattern::uniform(0.1), 500, 3)))
     });

@@ -5,10 +5,8 @@ use crate::Table;
 use icnoc::{demonstrator_patterns, SystemBuilder, TilePreset};
 use icnoc_baseline::{LatchAblation, SchemeComparison, SyncScheme, SynchronousMesh};
 use icnoc_clock::{ClockDistribution, GlobalClockTree, LeafStagger, SurgeProfile};
-use icnoc_sim::{Network, SinkMode, TrafficPattern};
-use icnoc_timing::{
-    FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel,
-};
+use icnoc_sim::{LatencyStats, Network, SinkMode, TrafficPattern};
+use icnoc_timing::{FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel};
 use icnoc_topology::{analysis, Floorplan, PortId, RouterClass, TreeKind, TreeTopology};
 use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
 
@@ -16,6 +14,14 @@ use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
 pub const EXPERIMENT_IDS: [&str; 13] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
+
+/// Formats a mean latency for a table cell, distinguishing "no samples"
+/// from a genuine zero-cycle mean.
+fn fmt_mean(stats: &LatencyStats) -> String {
+    stats
+        .try_mean_cycles()
+        .map_or_else(|| "n/a".to_owned(), |m| format!("{m:.1}"))
+}
 
 /// Runs every experiment and concatenates the outputs.
 #[must_use]
@@ -46,7 +52,13 @@ pub fn e1() -> String {
     let ff = FlipFlopTiming::nominal_90nm();
     let mut t = Table::new(
         "E1: downstream skew window (eq. 3); paper eq. (4) at 1 GHz: (-540 ps, 380 ps)",
-        &["f (GHz)", "T_half (ps)", "window min (ps)", "window max (ps)", "width (ps)"],
+        &[
+            "f (GHz)",
+            "T_half (ps)",
+            "window min (ps)",
+            "window max (ps)",
+            "width (ps)",
+        ],
     );
     for f in [0.5, 0.8, 1.0, 1.2, 1.4, 1.8, 2.0] {
         let link = LinkTiming::new(ff, Gigahertz::new(f));
@@ -72,7 +84,12 @@ pub fn e2() -> String {
     let wire = WireModel::nominal_90nm();
     let mut t = Table::new(
         "E2: upstream bound (eq. 5/7); paper at 1 GHz: dsum < 380 ps => ~1.5-2 mm wire",
-        &["f (GHz)", "dsum max (ps)", "per-wire budget (ps)", "max wire (mm)"],
+        &[
+            "f (GHz)",
+            "dsum max (ps)",
+            "per-wire budget (ps)",
+            "max wire (mm)",
+        ],
     );
     for f in [0.5, 0.8, 1.0, 1.2, 1.4, 1.8] {
         let link = LinkTiming::new(ff, Gigahertz::new(f));
@@ -151,7 +168,12 @@ pub fn e4() -> String {
     let rm = icnoc_timing::RouterTimingModel::nominal_90nm();
     let mut r = Table::new(
         "E4 (model): router frequency vs radix (arbitration-limited)",
-        &["router", "contending inputs", "critical path (ps)", "f_max (GHz)"],
+        &[
+            "router",
+            "contending inputs",
+            "critical path (ps)",
+            "f_max (GHz)",
+        ],
     );
     for inputs in [1usize, 2, 4, 6, 8] {
         let label = match inputs {
@@ -166,7 +188,9 @@ pub fn e4() -> String {
             format!("{:.3}", rm.max_frequency(inputs).value()),
         ]);
     }
-    r.note("t_path = t_clkQ + t_xbar + n*t_arb + t_setup; calibrated t_xbar=178ps, t_arb=30ps/input");
+    r.note(
+        "t_path = t_clkQ + t_xbar + n*t_arb + t_setup; calibrated t_xbar=178ps, t_arb=30ps/input",
+    );
     out.push('\n');
     out.push_str(&r.render());
     out
@@ -179,7 +203,15 @@ pub fn e4() -> String {
 pub fn e5() -> String {
     let mut t = Table::new(
         "E5: area scaling (Section 6); paper demonstrator: 0.73 mm^2 = 0.73% of die",
-        &["ports", "routers", "stages", "router mm^2", "pipeline mm^2", "total mm^2", "mm^2/port"],
+        &[
+            "ports",
+            "routers",
+            "stages",
+            "router mm^2",
+            "pipeline mm^2",
+            "total mm^2",
+            "mm^2/port",
+        ],
     );
     for ports in [4usize, 8, 16, 32, 64, 128, 256] {
         let sys = SystemBuilder::new(TreeKind::Binary, ports)
@@ -256,11 +288,19 @@ pub fn e6() -> String {
     // Measured confirmation: simulate both fabrics at 64 ports under
     // uniform traffic (the mesh's best case) and tile-local neighbour
     // traffic (the mapping the paper argues applications should use).
-    let tree_sys = SystemBuilder::new(TreeKind::Binary, 64).build().expect("valid");
+    let tree_sys = SystemBuilder::new(TreeKind::Binary, 64)
+        .build()
+        .expect("valid");
     let mesh = SynchronousMesh::new(64).expect("square");
     let mut m = Table::new(
         "E6 (measured): simulated traffic at 64 ports, rate 0.05",
-        &["fabric", "workload", "delivered", "avg lat (cycles)", "max lat (cycles)"],
+        &[
+            "fabric",
+            "workload",
+            "delivered",
+            "avg lat (cycles)",
+            "max lat (cycles)",
+        ],
     );
     let workloads: [(&str, TrafficPattern); 2] = [
         ("uniform", TrafficPattern::uniform(0.05)),
@@ -275,7 +315,7 @@ pub fn e6() -> String {
                 fabric.into(),
                 name.into(),
                 r.delivered.to_string(),
-                format!("{:.1}", r.latency.mean_cycles()),
+                fmt_mean(&r.latency),
                 format!("{:.1}", r.latency.max_cycles()),
             ]);
         }
@@ -291,8 +331,12 @@ pub fn e6() -> String {
 /// throughput, local performance.
 #[must_use]
 pub fn e7() -> String {
-    let binary = SystemBuilder::new(TreeKind::Binary, 64).build().expect("valid");
-    let quad = SystemBuilder::new(TreeKind::Quad, 64).build().expect("valid");
+    let binary = SystemBuilder::new(TreeKind::Binary, 64)
+        .build()
+        .expect("valid");
+    let quad = SystemBuilder::new(TreeKind::Quad, 64)
+        .build()
+        .expect("valid");
 
     let mut t = Table::new(
         "E7: quad tree vs binary tree, 64 ports (Section 6)",
@@ -357,11 +401,7 @@ pub fn e8() -> String {
     );
     let mut last_delivered = 0;
     let mut last_cycles = 0;
-    for (phase, until) in [
-        ("streaming", 200u64),
-        ("stalled", 400),
-        ("resumed", 600),
-    ] {
+    for (phase, until) in [("streaming", 200u64), ("stalled", 400), ("resumed", 600)] {
         net.run_cycles(until - last_cycles);
         let r = net.report();
         let delta = r.delivered - last_delivered;
@@ -474,10 +514,7 @@ pub fn e10() -> String {
             format!("{sigma_pct:.0}"),
             format!("{:.3}", analysis.min_fmax().value()),
             format!("{:.3}", analysis.median_fmax().value()),
-            format!(
-                "{:.1}",
-                analysis.yield_at(Gigahertz::new(1.0)) * 100.0
-            ),
+            format!("{:.1}", analysis.yield_at(Gigahertz::new(1.0)) * 100.0),
             format!("{:.3}", analysis.frequency_at_yield(0.99).value()),
         ]);
     }
@@ -509,7 +546,10 @@ pub fn e11() -> String {
         ],
     );
     let presets: [(&str, TilePreset); 4] = [
-        ("local compute (p->m)", TilePreset::LocalCompute { rate: 0.4 }),
+        (
+            "local compute (p->m)",
+            TilePreset::LocalCompute { rate: 0.4 },
+        ),
         ("uniform sharing", TilePreset::UniformSharing { rate: 0.2 }),
         (
             "shared-memory hotspot",
@@ -518,7 +558,13 @@ pub fn e11() -> String {
                 fraction: 0.5,
             },
         ),
-        ("bursty tiles 10/90", TilePreset::BurstyTiles { burst: 10, idle: 90 }),
+        (
+            "bursty tiles 10/90",
+            TilePreset::BurstyTiles {
+                burst: 10,
+                idle: 90,
+            },
+        ),
     ];
     for (name, preset) in presets {
         let patterns = demonstrator_patterns(preset, 64);
@@ -529,7 +575,7 @@ pub fn e11() -> String {
         t.row_owned(vec![
             name.into(),
             r.delivered.to_string(),
-            format!("{:.1}", r.latency.mean_cycles()),
+            fmt_mean(&r.latency),
             format!("{:.0}", r.histogram.p99()),
             format!("{:.1}", r.latency.max_cycles()),
             format!("{:.1}", r.gating.gated_fraction() * 100.0),
@@ -571,7 +617,7 @@ pub fn e11() -> String {
         closed.delivered.to_string(),
         closed.packets_delivered.to_string(),
         "mean round trip (cycles)".into(),
-        format!("{:.1}", closed.round_trip.mean_cycles()),
+        fmt_mean(&closed.round_trip),
         closed.is_correct().to_string(),
     ]);
     x.row_owned(vec![
@@ -648,7 +694,11 @@ pub fn e13() -> String {
     let latch = LatchAblation::for_stages(stage_registers, 32);
     let mut ta = Table::new(
         "E13a: latch-based stages (Section 7): area/clock-power vs flip-flops",
-        &["variant", "stage area (mm^2)", "clock power @1GHz, 50% act (mW)"],
+        &[
+            "variant",
+            "stage area (mm^2)",
+            "clock power @1GHz, 50% act (mW)",
+        ],
     );
     let f = Gigahertz::new(1.0);
     ta.row_owned(vec![
@@ -671,7 +721,11 @@ pub fn e13() -> String {
     // (b) Ring-augmented tree.
     let mut tb = Table::new(
         "E13b: ring-augmented tree (Section 7): average latency vs ring reach",
-        &["ring reach (leaves)", "avg latency (cycles)", "worst pair (hops)"],
+        &[
+            "ring reach (leaves)",
+            "avg latency (cycles)",
+            "worst pair (hops)",
+        ],
     );
     for reach in [0usize, 1, 2, 4, 8] {
         let net = icnoc_topology::RingAugmentedTree::binary(64, reach).expect("valid");
@@ -693,20 +747,18 @@ pub fn e13() -> String {
 
     // (b, measured) Simulated ring shortcuts on a cross-root stream.
     let ring_run = |ring: bool| {
-        let mut net = icnoc_sim::TreeNetworkConfig::new(
-            TreeTopology::binary(16).expect("valid"),
-        )
-        .with_port_pattern(
-            PortId(7),
-            TrafficPattern::Hotspot {
-                rate: 0.05,
-                target: PortId(8),
-                fraction: 1.0,
-            },
-        )
-        .with_ring_shortcuts(ring)
-        .with_seed(2_013)
-        .build();
+        let mut net = icnoc_sim::TreeNetworkConfig::new(TreeTopology::binary(16).expect("valid"))
+            .with_port_pattern(
+                PortId(7),
+                TrafficPattern::Hotspot {
+                    rate: 0.05,
+                    target: PortId(8),
+                    fraction: 1.0,
+                },
+            )
+            .with_ring_shortcuts(ring)
+            .with_seed(2_013)
+            .build();
         net.run_cycles(2_000);
         net.drain(500);
         net.report()
@@ -721,12 +773,12 @@ pub fn e13() -> String {
     tbm.row_owned(vec![
         "pure tree (7 routers)".into(),
         plain.delivered.to_string(),
-        format!("{:.1}", plain.latency.mean_cycles()),
+        fmt_mean(&plain.latency),
     ]);
     tbm.row_owned(vec![
         "ring shortcut (mesochronous sync)".into(),
         ringed.delivered.to_string(),
-        format!("{:.1}", ringed.latency.mean_cycles()),
+        fmt_mean(&ringed.latency),
     ]);
     out.push_str(&tbm.render());
     out.push('\n');
@@ -755,10 +807,7 @@ pub fn e13() -> String {
     let safe_window = sys.max_stagger_window();
     for window in [0.0, 125.0, safe_window.value(), 500.0, 900.0] {
         let p = profile_for(window);
-        let safe = sys.stagger_is_timing_safe(&LeafStagger::uniform(
-            64,
-            Picoseconds::new(window),
-        ));
+        let safe = sys.stagger_is_timing_safe(&LeafStagger::uniform(64, Picoseconds::new(window)));
         tc.row_owned(vec![
             format!(
                 "{window:.0}{}",
@@ -769,7 +818,11 @@ pub fn e13() -> String {
                 }
             ),
             format!("{:.3}", p.peak_current_amps()),
-            format!("{:.2}x{}", p.peak_ratio_vs(&base), if safe { "" } else { " TIMING-UNSAFE" }),
+            format!(
+                "{:.2}x{}",
+                p.peak_ratio_vs(&base),
+                if safe { "" } else { " TIMING-UNSAFE" }
+            ),
         ]);
     }
     tc.note(&format!(
@@ -781,7 +834,12 @@ pub fn e13() -> String {
     // (d) The motivating clock-power comparison (Section 2).
     let mut td = Table::new(
         "E13d: balanced global clock tree vs forwarded clock (Section 2 motivation)",
-        &["skew target (ps)", "balanced power (mW)", "forwarded power (mW)", "ratio"],
+        &[
+            "skew target (ps)",
+            "balanced power (mW)",
+            "forwarded power (mW)",
+            "ratio",
+        ],
     );
     for target in [10.0, 30.0, 100.0, 500.0] {
         let g = GlobalClockTree::balanced(64, Millimeters::new(10.0), Picoseconds::new(target))

@@ -1,4 +1,4 @@
-//! Hand-rolled argument parsing (no external dependencies needed for five
+//! Hand-rolled argument parsing (no external dependencies needed for seven
 //! subcommands of `--key value` flags).
 
 use icnoc_sim::TrafficPattern;
@@ -50,6 +50,15 @@ pub struct Cli {
     pub command: Command,
 }
 
+/// Output format for the `stats` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// One JSON document with totals, elements and flows.
+    Json,
+    /// Two CSV tables: per-element counters, then per-flow latencies.
+    Csv,
+}
+
 /// One subcommand with its options.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -81,6 +90,48 @@ pub enum Command {
         /// Closed-loop tiles as `(max_outstanding, service_cycles)`.
         tiles: Option<(usize, u64)>,
         /// Write a VCD waveform of the first `cycles.min(200)` cycles here.
+        vcd: Option<String>,
+        /// Print the stall diagnosis (flit-holding elements) after the run.
+        diagnose: bool,
+    },
+    /// Run a counter-traced simulation and export per-element utilisation
+    /// and per-flow latency percentiles.
+    Stats {
+        /// Build options.
+        build: BuildOpts,
+        /// Per-port traffic pattern.
+        pattern: TrafficPattern,
+        /// Cycles to simulate before draining.
+        cycles: u64,
+        /// Master seed.
+        seed: u64,
+        /// Flits per packet.
+        packet_len: u32,
+        /// Closed-loop tiles as `(max_outstanding, service_cycles)`.
+        tiles: Option<(usize, u64)>,
+        /// Export format.
+        format: StatsFormat,
+        /// Write the export here instead of printing it.
+        out: Option<String>,
+    },
+    /// Run an event-traced simulation and dump the trailing flit-lifecycle
+    /// events.
+    Trace {
+        /// Build options.
+        build: BuildOpts,
+        /// Per-port traffic pattern.
+        pattern: TrafficPattern,
+        /// Cycles to simulate.
+        cycles: u64,
+        /// Master seed.
+        seed: u64,
+        /// Flits per packet.
+        packet_len: u32,
+        /// Ring-buffer capacity (events retained).
+        capacity: usize,
+        /// Maximum events to print (most recent first retained).
+        limit: usize,
+        /// Also write a VCD waveform of the first `cycles.min(200)` cycles.
         vcd: Option<String>,
     },
     /// Monte-Carlo yield analysis.
@@ -145,7 +196,45 @@ impl Cli {
                     None => None,
                 },
                 vcd: flags.take_opt_string("vcd"),
+                diagnose: flags.take_bool("diagnose")?,
             },
+            "stats" => Command::Stats {
+                build: flags.build_opts()?,
+                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                cycles: flags.take_u64("cycles", 2_000)?,
+                seed: flags.take_u64("seed", 42)?,
+                packet_len: flags.take_usize("packet-len", 1)? as u32,
+                tiles: match flags.take_opt_string("tiles") {
+                    Some(spec) => Some(parse_tiles(&spec)?),
+                    None => None,
+                },
+                format: match flags.take_string("format", "json").as_str() {
+                    "json" => StatsFormat::Json,
+                    "csv" => StatsFormat::Csv,
+                    other => {
+                        return Err(CliError(format!(
+                            "--format must be json or csv, got {other:?}"
+                        )))
+                    }
+                },
+                out: flags.take_opt_string("out"),
+            },
+            "trace" => {
+                let capacity = flags.take_usize("capacity", 4_096)?;
+                if capacity == 0 {
+                    return Err(CliError("--capacity must be at least 1".to_owned()));
+                }
+                Command::Trace {
+                    build: flags.build_opts()?,
+                    pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                    cycles: flags.take_u64("cycles", 200)?,
+                    seed: flags.take_u64("seed", 42)?,
+                    packet_len: flags.take_usize("packet-len", 1)? as u32,
+                    capacity,
+                    limit: flags.take_usize("limit", 40)?,
+                    vcd: flags.take_opt_string("vcd"),
+                }
+            }
             "yield" => Command::Yield {
                 build: flags.build_opts()?,
                 variation: flags.take_f64("variation", 0.2)?,
@@ -218,15 +307,19 @@ struct Flags(Vec<(String, String)>);
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut flags = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(CliError(format!("expected --flag, got {key:?}")));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
-            flags.push((name.to_owned(), value.clone()));
+            // A flag followed by another flag (or by nothing) is a boolean
+            // switch: it reads as "true". Value-taking flags still reject
+            // it downstream when "true" fails to parse.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_owned(),
+            };
+            flags.push((name.to_owned(), value));
         }
         Ok(Self(flags))
     }
@@ -263,12 +356,29 @@ impl Flags {
         self.take_u64(name, default as u64).map(|v| v as usize)
     }
 
+    fn take_bool(&mut self, name: &str) -> Result<bool, CliError> {
+        match self.take_opt_string(name) {
+            None => Ok(false),
+            Some(v) => match v.as_str() {
+                "true" | "on" | "yes" => Ok(true),
+                "false" | "off" | "no" => Ok(false),
+                _ => Err(CliError(format!(
+                    "--{name} is a switch (true/false), got {v:?}"
+                ))),
+            },
+        }
+    }
+
     fn build_opts(&mut self) -> Result<BuildOpts, CliError> {
         let defaults = BuildOpts::default();
         let kind = match self.take_string("kind", "binary").as_str() {
             "binary" => TreeKind::Binary,
             "quad" => TreeKind::Quad,
-            other => return Err(CliError(format!("--kind must be binary or quad, got {other:?}"))),
+            other => {
+                return Err(CliError(format!(
+                    "--kind must be binary or quad, got {other:?}"
+                )))
+            }
         };
         Ok(BuildOpts {
             ports: self.take_usize("ports", defaults.ports)?,
@@ -354,15 +464,101 @@ mod tests {
     }
 
     #[test]
+    fn boolean_switches_parse_without_a_value() {
+        let cli = Cli::parse(["sim", "--diagnose", "--cycles", "100"]).expect("parses");
+        let Command::Sim {
+            diagnose, cycles, ..
+        } = cli.command
+        else {
+            panic!("expected sim");
+        };
+        assert!(diagnose);
+        assert_eq!(cycles, 100);
+        // Trailing switch, explicit value, and absence all work.
+        let cli = Cli::parse(["sim", "--diagnose"]).expect("parses");
+        assert!(matches!(cli.command, Command::Sim { diagnose: true, .. }));
+        let cli = Cli::parse(["sim", "--diagnose", "false"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Sim {
+                diagnose: false,
+                ..
+            }
+        ));
+        let cli = Cli::parse(["sim"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Sim {
+                diagnose: false,
+                ..
+            }
+        ));
+        assert!(Cli::parse(["sim", "--diagnose", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn stats_parses_format_and_output() {
+        let cli = Cli::parse([
+            "stats", "--ports", "16", "--format", "csv", "--out", "x.csv",
+        ])
+        .expect("parses");
+        let Command::Stats {
+            build, format, out, ..
+        } = cli.command
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(build.ports, 16);
+        assert_eq!(format, StatsFormat::Csv);
+        assert_eq!(out.as_deref(), Some("x.csv"));
+        // Default format is JSON; unknown formats are rejected.
+        let cli = Cli::parse(["stats"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Stats {
+                format: StatsFormat::Json,
+                out: None,
+                ..
+            }
+        ));
+        assert!(Cli::parse(["stats", "--format", "xml"]).is_err());
+    }
+
+    #[test]
+    fn trace_parses_capacity_and_limit() {
+        let cli = Cli::parse(["trace", "--capacity", "128", "--limit", "10"]).expect("parses");
+        let Command::Trace {
+            capacity,
+            limit,
+            vcd,
+            ..
+        } = cli.command
+        else {
+            panic!("expected trace");
+        };
+        assert_eq!(capacity, 128);
+        assert_eq!(limit, 10);
+        assert_eq!(vcd, None);
+        // A zero-capacity ring would panic downstream; reject it here.
+        assert!(Cli::parse(["trace", "--capacity", "0"]).is_err());
+    }
+
+    #[test]
     fn pattern_specs_round_trip() {
         assert_eq!(
             parse_pattern("uniform:0.25").expect("parses"),
             TrafficPattern::Uniform { rate: 0.25 }
         );
-        assert_eq!(parse_pattern("saturate").expect("parses"), TrafficPattern::Saturate);
+        assert_eq!(
+            parse_pattern("saturate").expect("parses"),
+            TrafficPattern::Saturate
+        );
         assert_eq!(
             parse_pattern("bursty:10:90").expect("parses"),
-            TrafficPattern::Bursty { burst: 10, idle: 90 }
+            TrafficPattern::Bursty {
+                burst: 10,
+                idle: 90
+            }
         );
         assert_eq!(
             parse_pattern("memory:0.1").expect("parses"),

@@ -1,8 +1,8 @@
 //! Command execution: turns a parsed [`Cli`] into output text.
 
-use crate::args::{BuildOpts, Cli, CliError, Command};
+use crate::args::{BuildOpts, Cli, CliError, Command, StatsFormat};
 use icnoc::{System, SystemBuilder};
-use icnoc_sim::{TileTraffic, VcdTrace};
+use icnoc_sim::{Network, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace};
 use icnoc_timing::{PipelineTimingModel, ProcessVariation};
 use icnoc_units::{Gigahertz, Millimeters};
 use std::fmt::Write as _;
@@ -15,6 +15,9 @@ USAGE:
   icnoc verify [build opts] [--variation 0.3] [--sigma 0.05] [--top 10]
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
+               [--diagnose]
+  icnoc stats  [build opts] [sim opts] [--format json|csv] [--out stats.json]
+  icnoc trace  [build opts] [sim opts] [--capacity 4096] [--limit 40] [--vcd out.vcd]
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
 
@@ -61,21 +64,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             packet_len,
             tiles,
             vcd,
+            diagnose,
         } => {
             let sys = build_system(build)?;
-            let patterns = vec![pattern.clone(); sys.tree().num_ports()];
-            let mut net = match tiles {
-                Some((max_outstanding, service_cycles)) => sys.tile_network(
-                    &patterns,
-                    TileTraffic {
-                        max_outstanding: *max_outstanding,
-                        service_cycles: *service_cycles,
-                    },
-                    *seed,
-                ),
-                None => sys.network(&patterns, *seed),
-            };
-            net.set_packet_length(*packet_len);
+            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len);
 
             let mut trace = vcd.as_ref().map(|_| VcdTrace::new(&net));
             if let Some(trace) = &mut trace {
@@ -86,7 +78,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             }
             let already = net.tick() / 2;
             net.run_cycles(cycles.saturating_sub(already));
-            net.drain((*cycles).max(1_000));
+            let drained = net.drain((*cycles).max(1_000));
             let report = net.report();
 
             let mut out = String::new();
@@ -110,6 +102,113 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 report.reordered,
                 report.interleaved
             );
+            if *diagnose {
+                let holders = net.diagnose_stall();
+                if holders.is_empty() {
+                    let _ = write!(out, "\ndiagnose: drained clean, no flits in flight");
+                } else {
+                    let _ = write!(
+                        out,
+                        "\ndiagnose: {} element(s) still hold flits{}",
+                        holders.len(),
+                        if drained { "" } else { " (drain timed out)" }
+                    );
+                    for h in holders {
+                        let _ = write!(out, "\n  {h}");
+                    }
+                }
+            }
+            if let (Some(path), Some(trace)) = (vcd, trace) {
+                std::fs::write(path, trace.render(half_period_ps(build)))
+                    .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+                let _ = write!(out, "\nwaveform written to {path}");
+            }
+            Ok(out)
+        }
+        Command::Stats {
+            build,
+            pattern,
+            cycles,
+            seed,
+            packet_len,
+            tiles,
+            format,
+            out,
+        } => {
+            let sys = build_system(build)?;
+            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len);
+            net.enable_counters();
+            net.run_cycles(*cycles);
+            net.drain((*cycles).max(1_000));
+            let report = net.report();
+            let obs = report
+                .observability
+                .as_ref()
+                .expect("counters were enabled");
+            let text = match format {
+                StatsFormat::Json => obs.to_json(),
+                StatsFormat::Csv => format!(
+                    "# elements\n{}\n# flows\n{}",
+                    obs.elements_csv().trim_end(),
+                    obs.flows_csv().trim_end()
+                ),
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(path, &text)
+                        .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+                    Ok(format!("stats written to {path}"))
+                }
+                None => Ok(text.trim_end().to_owned()),
+            }
+        }
+        Command::Trace {
+            build,
+            pattern,
+            cycles,
+            seed,
+            packet_len,
+            capacity,
+            limit,
+            vcd,
+        } => {
+            let sys = build_system(build)?;
+            let mut net = build_network(&sys, pattern, None, *seed, *packet_len);
+            net.enable_event_buffer(*capacity);
+
+            let mut trace = vcd.as_ref().map(|_| VcdTrace::new(&net));
+            if let Some(trace) = &mut trace {
+                for _ in 0..(*cycles).min(200) * 2 {
+                    trace.sample(&net);
+                    net.step();
+                }
+            }
+            let already = net.tick() / 2;
+            net.run_cycles(cycles.saturating_sub(already));
+
+            let buffer = net.event_buffer().expect("event buffer was enabled");
+            let events = buffer.events();
+            let shown = (*limit).min(events.len());
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{} event(s) retained ({} overwritten), showing last {shown}:",
+                events.len(),
+                buffer.overwritten()
+            );
+            for ev in &events[events.len() - shown..] {
+                let label = net.element_label(ev.element).unwrap_or("?");
+                let _ = write!(
+                    out,
+                    "\n  [{:>8}] {:<16} {:<12} flit {}->{} seq {}",
+                    ev.tick,
+                    describe_kind(ev.kind),
+                    label,
+                    ev.flit.src.0,
+                    ev.flit.dest.0,
+                    ev.flit.seq
+                );
+            }
             if let (Some(path), Some(trace)) = (vcd, trace) {
                 std::fs::write(path, trace.render(half_period_ps(build)))
                     .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
@@ -173,6 +272,42 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     }
 }
 
+/// Builds the simulated network shared by `sim`, `stats` and `trace`:
+/// one copy of `pattern` per port, optionally closed-loop tiles.
+fn build_network(
+    sys: &System,
+    pattern: &TrafficPattern,
+    tiles: Option<(usize, u64)>,
+    seed: u64,
+    packet_len: u32,
+) -> Network {
+    let patterns = vec![pattern.clone(); sys.tree().num_ports()];
+    let mut net = match tiles {
+        Some((max_outstanding, service_cycles)) => sys.tile_network(
+            &patterns,
+            TileTraffic {
+                max_outstanding,
+                service_cycles,
+            },
+            seed,
+        ),
+        None => sys.network(&patterns, seed),
+    };
+    net.set_packet_length(packet_len);
+    net
+}
+
+fn describe_kind(kind: TraceEventKind) -> String {
+    match kind {
+        TraceEventKind::Injected => "injected".to_owned(),
+        TraceEventKind::HopForwarded => "forwarded".to_owned(),
+        TraceEventKind::Blocked => "blocked".to_owned(),
+        TraceEventKind::Arbitrated { contenders } => format!("arbitrated({contenders})"),
+        TraceEventKind::Delivered => "delivered".to_owned(),
+        TraceEventKind::Dropped => "dropped".to_owned(),
+    }
+}
+
 fn build_system(build: &BuildOpts) -> Result<System, CliError> {
     SystemBuilder::new(build.kind, build.ports)
         .frequency(Gigahertz::new(build.freq))
@@ -220,7 +355,13 @@ mod tests {
     #[test]
     fn sim_reports_correctness_and_power() {
         let out = run_line(&[
-            "sim", "--ports", "16", "--pattern", "uniform:0.2", "--cycles", "300",
+            "sim",
+            "--ports",
+            "16",
+            "--pattern",
+            "uniform:0.2",
+            "--cycles",
+            "300",
         ])
         .expect("runs");
         assert!(out.contains("correct: true"), "{out}");
@@ -246,9 +387,96 @@ mod tests {
     }
 
     #[test]
+    fn sim_diagnose_reports_clean_drain() {
+        let out = run_line(&[
+            "sim",
+            "--ports",
+            "16",
+            "--pattern",
+            "uniform:0.2",
+            "--cycles",
+            "200",
+            "--diagnose",
+        ])
+        .expect("runs");
+        assert!(out.contains("diagnose: drained clean"), "{out}");
+    }
+
+    #[test]
+    fn stats_exports_json_with_percentiles() {
+        let out = run_line(&[
+            "stats",
+            "--ports",
+            "64",
+            "--pattern",
+            "uniform:0.2",
+            "--cycles",
+            "500",
+        ])
+        .expect("runs");
+        assert!(out.contains("\"elements\""), "{out}");
+        assert!(out.contains("\"utilisation\""), "{out}");
+        assert!(out.contains("\"p50\""), "{out}");
+        assert!(out.contains("\"p99\""), "{out}");
+    }
+
+    #[test]
+    fn stats_exports_csv_to_a_file() {
+        let dir = std::env::temp_dir().join("icnoc_cli_test_stats");
+        let path = dir.join("stats.csv");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_line(&[
+            "stats",
+            "--ports",
+            "16",
+            "--cycles",
+            "300",
+            "--format",
+            "csv",
+            "--out",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .expect("runs");
+        assert!(out.contains("stats written"), "{out}");
+        let csv = std::fs::read_to_string(&path).expect("file exists");
+        assert!(csv.contains("label,injected"), "{csv}");
+        assert!(csv.contains("src,dest,delivered"), "{csv}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_dumps_labelled_events() {
+        let out = run_line(&[
+            "trace",
+            "--ports",
+            "8",
+            "--pattern",
+            "uniform:0.3",
+            "--cycles",
+            "100",
+            "--limit",
+            "20",
+        ])
+        .expect("runs");
+        assert!(out.contains("event(s) retained"), "{out}");
+        assert!(out.contains("showing last 20"), "{out}");
+        assert!(
+            out.contains("delivered") || out.contains("forwarded"),
+            "{out}"
+        );
+        assert!(out.contains("flit "), "{out}");
+    }
+
+    #[test]
     fn yield_prints_curve() {
         let out = run_line(&[
-            "yield", "--ports", "16", "--variation", "0.2", "--samples", "50",
+            "yield",
+            "--ports",
+            "16",
+            "--variation",
+            "0.2",
+            "--samples",
+            "50",
         ])
         .expect("runs");
         assert!(out.contains("yield at 1.0 GHz"), "{out}");

@@ -83,8 +83,7 @@ impl ClockDistribution {
         while let Some(node) = queue.pop_front() {
             for &child in tree.children(node) {
                 let link = tree.uplink(child).expect("children are non-root");
-                arrival[child.index()] =
-                    arrival[node.index()] + wire.delay(plan.link_length(link));
+                arrival[child.index()] = arrival[node.index()] + wire.delay(plan.link_length(link));
                 polarity[child.index()] = polarity[node.index()].inverted();
                 queue.push_back(child);
             }
@@ -177,8 +176,12 @@ mod tests {
     fn demo() -> (TreeTopology, Floorplan, ClockDistribution) {
         let tree = TreeTopology::binary(64).expect("valid");
         let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
-        let dist =
-            ClockDistribution::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
+        let dist = ClockDistribution::forwarded(
+            &tree,
+            &plan,
+            WireModel::nominal_90nm(),
+            Gigahertz::new(1.0),
+        );
         (tree, plan, dist)
     }
 
@@ -238,7 +241,10 @@ mod tests {
 
     #[test]
     fn inverted_is_involutive() {
-        assert_eq!(ClockPolarity::Rising.inverted().inverted(), ClockPolarity::Rising);
+        assert_eq!(
+            ClockPolarity::Rising.inverted().inverted(),
+            ClockPolarity::Rising
+        );
         assert_ne!(ClockPolarity::Rising, ClockPolarity::Falling);
     }
 

@@ -147,12 +147,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn demo(target_ps: f64) -> GlobalClockTree {
-        GlobalClockTree::balanced(
-            64,
-            Millimeters::new(10.0),
-            Picoseconds::new(target_ps),
-        )
-        .expect("64 is a power of 2")
+        GlobalClockTree::balanced(64, Millimeters::new(10.0), Picoseconds::new(target_ps))
+            .expect("64 is a power of 2")
     }
 
     #[test]
@@ -191,12 +187,9 @@ mod tests {
 
     #[test]
     fn non_power_of_two_leaf_count_is_error() {
-        assert!(GlobalClockTree::balanced(
-            48,
-            Millimeters::new(10.0),
-            Picoseconds::new(30.0)
-        )
-        .is_err());
+        assert!(
+            GlobalClockTree::balanced(48, Millimeters::new(10.0), Picoseconds::new(30.0)).is_err()
+        );
     }
 
     proptest! {

@@ -51,7 +51,7 @@ pub enum TilePreset {
 #[must_use]
 #[track_caller]
 pub fn demonstrator_patterns(preset: TilePreset, ports: usize) -> Vec<TrafficPattern> {
-    assert!(ports % 2 == 0, "tiles are processor/memory pairs");
+    assert!(ports.is_multiple_of(2), "tiles are processor/memory pairs");
     (0..ports)
         .map(|p| {
             if p % 2 == 1 {

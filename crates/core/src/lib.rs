@@ -55,6 +55,13 @@ pub use system::{System, SystemBuilder, SystemSummary};
 pub use verify::{SegmentCheck, TimingVerification};
 pub use yield_mc::YieldAnalysis;
 
+// Observability types, re-exported so downstream code can attach sinks and
+// consume reports without depending on `icnoc_sim` directly.
+pub use icnoc_sim::{
+    CountersSink, ElementCounters, ElementUtilisation, FlowLatency, ObservabilityReport,
+    RingBufferSink, TraceEvent, TraceEventKind, TraceSink, TraceTotals,
+};
+
 // One-stop re-exports of the substrate crates so downstream users need a
 // single dependency.
 pub use icnoc_clock as clock;

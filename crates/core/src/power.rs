@@ -75,8 +75,8 @@ impl System {
             .tree()
             .routers()
             .map(|r| {
-                let ports = self.tree().children(r).len()
-                    + usize::from(self.tree().parent(r).is_some());
+                let ports =
+                    self.tree().children(r).len() + usize::from(self.tree().parent(r).is_some());
                 let depth = self.tree().router_class().forward_latency_half_cycles() as usize;
                 ports * depth
             })
@@ -103,9 +103,8 @@ impl System {
             let avg_wire = analysis::tree_average_wire_length(self.tree(), self.floorplan());
             let avg_hops = analysis::tree_average_hops(self.tree());
             let width_scale = f64::from(self.width_bits()) / 32.0;
-            let wire_energy = Picojoules::new(
-                analysis::WIRE_ENERGY_PER_MM * width_scale * avg_wire.value(),
-            );
+            let wire_energy =
+                Picojoules::new(analysis::WIRE_ENERGY_PER_MM * width_scale * avg_wire.value());
             let router_energy = Picojoules::new(
                 analysis::ROUTER_ENERGY_PER_MM2
                     * self.tree().router_class().area(self.width_bits()).value()

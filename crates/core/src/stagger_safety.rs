@@ -31,9 +31,7 @@ impl System {
             .map(|port| {
                 let leaf = self.tree().leaf(port).expect("ports enumerate in range");
                 let link = self.tree().uplink(leaf).expect("leaves are non-root");
-                let geo = self
-                    .floorplan()
-                    .pipelined_link(link, self.max_segment());
+                let geo = self.floorplan().pipelined_link(link, self.max_segment());
                 let d = wire.delay(geo.segment_length());
                 let upstream_allowance = window.max() - d * 2.0;
                 let downstream_allowance = -window.min();

@@ -392,12 +392,8 @@ impl System {
     pub fn derated(&self, frequency: Gigahertz) -> System {
         let mut sys = self.clone();
         sys.frequency = frequency;
-        sys.clocks = ClockDistribution::forwarded(
-            &sys.tree,
-            &sys.plan,
-            sys.pipeline.wire(),
-            frequency,
-        );
+        sys.clocks =
+            ClockDistribution::forwarded(&sys.tree, &sys.plan, sys.pipeline.wire(), frequency);
         sys
     }
 
@@ -405,9 +401,8 @@ impl System {
     #[must_use]
     pub fn summary(&self) -> SystemSummary {
         let area = self.area();
-        let die = SquareMillimeters::new(
-            self.plan.die_width().value() * self.plan.die_height().value(),
-        );
+        let die =
+            SquareMillimeters::new(self.plan.die_width().value() * self.plan.die_height().value());
         SystemSummary {
             kind: self.tree.kind(),
             ports: self.tree.num_ports(),
@@ -484,7 +479,11 @@ mod tests {
         assert_eq!(s.worst_case_hops, 11);
         // Paper: "we target link segments of 1.25 mm near the root" at
         // 1 GHz — our segment cap must admit that (modulo float noise).
-        assert!(s.max_segment.value() >= 1.25 - 1e-9, "cap {}", s.max_segment);
+        assert!(
+            s.max_segment.value() >= 1.25 - 1e-9,
+            "cap {}",
+            s.max_segment
+        );
         // Area in the paper's ballpark, well under 1% of the die.
         assert!(s.noc_area.value() > 0.5 && s.noc_area.value() < 0.9);
     }
@@ -509,7 +508,9 @@ mod tests {
             Err(SystemError::InvalidConfig(_))
         ));
         assert!(matches!(
-            SystemBuilder::new(TreeKind::Binary, 64).width_bits(0).build(),
+            SystemBuilder::new(TreeKind::Binary, 64)
+                .width_bits(0)
+                .build(),
             Err(SystemError::InvalidConfig(_))
         ));
         assert!(matches!(
@@ -547,7 +548,9 @@ mod tests {
 
     #[test]
     fn simulation_is_correct_and_busy() {
-        let sys = SystemBuilder::new(TreeKind::Binary, 16).build().expect("valid");
+        let sys = SystemBuilder::new(TreeKind::Binary, 16)
+            .build()
+            .expect("valid");
         let report = sys.simulate(TrafficPattern::uniform(0.2), 1_500, 9);
         assert!(report.is_correct(), "{report}");
         assert!(report.delivered > 500);
@@ -575,7 +578,9 @@ mod tests {
 
     #[test]
     fn wormhole_packets_on_the_demonstrator() {
-        let sys = SystemBuilder::new(TreeKind::Binary, 32).build().expect("valid");
+        let sys = SystemBuilder::new(TreeKind::Binary, 32)
+            .build()
+            .expect("valid");
         let patterns = vec![TrafficPattern::uniform(0.05); 32];
         let mut cfg_net = sys.network(&patterns, 21);
         cfg_net.set_packet_length(4);

@@ -8,9 +8,7 @@
 //! metastability-free by construction at its operating point.
 
 use crate::System;
-use icnoc_timing::{
-    Direction, LinkTiming, ProcessVariation, TimingReport, TimingViolation,
-};
+use icnoc_timing::{Direction, LinkTiming, ProcessVariation, TimingReport, TimingViolation};
 use icnoc_topology::LinkId;
 use icnoc_units::Picoseconds;
 use serde::{Deserialize, Serialize};
@@ -68,13 +66,11 @@ impl TimingVerification {
                             (None, r) => r,
                             (Some(Err(e)), _) => Err(e),
                             (Some(Ok(_)), Err(e)) => Err(e),
-                            (Some(Ok(a)), Ok(b)) => {
-                                Ok(if b.worst_margin() < a.worst_margin() {
-                                    b
-                                } else {
-                                    a
-                                })
-                            }
+                            (Some(Ok(a)), Ok(b)) => Ok(if b.worst_margin() < a.worst_margin() {
+                                b
+                            } else {
+                                a
+                            }),
                         });
                     }
                     checks.push(SegmentCheck {
@@ -271,7 +267,6 @@ mod tests {
         let worst = v.worst_paths(1)[0]
             .result
             .as_ref()
-            .ok()
             .expect("demonstrator passes")
             .worst_margin();
         assert_eq!(Some(worst), v.worst_margin());
@@ -286,7 +281,9 @@ mod tests {
 
     #[test]
     fn safe_frequency_verifies_at_its_own_corner_and_is_tight() {
-        let sys = SystemBuilder::new(TreeKind::Binary, 16).build().expect("valid");
+        let sys = SystemBuilder::new(TreeKind::Binary, 16)
+            .build()
+            .expect("valid");
         let var = ProcessVariation::new(0.4, 0.08);
         let f = sys.max_safe_frequency(var, 3.0);
         assert!(sys.derated(f).verify_under(var, 3.0).is_timing_safe());

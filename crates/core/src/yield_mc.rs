@@ -32,12 +32,7 @@ impl YieldAnalysis {
     /// Panics if `samples` is zero.
     #[must_use]
     #[track_caller]
-    pub fn run(
-        system: &System,
-        variation: ProcessVariation,
-        samples: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn run(system: &System, variation: ProcessVariation, samples: usize, seed: u64) -> Self {
         assert!(samples > 0, "need at least one sample die");
         let ff = system.pipeline_model().flip_flop();
         let wire = system.pipeline_model().wire();
@@ -54,10 +49,8 @@ impl YieldAnalysis {
                         let data = draw.apply(nominal);
                         let clock = draw.apply(nominal);
                         // Downstream (Δdiff) and upstream (Δsum) bounds.
-                        required =
-                            required.max(LinkTiming::required_half_period(ff, data - clock));
-                        required =
-                            required.max(LinkTiming::required_half_period(ff, data + clock));
+                        required = required.max(LinkTiming::required_half_period(ff, data - clock));
+                        required = required.max(LinkTiming::required_half_period(ff, data + clock));
                         // Forward path: logic inflates with its own factor.
                         let logic = draw.apply(overhead);
                         required = required.max(logic + data);

@@ -1,11 +1,11 @@
 //! Network elements: handshake stages, traffic sources and sinks.
 
 use crate::{Flit, LatencyStats, TrafficPattern};
-use std::collections::{HashMap, VecDeque};
 use icnoc_clock::{ClockGatingStats, ClockPolarity};
 use icnoc_topology::PortId;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 
 /// Index of an element inside a [`Network`](crate::Network).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -161,7 +161,7 @@ impl SinkMode {
         match self {
             SinkMode::AlwaysAccept => true,
             SinkMode::StallDuring { from, to } => !(from..to).contains(&cycle),
-            SinkMode::Throttle { period } => period == 0 || cycle % period == 0,
+            SinkMode::Throttle { period } => period == 0 || cycle.is_multiple_of(period),
         }
     }
 }

@@ -38,14 +38,19 @@ mod element;
 mod flit;
 mod network;
 mod report;
-mod tree_net;
+mod trace;
 mod traffic;
+mod tree_net;
 mod vcd;
 
 pub use element::{Arbitration, ElementId, MeshDirection, RouteFilter, SinkMode};
 pub use flit::{Flit, FlitKind};
 pub use network::Network;
 pub use report::{LatencyHistogram, LatencyStats, SimReport};
+pub use trace::{
+    CountersSink, ElementCounters, ElementUtilisation, FlowLatency, ObservabilityReport,
+    RingBufferSink, TraceEvent, TraceEventKind, TraceSink, TraceTotals,
+};
 pub use traffic::{TrafficPattern, TrafficPhase};
 pub use tree_net::{TileTraffic, TreeNetworkConfig};
 pub use vcd::VcdTrace;

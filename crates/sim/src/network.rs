@@ -2,6 +2,7 @@
 
 use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState};
 use crate::report::Scoreboard;
+use crate::trace::{CountersSink, RingBufferSink, TraceEvent, TraceEventKind, TraceSink};
 use crate::{
     Arbitration, ElementId, Flit, LatencyStats, RouteFilter, SimReport, SinkMode, TrafficPattern,
     TrafficPhase,
@@ -26,6 +27,10 @@ pub struct Network {
     num_ports: u32,
     scoreboard: Scoreboard,
     finalized: bool,
+    /// Attached observability sinks. Empty by default; every
+    /// instrumentation site checks emptiness before building an event, so
+    /// the untraced hot path pays one predictable branch.
+    sinks: Vec<Box<dyn TraceSink>>,
 }
 
 impl Network {
@@ -48,6 +53,75 @@ impl Network {
             num_ports,
             scoreboard: Scoreboard::default(),
             finalized: false,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Attaches a flit-lifecycle trace sink. Several sinks may coexist
+    /// (e.g. counters plus an event buffer); each receives every event.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Attaches a [`CountersSink`], enabling the per-element utilisation
+    /// and per-flow latency sections of [`SimReport`].
+    pub fn enable_counters(&mut self) {
+        self.add_trace_sink(Box::new(CountersSink::new()));
+    }
+
+    /// Attaches a [`RingBufferSink`] retaining the last `capacity` events
+    /// for post-mortem dumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[track_caller]
+    pub fn enable_event_buffer(&mut self, capacity: usize) {
+        self.add_trace_sink(Box::new(RingBufferSink::new(capacity)));
+    }
+
+    /// Whether any trace sink is attached.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// The attached [`CountersSink`], if any.
+    #[must_use]
+    pub fn counters(&self) -> Option<&CountersSink> {
+        self.sinks.iter().find_map(|s| s.as_any().downcast_ref())
+    }
+
+    /// The attached [`RingBufferSink`], if any.
+    #[must_use]
+    pub fn event_buffer(&self) -> Option<&RingBufferSink> {
+        self.sinks.iter().find_map(|s| s.as_any().downcast_ref())
+    }
+
+    /// The label of element `id`, if it exists.
+    #[must_use]
+    pub fn element_label(&self, id: ElementId) -> Option<&str> {
+        self.elements.get(id.index()).map(|e| e.label.as_str())
+    }
+
+    /// Every element's label, indexed by element id.
+    #[must_use]
+    pub fn element_labels(&self) -> Vec<&str> {
+        self.elements.iter().map(|e| e.label.as_str()).collect()
+    }
+
+    /// Fans one event out to every attached sink. Callers guard with
+    /// [`tracing_enabled`](Self::tracing_enabled) so the disabled path
+    /// never constructs events.
+    fn emit(&mut self, element: usize, kind: TraceEventKind, flit: Flit) {
+        let event = TraceEvent {
+            tick: self.tick,
+            element: ElementId(element as u32),
+            kind,
+            flit,
+        };
+        for sink in &mut self.sinks {
+            sink.record(&event);
         }
     }
 
@@ -140,12 +214,7 @@ impl Network {
     }
 
     /// Adds a sink for `port` (low-level builder API).
-    pub fn add_sink(
-        &mut self,
-        port: PortId,
-        mode: SinkMode,
-        polarity: ClockPolarity,
-    ) -> ElementId {
+    pub fn add_sink(&mut self, port: PortId, mode: SinkMode, polarity: ClockPolarity) -> ElementId {
         let state = SinkState {
             port,
             mode,
@@ -226,7 +295,9 @@ impl Network {
                     self.elements[u.index()].label,
                     self.elements[i].label,
                 );
-                self.elements[u.index()].downstreams.push(ElementId(i as u32));
+                self.elements[u.index()]
+                    .downstreams
+                    .push(ElementId(i as u32));
             }
         }
         self.finalized = true;
@@ -312,7 +383,7 @@ impl Network {
     /// Panics if the network was constructed manually and never finalized.
     pub fn step(&mut self) {
         assert!(self.finalized, "network must be finalized before stepping");
-        let parity = if self.tick % 2 == 0 {
+        let parity = if self.tick.is_multiple_of(2) {
             ClockPolarity::Rising
         } else {
             ClockPolarity::Falling
@@ -343,6 +414,7 @@ impl Network {
 
     fn step_stage(&mut self, i: usize) {
         let drained = self.was_drained(i);
+        let tracing = !self.sinks.is_empty();
         // Collect capture candidates. A locked stage (a wormhole in
         // progress) only listens to the locked upstream and takes whatever
         // it presents; an unlocked stage arbitrates among upstreams
@@ -350,6 +422,8 @@ impl Network {
         let el = &self.elements[i];
         let n = el.upstreams.len();
         let mut winner: Option<(usize, Flit)> = None;
+        let mut contenders = 0u32;
+        let mut arbitrating = false;
         if let Some(locked) = el.lock {
             if let Some(flit) = self.elements[locked.index()].out_flit {
                 let slot = el
@@ -360,6 +434,7 @@ impl Network {
                 winner = Some((slot, flit));
             }
         } else if n > 0 {
+            arbitrating = n > 1;
             let start = match el.arb {
                 Arbitration::RoundRobin => el.rr_next % n,
                 Arbitration::Priority => 0,
@@ -369,8 +444,15 @@ impl Network {
                 let u = el.upstreams[slot];
                 if let Some(flit) = self.elements[u.index()].out_flit {
                     if flit.kind.opens_route() && el.filter.wants(&flit) {
-                        winner = Some((slot, flit));
-                        break;
+                        if winner.is_none() {
+                            winner = Some((slot, flit));
+                            if !tracing {
+                                break;
+                            }
+                        }
+                        // Tracing only: keep scanning to count the
+                        // losers of this arbitration.
+                        contenders += 1;
                     }
                 }
             }
@@ -378,6 +460,7 @@ impl Network {
 
         let el = &mut self.elements[i];
         let new_empty = el.out_flit.is_none() || drained;
+        let held = el.out_flit;
         match winner {
             Some((slot, flit)) if new_empty => {
                 let upstream = el.upstreams[slot];
@@ -392,6 +475,12 @@ impl Network {
                     Some(upstream)
                 };
                 el.gating.record_enabled();
+                if tracing {
+                    self.emit(i, TraceEventKind::HopForwarded, flit);
+                    if arbitrating && contenders > 1 {
+                        self.emit(i, TraceEventKind::Arbitrated { contenders }, flit);
+                    }
+                }
             }
             _ => {
                 if drained {
@@ -399,12 +488,20 @@ impl Network {
                 }
                 el.accepted_from = None;
                 el.gating.record_gated();
+                if tracing && !drained {
+                    if let Some(flit) = held {
+                        self.emit(i, TraceEventKind::Blocked, flit);
+                    }
+                }
             }
         }
     }
 
     fn step_source(&mut self, i: usize) {
         let drained = self.was_drained(i);
+        let tracing = !self.sinks.is_empty();
+        let mut injected: Option<Flit> = None;
+        let mut blocked: Option<Flit> = None;
         let num_ports = self.num_ports;
         let tick = self.tick;
         let Kind::Source(_) = self.elements[i].kind else {
@@ -447,6 +544,7 @@ impl Network {
                         Some((dest, remaining - 1))
                     };
                     el.out_flit = Some(flit);
+                    injected = Some(flit);
                 } else if state.enabled {
                     let SourceState {
                         pattern,
@@ -489,16 +587,26 @@ impl Network {
                         state.next_seq += 1;
                         state.sent += 1;
                         el.out_flit = Some(flit);
+                        injected = Some(flit);
                     }
                 }
             } else {
                 state.stalled_edges += 1;
+                blocked = el.out_flit;
             }
         }
         let Kind::Source(state) = &mut el.kind else {
             unreachable!()
         };
         state.cycle += 1;
+        if tracing {
+            if let Some(flit) = injected {
+                self.emit(i, TraceEventKind::Injected, flit);
+            }
+            if let Some(flit) = blocked {
+                self.emit(i, TraceEventKind::Blocked, flit);
+            }
+        }
     }
 
     fn step_sink(&mut self, i: usize) {
@@ -517,6 +625,14 @@ impl Network {
             (true, Some(flit)) => {
                 el.accepted_from = up;
                 self.scoreboard.record_arrival(&flit, tick, port);
+                if !self.sinks.is_empty() {
+                    let kind = if flit.dest == port {
+                        TraceEventKind::Delivered
+                    } else {
+                        TraceEventKind::Dropped
+                    };
+                    self.emit(i, kind, flit);
+                }
             }
             _ => {
                 el.accepted_from = None;
@@ -526,6 +642,9 @@ impl Network {
 
     fn step_tile(&mut self, i: usize) {
         let tick = self.tick;
+        let tracing = !self.sinks.is_empty();
+        let mut injected: Option<Flit> = None;
+        let mut blocked: Option<Flit> = None;
         let num_ports = self.num_ports;
         let drained = self.was_drained(i);
         // Input side: tiles always accept (they are their port's sink).
@@ -587,18 +706,15 @@ impl Network {
                     max_outstanding,
                 } => {
                     if state.enabled {
-                        let in_flight: usize =
-                            state.outstanding.values().map(|q| q.len()).sum();
+                        let in_flight: usize = state.outstanding.values().map(|q| q.len()).sum();
                         if in_flight < *max_outstanding {
-                            if let TrafficPhase::Inject(dest) =
-                                pattern.decide(
-                                    port,
-                                    num_ports,
-                                    cycle,
-                                    &mut state.rng,
-                                    &mut state.cursor,
-                                )
-                            {
+                            if let TrafficPhase::Inject(dest) = pattern.decide(
+                                port,
+                                num_ports,
+                                cycle,
+                                &mut state.rng,
+                                &mut state.cursor,
+                            ) {
                                 emit = Some(dest);
                             }
                         }
@@ -621,13 +737,31 @@ impl Network {
                     state.outstanding.entry(dest.0).or_default().push_back(tick);
                 }
                 el.out_flit = Some(flit);
+                injected = Some(flit);
             }
         } else if state.enabled {
             state.stalled_edges += 1;
+            blocked = el.out_flit;
         }
         // A tile consumes flits itself; record them like a sink does.
         if let Some(flit) = arrived {
             self.scoreboard.record_arrival(&flit, tick, port);
+        }
+        if tracing {
+            if let Some(flit) = arrived {
+                let kind = if flit.dest == port {
+                    TraceEventKind::Delivered
+                } else {
+                    TraceEventKind::Dropped
+                };
+                self.emit(i, kind, flit);
+            }
+            if let Some(flit) = injected {
+                self.emit(i, TraceEventKind::Injected, flit);
+            }
+            if let Some(flit) = blocked {
+                self.emit(i, TraceEventKind::Blocked, flit);
+            }
         }
     }
 
@@ -742,6 +876,11 @@ impl Network {
                 }
             }
         }
+        let observability = self
+            .sinks
+            .iter()
+            .find_map(|s| s.as_any().downcast_ref::<CountersSink>())
+            .map(|c| c.report(self.tick / 2, &self.element_labels()));
         SimReport {
             cycles: self.tick / 2,
             sent,
@@ -759,6 +898,7 @@ impl Network {
             interleaved: self.scoreboard.interleaved,
             round_trip,
             responses,
+            observability,
         }
     }
 
@@ -792,7 +932,10 @@ mod tests {
         for stages in [1usize, 2, 4, 8, 16] {
             let mut net = Network::pipeline(
                 stages,
-                TrafficPattern::Bursty { burst: 1, idle: 1000 },
+                TrafficPattern::Bursty {
+                    burst: 1,
+                    idle: 1000,
+                },
                 SinkMode::AlwaysAccept,
                 3,
             );
@@ -837,7 +980,10 @@ mod tests {
             9,
         );
         let report = net.run_cycles(400);
-        assert!((report.throughput_per_cycle() - 0.25).abs() < 0.05, "{report}");
+        assert!(
+            (report.throughput_per_cycle() - 0.25).abs() < 0.05,
+            "{report}"
+        );
         assert_eq!(report.duplicated, 0);
         assert_eq!(report.reordered, 0);
     }
@@ -855,7 +1001,10 @@ mod tests {
     fn bursty_traffic_gates_in_proportion_to_idleness() {
         let mut net = Network::pipeline(
             8,
-            TrafficPattern::Bursty { burst: 10, idle: 90 },
+            TrafficPattern::Bursty {
+                burst: 10,
+                idle: 90,
+            },
             SinkMode::AlwaysAccept,
             5,
         );
@@ -886,7 +1035,10 @@ mod tests {
         );
         net.connect(a, b);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.finalize()));
-        assert!(result.is_err(), "equal-polarity connection must be rejected");
+        assert!(
+            result.is_err(),
+            "equal-polarity connection must be rejected"
+        );
     }
 
     #[test]
@@ -896,7 +1048,10 @@ mod tests {
         let mut net = Network::pipeline(
             4,
             TrafficPattern::saturate(),
-            SinkMode::StallDuring { from: 0, to: u64::MAX },
+            SinkMode::StallDuring {
+                from: 0,
+                to: u64::MAX,
+            },
             1,
         );
         net.run_cycles(50);
@@ -904,14 +1059,12 @@ mod tests {
         let diagnosis = net.diagnose_stall();
         assert!(diagnosis.len() >= 4, "{diagnosis:?}");
         assert!(diagnosis.iter().any(|d| d.contains("s0")), "{diagnosis:?}");
-        assert!(diagnosis.iter().any(|d| d.contains("Single")), "{diagnosis:?}");
-        // A drained network diagnoses clean.
-        let mut ok = Network::pipeline(
-            4,
-            TrafficPattern::saturate(),
-            SinkMode::AlwaysAccept,
-            1,
+        assert!(
+            diagnosis.iter().any(|d| d.contains("Single")),
+            "{diagnosis:?}"
         );
+        // A drained network diagnoses clean.
+        let mut ok = Network::pipeline(4, TrafficPattern::saturate(), SinkMode::AlwaysAccept, 1);
         ok.run_cycles(50);
         assert!(ok.drain(50));
         assert!(ok.diagnose_stall().is_empty());

@@ -42,14 +42,30 @@ impl LatencyStats {
         self.count
     }
 
-    /// Mean latency in clock cycles (0.0 when empty).
+    /// Whether no deliveries were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency in clock cycles, or `None` when nothing was recorded.
+    /// Prefer this where a defaulted 0.0 would read as a real — and
+    /// suspiciously excellent — latency.
+    #[must_use]
+    pub fn try_mean_cycles(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_half_cycles as f64 / self.count as f64 / 2.0)
+        }
+    }
+
+    /// Mean latency in clock cycles (0.0 when empty; see
+    /// [`try_mean_cycles`](Self::try_mean_cycles) to distinguish the empty
+    /// case).
     #[must_use]
     pub fn mean_cycles(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_half_cycles as f64 / self.count as f64 / 2.0
-        }
+        self.try_mean_cycles().unwrap_or(0.0)
     }
 
     /// Minimum latency in cycles.
@@ -281,6 +297,10 @@ pub struct SimReport {
     pub round_trip: LatencyStats,
     /// Responses received by processor tiles.
     pub responses: u64,
+    /// Per-element utilisation and per-flow latency percentiles, present
+    /// when a [`CountersSink`](crate::CountersSink) was attached (e.g. via
+    /// [`TreeNetworkConfig::with_counters`](crate::TreeNetworkConfig::with_counters)).
+    pub observability: Option<crate::ObservabilityReport>,
 }
 
 impl SimReport {
@@ -344,9 +364,24 @@ mod tests {
         l.record(10);
         l.record(6);
         assert_eq!(l.count(), 3);
+        assert!(!l.is_empty());
         assert_eq!(l.min_cycles(), 2.0);
         assert_eq!(l.max_cycles(), 5.0);
         assert!((l.mean_cycles() - 20.0 / 6.0).abs() < 1e-12);
+        assert_eq!(l.try_mean_cycles(), Some(l.mean_cycles()));
+    }
+
+    #[test]
+    fn empty_latency_stats_are_distinguishable_from_zero_latency() {
+        let empty = LatencyStats::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.try_mean_cycles(), None);
+        assert_eq!(empty.mean_cycles(), 0.0);
+        // A genuinely-zero-latency delivery is not "empty".
+        let mut zero = LatencyStats::new();
+        zero.record(0);
+        assert!(!zero.is_empty());
+        assert_eq!(zero.try_mean_cycles(), Some(0.0));
     }
 
     #[test]
@@ -393,6 +428,7 @@ mod tests {
             interleaved: 0,
             round_trip: LatencyStats::new(),
             responses: 0,
+            observability: None,
         };
         assert_eq!(report.lost(), 0);
         assert!(report.is_correct());

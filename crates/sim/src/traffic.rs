@@ -262,7 +262,12 @@ mod tests {
         let mut r = rng();
         let p = TrafficPattern::Bursty { burst: 2, idle: 3 };
         let decisions: Vec<bool> = (0..10)
-            .map(|c| matches!(p.decide(PortId(0), 8, c, &mut r, &mut 0), TrafficPhase::Inject(_)))
+            .map(|c| {
+                matches!(
+                    p.decide(PortId(0), 8, c, &mut r, &mut 0),
+                    TrafficPhase::Inject(_)
+                )
+            })
             .collect();
         assert_eq!(
             decisions,
@@ -279,7 +284,9 @@ mod tests {
             fraction: 0.9,
         };
         let hits = (0..1000)
-            .filter(|&c| p.decide(PortId(5), 8, c, &mut r, &mut 0) == TrafficPhase::Inject(PortId(0)))
+            .filter(|&c| {
+                p.decide(PortId(5), 8, c, &mut r, &mut 0) == TrafficPhase::Inject(PortId(0))
+            })
             .count();
         assert!(hits > 800, "expected ~900 hotspot hits, got {hits}");
     }

@@ -40,6 +40,8 @@ pub struct TreeNetworkConfig {
     packet_len: u32,
     tiles: Option<TileTraffic>,
     ring_shortcuts: bool,
+    counters: bool,
+    event_buffer: Option<usize>,
 }
 
 /// Closed-loop tile configuration: processors (even ports) issue requests
@@ -71,6 +73,8 @@ impl TreeNetworkConfig {
             packet_len: 1,
             tiles: None,
             ring_shortcuts: false,
+            counters: false,
+            event_buffer: None,
         }
     }
 
@@ -173,12 +177,41 @@ impl TreeNetworkConfig {
         self
     }
 
+    /// Attaches a [`CountersSink`](crate::CountersSink) to the built
+    /// network, so its [`SimReport`](crate::SimReport) carries the
+    /// per-element utilisation and per-flow latency sections.
+    #[must_use]
+    pub fn with_counters(mut self, on: bool) -> Self {
+        self.counters = on;
+        self
+    }
+
+    /// Attaches a [`RingBufferSink`](crate::RingBufferSink) retaining the
+    /// last `capacity` flit-lifecycle events for post-mortem dumps.
+    ///
+    /// # Panics
+    ///
+    /// The eventual [`build`](Self::build) panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_event_buffer(mut self, capacity: usize) -> Self {
+        self.event_buffer = Some(capacity);
+        self
+    }
+
     /// Builds the runnable [`Network`].
     #[must_use]
     pub fn build(self) -> Network {
         let packet_len = self.packet_len;
+        let counters = self.counters;
+        let event_buffer = self.event_buffer;
         let mut net = Builder::new(self).build();
         net.set_packet_length(packet_len);
+        if counters {
+            net.enable_counters();
+        }
+        if let Some(capacity) = event_buffer {
+            net.enable_event_buffer(capacity);
+        }
         net
     }
 }
@@ -328,8 +361,7 @@ impl Builder {
                     };
                     let tile = self.net.add_tile(port, role, end_pol, self.cfg.seed);
                     self.chain(parent_out, tile, k, p_parent, &format!("l{}d", link.0));
-                    let entry =
-                        self.chain(tile, parent_in, k, end_pol, &format!("l{}u", link.0));
+                    let entry = self.chain(tile, parent_in, k, end_pol, &format!("l{}u", link.0));
                     (tile, tile, entry)
                 } else {
                     let sink = self.net.add_sink(port, self.cfg.sink_mode, end_pol);
@@ -340,8 +372,7 @@ impl Builder {
                         end_pol,
                         self.cfg.seed,
                     );
-                    let entry =
-                        self.chain(source, parent_in, k, end_pol, &format!("l{}u", link.0));
+                    let entry = self.chain(source, parent_in, k, end_pol, &format!("l{}u", link.0));
                     (source, sink, entry)
                 };
                 self.port_out[port.index()] = Some((injector, end_pol));
@@ -387,7 +418,13 @@ impl Builder {
                     Arbitration::Priority,
                 );
                 self.net.connect(from, entry);
-                self.chain(entry, to, n - 1, from_pol.inverted(), &format!("ring{i}-{j}"));
+                self.chain(
+                    entry,
+                    to,
+                    n - 1,
+                    from_pol.inverted(),
+                    &format!("ring{i}-{j}"),
+                );
             }
         }
         self.net.finalize();
@@ -395,7 +432,7 @@ impl Builder {
     }
 
     fn polarity_after(start: ClockPolarity, inversions: usize) -> ClockPolarity {
-        if inversions % 2 == 0 {
+        if inversions.is_multiple_of(2) {
             start
         } else {
             start.inverted()
@@ -475,7 +512,7 @@ impl Builder {
         }
 
         // Output columns with the arbitrated mid stage.
-        for slot in 0..slots {
+        for (slot, out_slot) in outs.iter_mut().enumerate() {
             if slot == 0 && is_root {
                 continue;
             }
@@ -495,12 +532,9 @@ impl Builder {
             // (odd port), scan the processor's input column first.
             let (arb, upstream_order) =
                 self.arbitration_for(tree, node, slot, &pres, is_root, slots);
-            let mid = self.net.add_stage(
-                format!("r{}.mid{}", node.0, slot),
-                mid_pol,
-                filter,
-                arb,
-            );
+            let mid = self
+                .net
+                .add_stage(format!("r{}.mid{}", node.0, slot), mid_pol, filter, arb);
             for u in upstream_order {
                 self.net.connect(u, mid);
             }
@@ -530,7 +564,7 @@ impl Builder {
                 self.net.connect(mid, out);
                 out
             };
-            outs[slot] = Some(out);
+            *out_slot = Some(out);
         }
 
         RouterPorts { ins, outs }
@@ -882,9 +916,13 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for cycle in 0..500 {
-            if let TrafficPhase::Inject(dest) =
-                (TrafficPattern::RandomMemory { rate: 1.0 }).decide(PortId(0), 16, cycle, &mut rng, &mut 0)
-            {
+            if let TrafficPhase::Inject(dest) = (TrafficPattern::RandomMemory { rate: 1.0 }).decide(
+                PortId(0),
+                16,
+                cycle,
+                &mut rng,
+                &mut 0,
+            ) {
                 assert_eq!(dest.0 % 2, 1, "dest {dest} is not a memory port");
                 assert!(dest.0 < 16);
             } else {

@@ -91,7 +91,9 @@ impl VcdTrace {
         for (tick, values) in &self.samples {
             let changed: Vec<usize> = match last {
                 None => (0..values.len()).collect(),
-                Some(prev) => (0..values.len()).filter(|&i| values[i] != prev[i]).collect(),
+                Some(prev) => (0..values.len())
+                    .filter(|&i| values[i] != prev[i])
+                    .collect(),
             };
             if !changed.is_empty() {
                 let _ = writeln!(out, "#{}", tick * ps_per_tick);

@@ -147,11 +147,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "setup time must be non-negative")]
     fn negative_setup_rejected() {
-        let _ = FlipFlopTiming::new(
-            Picoseconds::new(-1.0),
-            Picoseconds::ZERO,
-            Picoseconds::ZERO,
-        );
+        let _ = FlipFlopTiming::new(Picoseconds::new(-1.0), Picoseconds::ZERO, Picoseconds::ZERO);
     }
 
     #[test]

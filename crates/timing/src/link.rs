@@ -96,6 +96,8 @@ impl SkewWindow {
     }
 
     /// Returns `true` if no skew value can satisfy this window.
+    // Negated comparison so a NaN bound reads as "empty", not "satisfiable".
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     #[must_use]
     pub fn is_empty(self) -> bool {
         !(self.min < self.max)
@@ -256,10 +258,7 @@ impl LinkTiming {
     #[must_use]
     #[track_caller]
     pub fn new(flip_flop: FlipFlopTiming, frequency: Gigahertz) -> Self {
-        assert!(
-            frequency.value() > 0.0,
-            "link timing needs a running clock"
-        );
+        assert!(frequency.value() > 0.0, "link timing needs a running clock");
         Self {
             flip_flop,
             frequency,
@@ -391,6 +390,9 @@ impl LinkTiming {
     ///
     /// Returns a [`TimingViolation`] naming the broken bound (setup or hold)
     /// when the skew quantity falls outside the direction's window.
+    // Negated comparisons so a NaN margin fails the check rather than
+    // passing it.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn check(
         &self,
         direction: Direction,

@@ -49,10 +49,7 @@ impl RouterTimingModel {
         crossbar_base: Picoseconds,
         arbitration_per_input: Picoseconds,
     ) -> Self {
-        assert!(
-            !crossbar_base.is_negative(),
-            "crossbar delay must be >= 0"
-        );
+        assert!(!crossbar_base.is_negative(), "crossbar delay must be >= 0");
         assert!(
             !arbitration_per_input.is_negative(),
             "arbitration delay must be >= 0"
@@ -159,9 +156,7 @@ mod tests {
         // A 1-input "router" is just a pipeline stage with a mux: faster
         // than any real router, slower than a bare register.
         assert!(m.max_frequency(1) > Gigahertz::new(1.4));
-        let bare = Gigahertz::from_half_period(
-            FlipFlopTiming::nominal_90nm().register_overhead(),
-        );
+        let bare = Gigahertz::from_half_period(FlipFlopTiming::nominal_90nm().register_overhead());
         assert!(m.max_frequency(1) < bare);
     }
 

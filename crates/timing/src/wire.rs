@@ -1,6 +1,8 @@
 //! The 90 nm wire delay model behind the paper's link-length budgets.
 
-use icnoc_units::{KiloOhmsPerMm, Millimeters, Picofarads, PicofaradsPerMm, Picojoules, Picoseconds};
+use icnoc_units::{
+    KiloOhmsPerMm, Millimeters, Picofarads, PicofaradsPerMm, Picojoules, Picoseconds,
+};
 use serde::{Deserialize, Serialize};
 
 /// Elmore coefficient for a distributed RC line.

@@ -192,12 +192,7 @@ pub fn compare(
         mesh_routers: mesh.router_count(),
         tree_area: model.tree_router_area(&tree),
         mesh_area: model.mesh_total(ports),
-        tree_energy: traversal_energy(
-            RouterClass::Binary3x3,
-            width_bits,
-            tree_avg_hops,
-            tree_wire,
-        ),
+        tree_energy: traversal_energy(RouterClass::Binary3x3, width_bits, tree_avg_hops, tree_wire),
         mesh_energy: traversal_energy(RouterClass::Quad5x5, width_bits, mesh_avg_hops, mesh_wire),
     })
 }

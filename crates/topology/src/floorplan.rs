@@ -366,10 +366,7 @@ mod tests {
     fn demonstrator_stage_count_is_small() {
         // Only the six links at the two top levels exceed 1.25 mm.
         let (tree, plan) = demonstrator();
-        assert_eq!(
-            plan.total_pipeline_stages(&tree, Millimeters::new(1.25)),
-            6
-        );
+        assert_eq!(plan.total_pipeline_stages(&tree, Millimeters::new(1.25)), 6);
     }
 
     proptest! {

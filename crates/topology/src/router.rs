@@ -147,7 +147,10 @@ mod tests {
     fn area_scales_with_width() {
         let a64 = RouterClass::Binary3x3.area(64);
         assert!((a64.value() - 0.020).abs() < 1e-12);
-        assert_eq!(RouterClass::Binary3x3.area(32), SquareMillimeters::new(0.010));
+        assert_eq!(
+            RouterClass::Binary3x3.area(32),
+            SquareMillimeters::new(0.010)
+        );
     }
 
     #[test]

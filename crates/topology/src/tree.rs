@@ -201,8 +201,8 @@ impl TreeTopology {
             }
             width *= k;
         }
-        for leaf in router_count..total {
-            nodes[leaf].depth = depth;
+        for leaf in &mut nodes[router_count..total] {
+            leaf.depth = depth;
         }
 
         Ok(Self {

@@ -1,6 +1,5 @@
 //! Silicon area quantities, for the paper's Section 6 area accounting.
 
-
 quantity!(
     /// A silicon area in square millimetres.
     ///

@@ -1,7 +1,7 @@
 //! Electrical wire parameters: distributed capacitance and resistance per
 //! unit length, as used by the paper's RC wire delay estimates.
 
-use crate::{Millimeters};
+use crate::Millimeters;
 
 quantity!(
     /// Distributed wire capacitance in picofarads per millimetre.

@@ -1,7 +1,7 @@
 //! Clock frequency in [`Gigahertz`], with period conversions used throughout
 //! the link-timing analysis.
 
-use crate::{Picoseconds};
+use crate::Picoseconds;
 
 quantity!(
     /// A clock frequency in gigahertz.

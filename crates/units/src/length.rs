@@ -1,7 +1,6 @@
 //! Length quantities: [`Millimeters`] for wire/die geometry and
 //! [`Micrometers`] for fine-grained placement.
 
-
 quantity!(
     /// A length in millimetres.
     ///

@@ -187,7 +187,6 @@ macro_rules! quantity {
     };
 }
 
-
 mod area;
 mod electrical;
 mod frequency;

@@ -1,6 +1,6 @@
 //! Power and energy quantities, for clock-distribution and gating estimates.
 
-use crate::{Gigahertz};
+use crate::Gigahertz;
 
 quantity!(
     /// Dynamic power in milliwatts.

@@ -1,7 +1,6 @@
 //! Time quantities: [`Picoseconds`] (the workhorse of the timing model) and
 //! [`Nanoseconds`] for human-scale reporting.
 
-
 quantity!(
     /// A time span in picoseconds.
     ///

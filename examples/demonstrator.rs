@@ -36,7 +36,10 @@ fn main() -> Result<(), SystemError> {
         ),
         (
             "bursty tiles   (10 busy / 90 idle cycles)",
-            TilePreset::BurstyTiles { burst: 10, idle: 90 },
+            TilePreset::BurstyTiles {
+                burst: 10,
+                idle: 90,
+            },
         ),
     ];
 

@@ -31,7 +31,10 @@ fn demonstrator_full_stack() {
             rate: 0.3,
             fraction: 0.5,
         },
-        TilePreset::BurstyTiles { burst: 10, idle: 90 },
+        TilePreset::BurstyTiles {
+            burst: 10,
+            idle: 90,
+        },
     ] {
         let patterns = demonstrator_patterns(preset, 64);
         let mut net = sys.network(&patterns, 99);
@@ -118,7 +121,9 @@ fn builder_rejects_out_of_reach_clocks_with_precise_errors() {
 #[test]
 fn deterministic_end_to_end() {
     let run = || {
-        let sys = SystemBuilder::new(TreeKind::Binary, 16).build().expect("valid");
+        let sys = SystemBuilder::new(TreeKind::Binary, 16)
+            .build()
+            .expect("valid");
         sys.simulate(TrafficPattern::uniform(0.3), 800, 1234)
     };
     let a = run();

@@ -114,10 +114,7 @@ fn e10_all_rows_verify_at_safe_frequency() {
     }
     // Monte-Carlo rows exist and no die ever drops to zero.
     assert!(monte_carlo.contains("yield"), "{monte_carlo}");
-    assert!(
-        monte_carlo.contains("never to zero"),
-        "{monte_carlo}"
-    );
+    assert!(monte_carlo.contains("never to zero"), "{monte_carlo}");
 }
 
 #[test]

@@ -1,0 +1,157 @@
+//! Offline mini benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements the small `criterion` surface the workspace's benches
+//! use: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`],
+//! `criterion_group!` / `criterion_main!`, and `sample_size`
+//! configuration. Timing is a simple mean over wall-clock samples — good
+//! enough for the coarse comparisons the benches make (and for the
+//! tracing-overhead guardrail), without statistics or plotting.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total_nanos: 0.0,
+            total_iters: 0,
+        };
+        // One untimed warm-up sample, then the timed samples.
+        f(&mut bencher);
+        bencher.total_nanos = 0.0;
+        bencher.total_iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean = if bencher.total_iters == 0 {
+            0.0
+        } else {
+            bencher.total_nanos / bencher.total_iters as f64
+        };
+        println!("bench: {name:<40} {mean:>12.1} ns/iter");
+        self
+    }
+
+    /// No-op in the stub; present so `criterion_main!` expansions compile.
+    pub fn final_summary(&self) {}
+}
+
+/// Times closures on behalf of one benchmark (stub of
+/// `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    total_nanos: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating into this benchmark's mean.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Batch enough iterations to outlast timer granularity.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 100 || iters >= 1 << 20 {
+                self.total_nanos += elapsed.as_nanos() as f64;
+                self.total_iters += iters;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+/// Declares a benchmark group runner (stub of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (stub of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    criterion_group! {
+        name = unit_group;
+        config = Criterion::default().sample_size(3);
+        targets = tiny
+    }
+
+    #[test]
+    fn group_runs() {
+        unit_group();
+    }
+
+    #[test]
+    fn bencher_accumulates() {
+        let mut b = Bencher {
+            total_nanos: 0.0,
+            total_iters: 0,
+        };
+        b.iter(|| black_box(1u32 + 1));
+        assert!(b.total_iters > 0);
+        assert!(b.total_nanos > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline stub of the `serde` trait surface.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace links a serde *backend* (no `serde_json` etc.) — the derives
+//! only declare that a type is serialisable. This stub therefore provides
+//! `Serialize` / `Deserialize` as marker traits plus a matching derive, so
+//! the annotations keep compiling (and keep documenting intent) without
+//! the real dependency. Swapping the vendored path back to upstream serde
+//! requires no source changes.
+
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialised (stub of `serde::Serialize`).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised (stub of
+/// `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}

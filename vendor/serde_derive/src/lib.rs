@@ -1,0 +1,43 @@
+//! Offline stub of `serde_derive`: emits marker-trait impls for the
+//! vendored `serde` stub. Handles the non-generic structs and enums this
+//! workspace derives on, and accepts (and ignores) `#[serde(...)]` helper
+//! attributes such as `#[serde(transparent)]`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the struct/enum a derive was applied to.
+///
+/// The derive input is the item's token stream; at top level the layout is
+/// `(attributes) (visibility) struct|enum NAME (generics) ...`, so the
+/// first identifier following the `struct` / `enum` keyword is the name.
+fn item_name(input: &TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input).expect("derive input names a struct or enum");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input).expect("derive input names a struct or enum");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
