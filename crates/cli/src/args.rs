@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies needed for seven
 //! subcommands of `--key value` flags).
 
-use icnoc_sim::TrafficPattern;
+use icnoc_sim::{FaultRates, TrafficPattern};
 use icnoc_topology::{PortId, TreeKind};
 
 /// A parse or validation failure, with a user-facing message.
@@ -93,6 +93,8 @@ pub enum Command {
         vcd: Option<String>,
         /// Print the stall diagnosis (flit-holding elements) after the run.
         diagnose: bool,
+        /// Fault-injection spec (see [`parse_fault_spec`]), if any.
+        faults: Option<FaultSpec>,
     },
     /// Run a counter-traced simulation and export per-element utilisation
     /// and per-flow latency percentiles.
@@ -154,8 +156,34 @@ pub enum Command {
         /// Sampling step (mm).
         step_mm: f64,
     },
+    /// Run a fault-injection soak and print the
+    /// injected-vs-detected-vs-recovered accounting.
+    Faults {
+        /// Build options.
+        build: BuildOpts,
+        /// Per-port traffic pattern.
+        pattern: TrafficPattern,
+        /// Cycles to simulate before draining.
+        cycles: u64,
+        /// Master seed (traffic and injector alike).
+        seed: u64,
+        /// Flits per packet.
+        packet_len: u32,
+        /// What to inject.
+        spec: FaultSpec,
+    },
     /// Print usage.
     Help,
+}
+
+/// A parsed `--faults` / `--spec` value: rates plus an optional injection
+/// window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Per-edge injection probabilities.
+    pub rates: FaultRates,
+    /// Injection restricted to half-cycle ticks `[start, end)`, if set.
+    pub window: Option<(u64, u64)>,
 }
 
 impl Cli {
@@ -197,6 +225,10 @@ impl Cli {
                 },
                 vcd: flags.take_opt_string("vcd"),
                 diagnose: flags.take_bool("diagnose")?,
+                faults: match flags.take_opt_string("faults") {
+                    Some(spec) => Some(parse_fault_spec(&spec)?),
+                    None => None,
+                },
             },
             "stats" => Command::Stats {
                 build: flags.build_opts()?,
@@ -246,6 +278,14 @@ impl Cli {
                 max_mm: flags.take_f64("max-mm", 3.0)?,
                 step_mm: flags.take_f64("step-mm", 0.1)?,
             },
+            "faults" => Command::Faults {
+                build: flags.build_opts()?,
+                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                cycles: flags.take_u64("cycles", 10_000)?,
+                seed: flags.take_u64("seed", 42)?,
+                packet_len: flags.take_usize("packet-len", 1)? as u32,
+                spec: parse_fault_spec(&flags.take_string("spec", "soak"))?,
+            },
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(CliError(format!("unknown subcommand {other:?}; try help"))),
         };
@@ -287,6 +327,86 @@ pub fn parse_pattern(spec: &str) -> Result<TrafficPattern, CliError> {
              hotspot:0.3:0:0.5, bursty:10:90, memory:0.2, saturate, silent"
         ))),
     }
+}
+
+/// Parses a fault spec:
+/// * `soak` — the default all-kinds profile;
+/// * `soak*F` — the soak profile with every rate scaled by `F`;
+/// * a comma list of `key=rate` pairs over `jitter`, `spike`, `corrupt`,
+///   `drop`, `stuck`, `lost`, `outage` (unset keys stay zero), optionally
+///   with `window=START:END` restricting injection to those ticks.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown keys, malformed numbers, rates
+/// outside `[0, 1]` or an empty window.
+pub fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
+    let num = |s: &str| -> Result<f64, CliError> {
+        s.parse()
+            .map_err(|_| CliError(format!("bad number {s:?} in fault spec {spec:?}")))
+    };
+    if spec == "soak" {
+        return Ok(FaultSpec {
+            rates: FaultRates::soak(),
+            window: None,
+        });
+    }
+    if let Some(factor) = spec.strip_prefix("soak*") {
+        let f = num(factor)?;
+        if f < 0.0 {
+            return Err(CliError(format!("soak scale {f} must be >= 0")));
+        }
+        return Ok(FaultSpec {
+            rates: FaultRates::soak().scaled(f),
+            window: None,
+        });
+    }
+    let mut rates = FaultRates::ZERO;
+    let mut window = None;
+    for pair in spec.split(',') {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(CliError(format!(
+                "fault spec entry {pair:?} must be key=value (or use \"soak\")"
+            )));
+        };
+        if key == "window" {
+            let (start, end) = value
+                .split_once(':')
+                .ok_or_else(|| CliError(format!("window {value:?} must be START:END ticks")))?;
+            let parse_tick = |s: &str| -> Result<u64, CliError> {
+                s.parse()
+                    .map_err(|_| CliError(format!("bad tick {s:?} in fault window")))
+            };
+            let (start, end) = (parse_tick(start)?, parse_tick(end)?);
+            if start >= end {
+                return Err(CliError(format!("fault window {start}:{end} is empty")));
+            }
+            window = Some((start, end));
+            continue;
+        }
+        let rate = num(value)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(CliError(format!(
+                "fault rate {key}={rate} must be a probability in [0, 1]"
+            )));
+        }
+        match key {
+            "jitter" => rates.link_jitter = rate,
+            "spike" => rates.skew_spike = rate,
+            "corrupt" => rates.bit_corruption = rate,
+            "drop" => rates.flit_drop = rate,
+            "stuck" => rates.stuck_valid = rate,
+            "lost" => rates.lost_valid = rate,
+            "outage" => rates.outage = rate,
+            other => {
+                return Err(CliError(format!(
+                    "unknown fault key {other:?}; try jitter, spike, corrupt, drop, \
+                     stuck, lost, outage or window"
+                )))
+            }
+        }
+    }
+    Ok(FaultSpec { rates, window })
 }
 
 fn parse_tiles(spec: &str) -> Result<(usize, u64), CliError> {
@@ -541,6 +661,52 @@ mod tests {
         assert_eq!(vcd, None);
         // A zero-capacity ring would panic downstream; reject it here.
         assert!(Cli::parse(["trace", "--capacity", "0"]).is_err());
+    }
+
+    #[test]
+    fn fault_specs_parse_soak_scaled_and_explicit() {
+        let soak = parse_fault_spec("soak").expect("parses");
+        assert_eq!(soak.rates, FaultRates::soak());
+        assert_eq!(soak.window, None);
+        let scaled = parse_fault_spec("soak*0.5").expect("parses");
+        assert_eq!(scaled.rates, FaultRates::soak().scaled(0.5));
+        let explicit = parse_fault_spec("jitter=0.1,drop=0.01,window=100:900").expect("parses");
+        assert!((explicit.rates.link_jitter - 0.1).abs() < 1e-12);
+        assert!((explicit.rates.flit_drop - 0.01).abs() < 1e-12);
+        assert_eq!(explicit.rates.skew_spike, 0.0);
+        assert_eq!(explicit.window, Some((100, 900)));
+        // Malformed specs are rejected with a hint.
+        assert!(parse_fault_spec("jitter").is_err());
+        assert!(parse_fault_spec("glitch=0.1").is_err());
+        assert!(parse_fault_spec("jitter=1.5").is_err());
+        assert!(parse_fault_spec("window=9:9").is_err());
+        assert!(parse_fault_spec("soak*-1").is_err());
+    }
+
+    #[test]
+    fn faults_subcommand_parses_with_defaults() {
+        let cli = Cli::parse(["faults", "--ports", "16", "--spec", "soak*2"]).expect("parses");
+        let Command::Faults {
+            build,
+            cycles,
+            seed,
+            spec,
+            ..
+        } = cli.command
+        else {
+            panic!("expected faults");
+        };
+        assert_eq!(build.ports, 16);
+        assert_eq!(cycles, 10_000);
+        assert_eq!(seed, 42);
+        assert_eq!(spec.rates, FaultRates::soak().scaled(2.0));
+        // `sim --faults` carries the same spec grammar.
+        let cli = Cli::parse(["sim", "--faults", "drop=0.01"]).expect("parses");
+        let Command::Sim { faults, .. } = cli.command else {
+            panic!("expected sim");
+        };
+        let faults = faults.expect("spec present");
+        assert!((faults.rates.flit_drop - 0.01).abs() < 1e-12);
     }
 
     #[test]

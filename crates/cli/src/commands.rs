@@ -1,8 +1,8 @@
 //! Command execution: turns a parsed [`Cli`] into output text.
 
-use crate::args::{BuildOpts, Cli, CliError, Command, StatsFormat};
+use crate::args::{BuildOpts, Cli, CliError, Command, FaultSpec, StatsFormat};
 use icnoc::{System, SystemBuilder};
-use icnoc_sim::{Network, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace};
+use icnoc_sim::{FaultPlan, Network, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace};
 use icnoc_timing::{PipelineTimingModel, ProcessVariation};
 use icnoc_units::{Gigahertz, Millimeters};
 use std::fmt::Write as _;
@@ -15,13 +15,17 @@ USAGE:
   icnoc verify [build opts] [--variation 0.3] [--sigma 0.05] [--top 10]
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
-               [--diagnose]
+               [--diagnose] [--faults SPEC]
   icnoc stats  [build opts] [sim opts] [--format json|csv] [--out stats.json]
   icnoc trace  [build opts] [sim opts] [--capacity 4096] [--limit 40] [--vcd out.vcd]
+  icnoc faults [build opts] [--pattern uniform:0.2] [--cycles 10000] [--seed 42]
+               [--packet-len 1] [--spec soak]
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
 
-PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent";
+PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent
+FAULTS:   soak  soak*F  key=rate[,key=rate...] over jitter, spike, corrupt, drop,
+          stuck, lost, outage, plus window=START:END (ticks)";
 
 /// Executes `cli`, returning the text to print.
 ///
@@ -65,9 +69,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             tiles,
             vcd,
             diagnose,
+            faults,
         } => {
             let sys = build_system(build)?;
             let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len);
+            if let Some(spec) = faults {
+                net.enable_faults(fault_plan(&sys, spec, *seed));
+            }
 
             let mut trace = vcd.as_ref().map(|_| VcdTrace::new(&net));
             if let Some(trace) = &mut trace {
@@ -78,7 +86,14 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             }
             let already = net.tick() / 2;
             net.run_cycles(cycles.saturating_sub(already));
-            let drained = net.drain((*cycles).max(1_000));
+            // Recovery chains (timeout plus bounded backoff per retry)
+            // need a drain budget well beyond the traffic itself.
+            let budget = if faults.is_some() {
+                (*cycles).max(1_000).saturating_mul(4)
+            } else {
+                (*cycles).max(1_000)
+            };
+            let drained = net.drain(budget);
             let report = net.report();
 
             let mut out = String::new();
@@ -93,6 +108,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 );
             }
             let _ = writeln!(out, "{}", sys.power_report(&report));
+            if let Some(recovery) = &report.recovery {
+                let _ = writeln!(out, "{recovery}");
+            }
             let _ = write!(
                 out,
                 "correct: {} (lost {}, dup {}, reordered {}, interleaved {})",
@@ -255,6 +273,52 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             );
             Ok(out)
         }
+        Command::Faults {
+            build,
+            pattern,
+            cycles,
+            seed,
+            packet_len,
+            spec,
+        } => {
+            let sys = build_system(build)?;
+            let mut net = build_network(&sys, pattern, None, *seed, *packet_len);
+            net.enable_faults(fault_plan(&sys, spec, *seed));
+            net.run_cycles(*cycles);
+            let drained = net.drain_or_diagnose((*cycles).max(1_000).saturating_mul(4));
+            let report = net.report();
+            let recovery = report.recovery.expect("faults were enabled");
+
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "fault soak: {} cycles at seed {}, {} flits delivered, {} explicitly lost",
+                cycles, seed, report.delivered, recovery.flits_abandoned
+            );
+            let _ = writeln!(out, "{recovery}");
+            let _ = writeln!(
+                out,
+                "integrity: {} silently corrupted payload(s) reached a consumer",
+                report.integrity_failures
+            );
+            if let Err(timeout) = &drained {
+                let _ = writeln!(out, "drain: {timeout}");
+            }
+            let accounted = drained.is_ok()
+                && recovery.conserves()
+                && recovery.pending == 0
+                && report.integrity_failures == 0;
+            let _ = write!(
+                out,
+                "verdict: {}",
+                if accounted {
+                    "PASS — every fault detected and recovered or explicitly lost"
+                } else {
+                    "FAIL — unaccounted faults remain"
+                }
+            );
+            Ok(out)
+        }
         Command::Fig7 { max_mm, step_mm } => {
             let model = PipelineTimingModel::nominal_90nm();
             let mut out = String::from("length (mm)  f_max (GHz)  binding\n");
@@ -304,8 +368,21 @@ fn describe_kind(kind: TraceEventKind) -> String {
         TraceEventKind::Blocked => "blocked".to_owned(),
         TraceEventKind::Arbitrated { contenders } => format!("arbitrated({contenders})"),
         TraceEventKind::Delivered => "delivered".to_owned(),
-        TraceEventKind::Dropped => "dropped".to_owned(),
+        TraceEventKind::Dropped { cause } => format!("dropped({})", cause.label()),
+        TraceEventKind::Corrupted => "corrupted".to_owned(),
+        TraceEventKind::TimingViolation => "timing-violation".to_owned(),
+        TraceEventKind::Retransmitted => "retransmitted".to_owned(),
+        TraceEventKind::FrequencyBackoff => "freq-backoff".to_owned(),
     }
+}
+
+/// A system-matched [`FaultPlan`] armed with the parsed spec.
+fn fault_plan(sys: &System, spec: &FaultSpec, seed: u64) -> FaultPlan {
+    let mut plan = sys.fault_plan(seed).with_rates(spec.rates);
+    if let Some((start, end)) = spec.window {
+        plan = plan.with_window(start, end);
+    }
+    plan
 }
 
 fn build_system(build: &BuildOpts) -> Result<System, CliError> {
@@ -465,6 +542,32 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("flit "), "{out}");
+    }
+
+    #[test]
+    fn faults_subcommand_accounts_for_every_injection() {
+        let out = run_line(&["faults", "--ports", "16", "--cycles", "2000", "--seed", "7"])
+            .expect("runs");
+        assert!(out.contains("faults injected:"), "{out}");
+        assert!(out.contains("conserves: true"), "{out}");
+        assert!(out.contains("0 silently corrupted"), "{out}");
+        assert!(out.contains("verdict: PASS"), "{out}");
+    }
+
+    #[test]
+    fn sim_with_faults_prints_the_recovery_ledger() {
+        let out = run_line(&[
+            "sim",
+            "--ports",
+            "16",
+            "--cycles",
+            "500",
+            "--faults",
+            "drop=0.005,corrupt=0.005",
+        ])
+        .expect("runs");
+        assert!(out.contains("faults injected:"), "{out}");
+        assert!(out.contains("recovery:"), "{out}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{SystemError, TimingVerification};
 use icnoc_clock::ClockDistribution;
-use icnoc_sim::{Network, SimReport, TileTraffic, TrafficPattern, TreeNetworkConfig};
+use icnoc_sim::{FaultPlan, Network, SimReport, TileTraffic, TrafficPattern, TreeNetworkConfig};
 use icnoc_timing::{
     Direction, FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel,
 };
@@ -292,6 +292,52 @@ impl System {
         }
         let half = Picoseconds::new(required.value() * (1.0 + 1e-12) + 1e-9);
         Gigahertz::from_half_period(half)
+    }
+
+    /// A [`FaultPlan`] matched to this system's physics: the timing guard
+    /// perturbs the *worst* link segment's wire delay (data and forwarded
+    /// clock alike, as in [`System::segment_delays`]) at the operating
+    /// frequency and register library, so an injected excursion violates
+    /// exactly when the analytic verification says that segment would.
+    /// Rates start at zero; chain [`FaultPlan::with_rates`] to arm it.
+    #[must_use]
+    pub fn fault_plan(&self, seed: u64) -> FaultPlan {
+        let wire = self.pipeline.wire();
+        let worst = self
+            .link_geometries()
+            .iter()
+            .map(|g| wire.delay(g.segment_length()))
+            .fold(Picoseconds::ZERO, Picoseconds::max);
+        FaultPlan::new(seed)
+            .with_frequency(self.frequency)
+            .with_flip_flop(self.pipeline.flip_flop())
+            .with_link_delays(worst, worst)
+    }
+
+    /// Runs an open-loop simulation with `plan`'s faults injected, drains
+    /// the network (with a recovery-sized budget), and returns the report
+    /// — [`SimReport::recovery`] carries the fault ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's nominal (un-perturbed) link timing fails at
+    /// its own frequency.
+    #[must_use]
+    pub fn simulate_with_faults(
+        &self,
+        pattern: TrafficPattern,
+        cycles: u64,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> SimReport {
+        let patterns = vec![pattern; self.tree.num_ports()];
+        let mut net = self.network(&patterns, seed);
+        net.enable_faults(plan);
+        net.run_cycles(cycles);
+        // Recovery chains (timeout + bounded backoff, several retries)
+        // outlive a traffic-only drain budget by a wide margin.
+        net.drain(cycles.max(1_000).saturating_mul(4));
+        net.report()
     }
 
     /// Builds a runnable simulation network with per-port traffic patterns.
@@ -590,6 +636,21 @@ mod tests {
         assert!(report.is_correct(), "{report}");
         assert_eq!(report.interleaved, 0);
         assert_eq!(report.packets_sent, report.packets_delivered);
+    }
+
+    #[test]
+    fn faulty_simulation_recovers_and_accounts_for_every_fault() {
+        let sys = SystemBuilder::new(TreeKind::Binary, 16)
+            .build()
+            .expect("valid");
+        let plan = sys.fault_plan(3).with_rates(icnoc_sim::FaultRates::soak());
+        let report = sys.simulate_with_faults(TrafficPattern::uniform(0.2), 2_000, 3, plan);
+        let recovery = report.recovery.expect("fault ledger present");
+        assert!(recovery.detected() > 0, "{recovery}");
+        assert!(recovery.conserves(), "{recovery}");
+        assert_eq!(recovery.pending, 0, "{recovery}");
+        // The CRC gate catches every corruption: nothing escapes silently.
+        assert_eq!(report.integrity_failures, 0, "{report}");
     }
 
     #[test]

@@ -1,0 +1,1467 @@
+//! Fault injection, the per-transfer timing guard, and the recovery loop.
+//!
+//! The paper's Section 4 argument is that the IC-NoC degrades gracefully:
+//! every setup/hold window widens as the clock slows, so for any bounded
+//! delay variation there exists a frequency at which timing holds. This
+//! module makes that claim *executable* instead of merely analytic:
+//!
+//! 1. **Injection** — a seeded, deterministic [`FaultPlan`] perturbs the
+//!    simulation with link-delay jitter and skew spikes, payload bit
+//!    flips, register upsets that erase held flits, stuck/lost handshake
+//!    glitches, and transient element outages, network-wide or per
+//!    element-label prefix, optionally restricted to a tick window.
+//! 2. **Detection** — every jitter/spike excursion is evaluated against
+//!    the analytic window from [`icnoc_timing::LinkTiming`] (the
+//!    per-transfer timing guard); out-of-window transfers become explicit
+//!    [`TimingViolation`](crate::TraceEventKind::TimingViolation) events
+//!    whose metastable outcome corrupts or drops the flit. Consumers
+//!    recompute every flit's CRC, so corruption never passes silently.
+//! 3. **Recovery** — flits are sequence-numbered per source and carry a
+//!    CRC; the consumer-side gate NACKs corrupt arrivals and discards
+//!    duplicates, timeouts presume drops, and both trigger bounded
+//!    exponential-backoff retransmission from a pristine copy. A
+//!    dynamic-frequency-scaling controller backs `T_half` off after
+//!    repeated violations and creeps back up when clean, locking onto the
+//!    highest violation-free frequency — Section 4 as a control loop.
+//!
+//! Every injected fault is tracked in a conservation ledger exposed as
+//! [`RecoveryReport`]: `injected == absorbed + recovered + lost +
+//! pending`, where *absorbed* faults provably did no harm (in-window
+//! excursions, handshake glitches the protocol rides out, outages that
+//! only stall), and *lost* flits are explicit, counted casualties — never
+//! silent ones.
+
+use crate::flit::{Flit, FlitKind};
+use icnoc_timing::{Direction, FlipFlopTiming, LinkTiming};
+use icnoc_units::{Gigahertz, Picoseconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A bounded random excursion of a link's data delay (crosstalk,
+    /// supply noise). Evaluated by the timing guard; usually in-window.
+    LinkJitter,
+    /// A large skew excursion (a ground bounce event, an aggressor net).
+    /// Evaluated by the timing guard; often violates at full speed.
+    SkewSpike,
+    /// A single-event upset flipping one payload bit in a captured
+    /// register, leaving the CRC stale.
+    BitCorruption,
+    /// A register upset erasing a held flit outright.
+    FlitDrop,
+    /// A lost `accept` (equivalently a stuck `valid`): the producer
+    /// misses the drain and re-presents an already-captured flit,
+    /// duplicating it.
+    StuckValid,
+    /// A glitched-away `valid`: the consumer sees no offer for one edge —
+    /// a pure stall the two-phase protocol absorbs.
+    LostValid,
+    /// A transient element outage: the element freezes (captures nothing)
+    /// for a configurable number of edges.
+    ElementOutage,
+}
+
+impl FaultKind {
+    /// Every kind, in ledger order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::LinkJitter,
+        FaultKind::SkewSpike,
+        FaultKind::BitCorruption,
+        FaultKind::FlitDrop,
+        FaultKind::StuckValid,
+        FaultKind::LostValid,
+        FaultKind::ElementOutage,
+    ];
+
+    /// A short human-readable name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LinkJitter => "link-jitter",
+            FaultKind::SkewSpike => "skew-spike",
+            FaultKind::BitCorruption => "bit-corruption",
+            FaultKind::FlitDrop => "flit-drop",
+            FaultKind::StuckValid => "stuck-valid",
+            FaultKind::LostValid => "lost-valid",
+            FaultKind::ElementOutage => "outage",
+        }
+    }
+}
+
+/// Per-edge injection probabilities, one per [`FaultKind`]. All rates are
+/// probabilities in `[0, 1]`, rolled independently at the relevant
+/// simulation point (a capture, a drain, an element's active edge).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Link-delay jitter per stage capture.
+    pub link_jitter: f64,
+    /// Skew spike per stage capture.
+    pub skew_spike: f64,
+    /// Payload bit flip per stage capture.
+    pub bit_corruption: f64,
+    /// Held-flit erasure per stage edge holding a flit.
+    pub flit_drop: f64,
+    /// Handshake duplication per drained single-flit transfer.
+    pub stuck_valid: f64,
+    /// Lost offer per stage edge with an upstream presenting.
+    pub lost_valid: f64,
+    /// Outage start per stage edge.
+    pub outage: f64,
+}
+
+impl FaultRates {
+    /// All-zero rates: the injector is attached but silent.
+    pub const ZERO: FaultRates = FaultRates {
+        link_jitter: 0.0,
+        skew_spike: 0.0,
+        bit_corruption: 0.0,
+        flit_drop: 0.0,
+        stuck_valid: 0.0,
+        lost_valid: 0.0,
+        outage: 0.0,
+    };
+
+    /// The default soak profile: every fault kind nonzero, rates chosen so
+    /// a 10k-cycle run exercises each recovery path many times without
+    /// collapsing goodput.
+    #[must_use]
+    pub fn soak() -> Self {
+        Self {
+            link_jitter: 0.02,
+            skew_spike: 0.01,
+            bit_corruption: 0.01,
+            flit_drop: 0.005,
+            stuck_valid: 0.005,
+            lost_valid: 0.01,
+            outage: 0.0005,
+        }
+    }
+
+    /// Every rate multiplied by `factor` and clamped to `[0, 1]`.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        let s = |r: f64| (r * factor).clamp(0.0, 1.0);
+        Self {
+            link_jitter: s(self.link_jitter),
+            skew_spike: s(self.skew_spike),
+            bit_corruption: s(self.bit_corruption),
+            flit_drop: s(self.flit_drop),
+            stuck_valid: s(self.stuck_valid),
+            lost_valid: s(self.lost_valid),
+            outage: s(self.outage),
+        }
+    }
+
+    /// Whether every rate is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    fn validate(&self) {
+        for (name, r) in [
+            ("link_jitter", self.link_jitter),
+            ("skew_spike", self.skew_spike),
+            ("bit_corruption", self.bit_corruption),
+            ("flit_drop", self.flit_drop),
+            ("stuck_valid", self.stuck_valid),
+            ("lost_valid", self.lost_valid),
+            ("outage", self.outage),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "fault rate {name}={r} must be a probability in [0, 1]"
+            );
+        }
+    }
+}
+
+/// Configuration of the dynamic-frequency-scaling controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfsConfig {
+    /// Timing violations within [`window_edges`](Self::window_edges) that
+    /// trigger one backoff step.
+    pub violation_threshold: u32,
+    /// Length of the violation-counting window, in half-cycle edges.
+    pub window_edges: u64,
+    /// Multiplier applied to the slowdown per backoff step (> 1).
+    pub backoff_factor: f64,
+    /// Ceiling on the slowdown (the floor on frequency).
+    pub max_slowdown: f64,
+    /// Divisor applied when creeping back up after a clean stretch (> 1).
+    pub creep_factor: f64,
+    /// Violation-free edges required before a creep-up probe.
+    pub clean_edges: u64,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        Self {
+            violation_threshold: 3,
+            window_edges: 512,
+            backoff_factor: 1.3,
+            max_slowdown: 8.0,
+            creep_factor: 1.15,
+            clean_edges: 2000,
+        }
+    }
+}
+
+/// A seeded, deterministic fault-injection and recovery configuration.
+///
+/// Attach one to a network with
+/// [`Network::enable_faults`](crate::Network::enable_faults) or
+/// [`TreeNetworkConfig::with_faults`](crate::TreeNetworkConfig::with_faults).
+/// The plan owns its own RNG stream, so a zero-rate plan leaves the
+/// simulation bit-identical to an uninstrumented run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    rates: FaultRates,
+    /// Per-element overrides, matched by label prefix (first match wins).
+    overrides: Vec<(String, FaultRates)>,
+    /// Injection restricted to ticks in `[start, end)`, if set.
+    window: Option<(u64, u64)>,
+    seed: u64,
+    /// Peak jitter excursion magnitude (uniform in `±jitter_max`).
+    jitter_max: Picoseconds,
+    /// Skew-spike magnitude range (sign is random).
+    spike_min: Picoseconds,
+    spike_max: Picoseconds,
+    /// Edges an element outage lasts.
+    outage_edges: u64,
+    /// Nominal per-hop wire delays the guard perturbs.
+    data_delay: Picoseconds,
+    clock_delay: Picoseconds,
+    /// Nominal clock the DFS controller derates.
+    frequency: Gigahertz,
+    flip_flop: FlipFlopTiming,
+    /// Edges without acknowledgement before a flit is presumed dropped.
+    timeout_edges: u64,
+    /// Base retransmission delay; doubles per attempt (bounded
+    /// exponential backoff).
+    backoff_base_edges: u64,
+    /// Retransmissions per flit before declaring it an explicit loss.
+    max_retries: u32,
+    dfs: DfsConfig,
+}
+
+impl FaultPlan {
+    /// A plan with all-zero rates and default timing/recovery parameters:
+    /// 1 GHz nominal clock, the paper's 90 nm register library, matched
+    /// 150 ps data/clock wires per hop.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rates: FaultRates::ZERO,
+            overrides: Vec::new(),
+            window: None,
+            seed,
+            jitter_max: Picoseconds::new(120.0),
+            spike_min: Picoseconds::new(200.0),
+            spike_max: Picoseconds::new(600.0),
+            outage_edges: 16,
+            data_delay: Picoseconds::new(150.0),
+            clock_delay: Picoseconds::new(150.0),
+            frequency: Gigahertz::new(1.0),
+            flip_flop: FlipFlopTiming::nominal_90nm(),
+            timeout_edges: 512,
+            backoff_base_edges: 32,
+            max_retries: 5,
+            dfs: DfsConfig::default(),
+        }
+    }
+
+    /// The default soak plan: every fault kind at a nonzero rate.
+    #[must_use]
+    pub fn soak(seed: u64) -> Self {
+        Self::new(seed).with_rates(FaultRates::soak())
+    }
+
+    /// Sets the network-wide rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    #[must_use]
+    #[track_caller]
+    pub fn with_rates(mut self, rates: FaultRates) -> Self {
+        rates.validate();
+        self.rates = rates;
+        self
+    }
+
+    /// Overrides the rates for elements whose label starts with `prefix`
+    /// (e.g. `"r0."` for the root router, `"l3"` for port 3's link
+    /// stages). Earlier overrides win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    #[must_use]
+    #[track_caller]
+    pub fn with_element_rates(mut self, prefix: &str, rates: FaultRates) -> Self {
+        rates.validate();
+        self.overrides.push((prefix.to_owned(), rates));
+        self
+    }
+
+    /// Restricts injection to half-cycle ticks in `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    #[track_caller]
+    pub fn with_window(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "fault window must be non-empty");
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Sets the nominal per-hop wire delays the timing guard perturbs.
+    #[must_use]
+    pub fn with_link_delays(mut self, data: Picoseconds, clock: Picoseconds) -> Self {
+        self.data_delay = data;
+        self.clock_delay = clock;
+        self
+    }
+
+    /// Sets the nominal clock frequency.
+    #[must_use]
+    pub fn with_frequency(mut self, frequency: Gigahertz) -> Self {
+        self.frequency = frequency;
+        self
+    }
+
+    /// Sets the register timing library the guard evaluates against.
+    #[must_use]
+    pub fn with_flip_flop(mut self, flip_flop: FlipFlopTiming) -> Self {
+        self.flip_flop = flip_flop;
+        self
+    }
+
+    /// Sets the jitter excursion bound and the spike magnitude range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter_max` is negative or the spike range is empty.
+    #[must_use]
+    #[track_caller]
+    pub fn with_excursions(
+        mut self,
+        jitter_max: Picoseconds,
+        spike_min: Picoseconds,
+        spike_max: Picoseconds,
+    ) -> Self {
+        assert!(!jitter_max.is_negative(), "jitter bound must be >= 0");
+        assert!(
+            spike_min.value() < spike_max.value(),
+            "spike range must be non-empty"
+        );
+        self.jitter_max = jitter_max;
+        self.spike_min = spike_min;
+        self.spike_max = spike_max;
+        self
+    }
+
+    /// Sets the outage duration in edges.
+    #[must_use]
+    pub fn with_outage_edges(mut self, edges: u64) -> Self {
+        self.outage_edges = edges.max(1);
+        self
+    }
+
+    /// Sets the retransmission parameters: acknowledgement timeout, base
+    /// backoff delay (doubles per attempt), and the retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout_edges` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn with_retry(
+        mut self,
+        timeout_edges: u64,
+        backoff_base_edges: u64,
+        max_retries: u32,
+    ) -> Self {
+        assert!(
+            timeout_edges > 0,
+            "a zero timeout would retransmit everything"
+        );
+        self.timeout_edges = timeout_edges;
+        self.backoff_base_edges = backoff_base_edges.max(1);
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the DFS controller configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both factors exceed 1 and the ceiling is at least 1.
+    #[must_use]
+    #[track_caller]
+    pub fn with_dfs(mut self, dfs: DfsConfig) -> Self {
+        assert!(
+            dfs.backoff_factor > 1.0 && dfs.creep_factor > 1.0 && dfs.max_slowdown >= 1.0,
+            "DFS factors must exceed 1 and the slowdown ceiling must be >= 1"
+        );
+        self.dfs = dfs;
+        self
+    }
+
+    /// The network-wide rates.
+    #[must_use]
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// The injector's RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The nominal clock frequency the DFS controller derates.
+    #[must_use]
+    pub fn frequency(&self) -> Gigahertz {
+        self.frequency
+    }
+
+    /// The worst skew quantity injection can produce on an upstream link:
+    /// `Δsum = data + clock + max positive excursion`. A slowdown at which
+    /// this passes [`LinkTiming::check_delta`] silences the guard for
+    /// good — the DFS convergence target.
+    #[must_use]
+    pub fn worst_case_delta(&self) -> Picoseconds {
+        let excursion = self.spike_max.max(self.jitter_max);
+        self.data_delay + self.clock_delay + excursion
+    }
+
+    /// Whether a `slowdown` derating is safe against every excursion this
+    /// plan can inject (both link directions).
+    #[must_use]
+    pub fn slowdown_is_safe(&self, slowdown: f64) -> bool {
+        let link = LinkTiming::new(self.flip_flop, self.frequency).derated(slowdown);
+        let excursion = self.spike_max.max(self.jitter_max);
+        let down_hi = self.data_delay - self.clock_delay + excursion;
+        let down_lo = self.data_delay - self.clock_delay - excursion;
+        link.check_delta(Direction::Upstream, self.worst_case_delta())
+            .is_ok()
+            && link.check_delta(Direction::Downstream, down_hi).is_ok()
+            && link
+                .check_delta(Direction::Downstream, down_lo.max(-self.clock_delay))
+                .is_ok()
+    }
+}
+
+/// Injection counts per [`FaultKind`] — the "injected" side of the
+/// conservation ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Link-jitter excursions injected.
+    pub link_jitter: u64,
+    /// Skew spikes injected.
+    pub skew_spike: u64,
+    /// Payload bit flips injected.
+    pub bit_corruption: u64,
+    /// Held-flit erasures injected.
+    pub flit_drop: u64,
+    /// Handshake duplications injected.
+    pub stuck_valid: u64,
+    /// Lost-offer glitches injected.
+    pub lost_valid: u64,
+    /// Element outages started.
+    pub outage: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.link_jitter
+            + self.skew_spike
+            + self.bit_corruption
+            + self.flit_drop
+            + self.stuck_valid
+            + self.lost_valid
+            + self.outage
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkJitter => self.link_jitter += 1,
+            FaultKind::SkewSpike => self.skew_spike += 1,
+            FaultKind::BitCorruption => self.bit_corruption += 1,
+            FaultKind::FlitDrop => self.flit_drop += 1,
+            FaultKind::StuckValid => self.stuck_valid += 1,
+            FaultKind::LostValid => self.lost_valid += 1,
+            FaultKind::ElementOutage => self.outage += 1,
+        }
+    }
+
+    /// The count for one kind.
+    #[must_use]
+    pub fn of(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::LinkJitter => self.link_jitter,
+            FaultKind::SkewSpike => self.skew_spike,
+            FaultKind::BitCorruption => self.bit_corruption,
+            FaultKind::FlitDrop => self.flit_drop,
+            FaultKind::StuckValid => self.stuck_valid,
+            FaultKind::LostValid => self.lost_valid,
+            FaultKind::ElementOutage => self.outage,
+        }
+    }
+}
+
+/// The injected-vs-detected-vs-recovered accounting of a fault run — the
+/// `recovery` section of [`SimReport`](crate::SimReport).
+///
+/// The conservation law ([`conserves`](Self::conserves)): every injected
+/// fault is **absorbed** (provably harmless: an in-window excursion, a
+/// glitch the protocol rode out, an outage that only stalled),
+/// **recovered** (its flit was cleanly delivered, possibly via
+/// retransmission), **lost** (its flit exhausted the retry budget and was
+/// abandoned — an explicit, counted casualty), or still **pending** (its
+/// flit is un-acknowledged at report time; zero after a full drain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Faults injected, per kind.
+    pub injected: FaultCounts,
+    /// Faults that provably did no harm.
+    pub absorbed: u64,
+    /// Timing-guard violations raised (subset of jitter/spike faults).
+    pub timing_violations: u64,
+    /// Corrupt arrivals caught by the consumer-side CRC gate.
+    pub corruptions_detected: u64,
+    /// Acknowledgement timeouts (presumed drops) detected.
+    pub drops_detected: u64,
+    /// Duplicate arrivals discarded by the sequence gate.
+    pub duplicates_discarded: u64,
+    /// Retransmissions injected by sources and tiles.
+    pub retransmissions: u64,
+    /// Faults whose flit was cleanly delivered in the end.
+    pub recovered: u64,
+    /// Faults whose flit exhausted its retries — explicit losses.
+    pub lost: u64,
+    /// Faults whose flit is still un-acknowledged.
+    pub pending: u64,
+    /// Flits abandoned after the retry budget (each contributes to
+    /// `SimReport::lost()`).
+    pub flits_abandoned: u64,
+    /// DFS backoff steps taken (including probe reverts).
+    pub backoffs: u64,
+    /// DFS creep-up probes attempted.
+    pub creep_ups: u64,
+    /// Final clock slowdown factor (1.0 = nominal frequency).
+    pub slowdown: f64,
+    /// Final effective clock frequency in GHz.
+    pub effective_ghz: f64,
+    /// Whether the DFS controller has locked its operating point (a
+    /// creep-up probe failed, disabling further probes).
+    pub dfs_locked: bool,
+    /// Tick of the last timing violation, if any occurred.
+    pub last_violation_tick: Option<u64>,
+}
+
+impl RecoveryReport {
+    /// The conservation law: `injected == absorbed + recovered + lost +
+    /// pending`.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.injected.total() == self.absorbed + self.recovered + self.lost + self.pending
+    }
+
+    /// Faults that caused a hazard and were caught (recovered, lost, or
+    /// pending — everything except the absorbed ones).
+    #[must_use]
+    pub fn detected(&self) -> u64 {
+        self.recovered + self.lost + self.pending
+    }
+}
+
+impl core::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let i = self.injected;
+        writeln!(
+            f,
+            "faults injected: {} (jitter {}, spike {}, corrupt {}, drop {}, stuck {}, \
+             lost-valid {}, outage {})",
+            i.total(),
+            i.link_jitter,
+            i.skew_spike,
+            i.bit_corruption,
+            i.flit_drop,
+            i.stuck_valid,
+            i.lost_valid,
+            i.outage
+        )?;
+        writeln!(
+            f,
+            "  absorbed {} | recovered {} | lost {} | pending {}  (conserves: {})",
+            self.absorbed,
+            self.recovered,
+            self.lost,
+            self.pending,
+            self.conserves()
+        )?;
+        writeln!(
+            f,
+            "  detection: {} timing violations, {} corrupt arrivals, {} timeouts, \
+             {} duplicates discarded",
+            self.timing_violations,
+            self.corruptions_detected,
+            self.drops_detected,
+            self.duplicates_discarded
+        )?;
+        writeln!(
+            f,
+            "  recovery: {} retransmissions, {} flits abandoned",
+            self.retransmissions, self.flits_abandoned
+        )?;
+        write!(
+            f,
+            "  dfs: {} backoffs, {} creep-ups, slowdown {:.3} -> {:.3} GHz{}",
+            self.backoffs,
+            self.creep_ups,
+            self.slowdown,
+            self.effective_ghz,
+            if self.dfs_locked { " (locked)" } else { "" }
+        )
+    }
+}
+
+/// The DFS controller: counts violations in a sliding window, multiplies
+/// the slowdown on threshold, creeps back after clean stretches, and
+/// locks once a creep-up probe fails (first post-probe violation reverts
+/// the probe and disables probing — deterministic convergence).
+#[derive(Debug, Clone)]
+struct Dfs {
+    cfg: DfsConfig,
+    slowdown: f64,
+    window_start: u64,
+    window_count: u32,
+    last_violation: Option<u64>,
+    last_change: u64,
+    /// `Some(previous)` while a creep-up probe is live.
+    probe: Option<f64>,
+    /// Probing permanently disabled after a failed probe.
+    locked: bool,
+    backoffs: u64,
+    creep_ups: u64,
+}
+
+impl Dfs {
+    fn new(cfg: DfsConfig) -> Self {
+        Self {
+            cfg,
+            slowdown: 1.0,
+            window_start: 0,
+            window_count: 0,
+            last_violation: None,
+            last_change: 0,
+            probe: None,
+            locked: false,
+            backoffs: 0,
+            creep_ups: 0,
+        }
+    }
+
+    /// Records one violation; returns `true` if the clock backed off.
+    fn on_violation(&mut self, tick: u64) -> bool {
+        self.last_violation = Some(tick);
+        if let Some(previous) = self.probe.take() {
+            // The probe failed: revert to the known-good slowdown and stop
+            // probing — the controller has found its operating point.
+            self.slowdown = previous;
+            self.locked = true;
+            self.last_change = tick;
+            self.window_count = 0;
+            self.window_start = tick;
+            self.backoffs += 1;
+            return true;
+        }
+        if tick.saturating_sub(self.window_start) > self.cfg.window_edges {
+            self.window_start = tick;
+            self.window_count = 0;
+        }
+        self.window_count += 1;
+        if self.window_count >= self.cfg.violation_threshold
+            && self.slowdown < self.cfg.max_slowdown
+        {
+            self.slowdown = (self.slowdown * self.cfg.backoff_factor).min(self.cfg.max_slowdown);
+            self.backoffs += 1;
+            self.window_count = 0;
+            self.window_start = tick;
+            self.last_change = tick;
+            return true;
+        }
+        false
+    }
+
+    /// Called once per edge: resolves surviving probes and starts new
+    /// creep-up attempts after clean stretches.
+    fn on_edge(&mut self, tick: u64) {
+        let settled = tick.saturating_sub(self.last_change) >= self.cfg.clean_edges;
+        if self.probe.is_some() {
+            if settled {
+                // The probe survived a full clean window: adopt the faster
+                // clock as the new known-good point.
+                self.probe = None;
+            }
+            return;
+        }
+        if self.locked || self.slowdown <= 1.0 {
+            return;
+        }
+        let clean = self.last_violation.map_or(tick, |t| tick.saturating_sub(t));
+        if settled && clean >= self.cfg.clean_edges {
+            self.probe = Some(self.slowdown);
+            self.slowdown = (self.slowdown / self.cfg.creep_factor).max(1.0);
+            self.creep_ups += 1;
+            self.last_change = tick;
+        }
+    }
+}
+
+/// An un-acknowledged flit the recovery layer tracks.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    /// Pristine copy used for retransmission.
+    flit: Flit,
+    /// Tick after which, without acknowledgement, the flit is presumed
+    /// dropped.
+    deadline: u64,
+    /// Retransmissions performed so far.
+    attempts: u32,
+    /// Fault instances charged to this flit, resolved at delivery.
+    faults: u64,
+    /// Scheduled retransmission tick, if a NACK/timeout is being backed
+    /// off.
+    retx_due: Option<u64>,
+}
+
+/// What the injector decided about a stage capture.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CaptureEffect {
+    /// The flit to latch (`None`: metastability resolved to loss).
+    pub flit: Option<Flit>,
+    /// A timing-guard violation fired.
+    pub violation: bool,
+    /// The violation triggered a DFS backoff.
+    pub backoff: bool,
+    /// The latched flit was corrupted.
+    pub corrupted: bool,
+}
+
+impl CaptureEffect {
+    pub(crate) fn clean(flit: Flit) -> Self {
+        Self {
+            flit: Some(flit),
+            violation: false,
+            backoff: false,
+            corrupted: false,
+        }
+    }
+}
+
+/// The consumer-side gate's verdict on an arriving flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArrivalVerdict {
+    /// Clean (or misrouted — the scoreboard handles that): process it.
+    Deliver,
+    /// CRC/identity check failed: discard, a retransmission is scheduled.
+    Corrupt,
+    /// Already delivered once: discard silently.
+    Duplicate,
+}
+
+/// Internal ledger counters (everything except per-entry state).
+#[derive(Debug, Clone, Copy, Default)]
+struct Ledger {
+    injected: FaultCounts,
+    absorbed: u64,
+    violations: u64,
+    corruptions_detected: u64,
+    drops_detected: u64,
+    duplicates_discarded: u64,
+    retransmissions: u64,
+    recovered: u64,
+    lost: u64,
+    flits_abandoned: u64,
+}
+
+/// Live fault-injection/recovery state attached to a network.
+///
+/// All collections with order-dependent iteration are `BTreeMap`s so that
+/// same-seed runs are bit-identical across processes.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Per-element rates, resolved from the plan's prefix overrides.
+    element_rates: Vec<FaultRates>,
+    /// Frozen elements: element index → first tick after the outage.
+    outages: BTreeMap<usize, u64>,
+    dfs: Dfs,
+    /// Un-acknowledged flits keyed by `(source port, sequence)`.
+    outstanding: BTreeMap<(u32, u64), Outstanding>,
+    /// `(source port, sequence)` pairs delivered cleanly (duplicate gate).
+    delivered: HashSet<(u32, u64)>,
+    /// Retransmissions awaiting injection, per source port.
+    ready: BTreeMap<u32, VecDeque<Flit>>,
+    /// Flits written off as lost, with their charged faults — kept so a
+    /// copy that arrives intact *after* the write-off can be reclassified
+    /// as recovered instead of staying a phantom loss.
+    abandoned: BTreeMap<(u32, u64), u64>,
+    ledger: Ledger,
+}
+
+impl FaultState {
+    /// Builds the live state for a network with the given element labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's *nominal* link delays violate timing at its
+    /// nominal frequency — faults must be excursions from a working
+    /// design, not a broken baseline.
+    pub(crate) fn new(plan: FaultPlan, labels: &[&str]) -> Self {
+        let link = LinkTiming::new(plan.flip_flop, plan.frequency);
+        for dir in [Direction::Downstream, Direction::Upstream] {
+            assert!(
+                link.check(dir, plan.data_delay, plan.clock_delay).is_ok(),
+                "fault plan's nominal link delays must meet timing at the nominal \
+                 frequency ({dir:?} fails); fix delays/frequency before injecting faults"
+            );
+        }
+        let element_rates = labels
+            .iter()
+            .map(|label| {
+                plan.overrides
+                    .iter()
+                    .find(|(prefix, _)| label.starts_with(prefix.as_str()))
+                    .map_or(plan.rates, |(_, r)| *r)
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(plan.seed ^ 0xFA17);
+        let dfs = Dfs::new(plan.dfs);
+        Self {
+            plan,
+            rng,
+            element_rates,
+            outages: BTreeMap::new(),
+            dfs,
+            outstanding: BTreeMap::new(),
+            delivered: HashSet::new(),
+            ready: BTreeMap::new(),
+            abandoned: BTreeMap::new(),
+            ledger: Ledger::default(),
+        }
+    }
+
+    fn active(&self, tick: u64) -> bool {
+        self.plan
+            .window
+            .is_none_or(|(start, end)| tick >= start && tick < end)
+    }
+
+    fn rates(&self, element: usize) -> FaultRates {
+        self.element_rates
+            .get(element)
+            .copied()
+            .unwrap_or(self.plan.rates)
+    }
+
+    /// A rate roll that consumes randomness only for nonzero rates, so a
+    /// zero-rate plan perturbs nothing — not even the RNG stream.
+    fn roll(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.gen_bool(rate)
+    }
+
+    fn charge(&mut self, flit: &Flit) {
+        match self.outstanding.get_mut(&(flit.src.0, flit.seq)) {
+            Some(entry) => entry.faults += 1,
+            // The flit already resolved (e.g. a stray duplicate copy):
+            // harming it cannot harm the payload.
+            None => self.ledger.absorbed += 1,
+        }
+    }
+
+    fn backoff_delay(&self, attempts: u32) -> u64 {
+        // Bounded exponential backoff: base << attempts, saturating well
+        // below overflow.
+        self.plan
+            .backoff_base_edges
+            .saturating_mul(1u64 << attempts.min(10))
+    }
+
+    // ----- per-step hooks -------------------------------------------------
+
+    /// Runs the per-edge recovery machinery: DFS creep-up bookkeeping,
+    /// acknowledgement timeouts, and retransmission scheduling.
+    pub(crate) fn begin_step(&mut self, tick: u64) {
+        self.dfs.on_edge(tick);
+        if self.outstanding.is_empty() {
+            return;
+        }
+        let max_retries = self.plan.max_retries;
+        let timeout = self.plan.timeout_edges;
+        let base = self.plan.backoff_base_edges;
+        let mut drops_detected = 0u64;
+        let mut retx: Vec<Flit> = Vec::new();
+        let mut abandoned: Vec<(u32, u64)> = Vec::new();
+        for (key, entry) in &mut self.outstanding {
+            if let Some(due) = entry.retx_due {
+                if tick >= due {
+                    // Back-off elapsed: materialise the retransmission.
+                    entry.attempts += 1;
+                    entry.retx_due = None;
+                    entry.deadline = tick + timeout;
+                    retx.push(entry.flit.as_retry(entry.attempts.min(255) as u8));
+                }
+            } else if tick >= entry.deadline {
+                // No acknowledgement: presume the flit dropped.
+                drops_detected += 1;
+                if entry.attempts >= max_retries {
+                    abandoned.push(*key);
+                } else {
+                    let delay = base.saturating_mul(1u64 << entry.attempts.min(10));
+                    entry.retx_due = Some(tick + delay);
+                }
+            }
+        }
+        self.ledger.drops_detected += drops_detected;
+        for flit in retx {
+            self.ready.entry(flit.src.0).or_default().push_back(flit);
+        }
+        for key in abandoned {
+            if let Some(entry) = self.outstanding.remove(&key) {
+                self.ledger.lost += entry.faults;
+                self.ledger.flits_abandoned += 1;
+                self.abandoned.insert(key, entry.faults);
+            }
+        }
+    }
+
+    /// Whether element `i` is frozen this edge (possibly starting a new
+    /// outage).
+    pub(crate) fn outage_step(&mut self, i: usize, tick: u64) -> bool {
+        if let Some(&until) = self.outages.get(&i) {
+            if tick < until {
+                return true;
+            }
+            self.outages.remove(&i);
+        }
+        if self.active(tick) {
+            let rate = self.rates(i).outage;
+            if self.roll(rate) {
+                self.outages.insert(i, tick + self.plan.outage_edges);
+                self.ledger.injected.bump(FaultKind::ElementOutage);
+                // An outage only stalls; the protocol holds flits upstream.
+                self.ledger.absorbed += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether element `i`'s incoming `valid` glitches away this edge.
+    pub(crate) fn lost_valid(&mut self, i: usize, tick: u64) -> bool {
+        if !self.active(tick) {
+            return false;
+        }
+        let rate = self.rates(i).lost_valid;
+        if self.roll(rate) {
+            self.ledger.injected.bump(FaultKind::LostValid);
+            // A one-edge stall the handshake absorbs by construction.
+            self.ledger.absorbed += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the drain of `flit` out of element `i` loses its `accept`,
+    /// making the producer re-present (duplicate) it. Restricted to
+    /// standalone flits — duplicating a wormhole fragment would need the
+    /// link-level dedup real hardware does not model here.
+    pub(crate) fn stuck_valid(&mut self, i: usize, tick: u64, flit: &Flit) -> bool {
+        if !self.active(tick) || !(flit.kind == FlitKind::Single || flit.retry > 0) {
+            return false;
+        }
+        let rate = self.rates(i).stuck_valid;
+        if self.roll(rate) {
+            self.ledger.injected.bump(FaultKind::StuckValid);
+            self.charge(flit);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the flit held in element `i`'s register is erased this
+    /// edge. Head flits are exempt: erasing a worm's head would orphan its
+    /// bodies with no route, wedging the fabric beyond what the recovery
+    /// protocol models.
+    pub(crate) fn held_drop(&mut self, i: usize, tick: u64, flit: &Flit) -> bool {
+        if !self.active(tick) || flit.kind == FlitKind::Head {
+            return false;
+        }
+        let rate = self.rates(i).flit_drop;
+        if self.roll(rate) {
+            self.ledger.injected.bump(FaultKind::FlitDrop);
+            self.charge(flit);
+            return true;
+        }
+        false
+    }
+
+    /// Applies capture-time faults to `flit` being latched by element `i`
+    /// over a link in `direction`: delay excursions (evaluated by the
+    /// timing guard at the DFS controller's current frequency) and payload
+    /// upsets.
+    pub(crate) fn on_capture(
+        &mut self,
+        i: usize,
+        tick: u64,
+        flit: Flit,
+        direction: Direction,
+    ) -> CaptureEffect {
+        let mut effect = CaptureEffect::clean(flit);
+        if !self.active(tick) {
+            return effect;
+        }
+        let rates = self.rates(i);
+        let excursion = if self.roll(rates.skew_spike) {
+            self.ledger.injected.bump(FaultKind::SkewSpike);
+            let magnitude = self
+                .rng
+                .gen_range(self.plan.spike_min.value()..self.plan.spike_max.value());
+            let sign = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            Some(Picoseconds::new(sign * magnitude))
+        } else if self.roll(rates.link_jitter) {
+            self.ledger.injected.bump(FaultKind::LinkJitter);
+            let bound = self.plan.jitter_max.value();
+            let j = if bound > 0.0 {
+                self.rng.gen_range(-bound..bound)
+            } else {
+                0.0
+            };
+            Some(Picoseconds::new(j))
+        } else {
+            None
+        };
+        if let Some(excursion) = excursion {
+            let link = LinkTiming::new(self.plan.flip_flop, self.plan.frequency)
+                .derated(self.dfs.slowdown);
+            let data = (self.plan.data_delay + excursion).max(Picoseconds::ZERO);
+            match link.check(direction, data, self.plan.clock_delay) {
+                Ok(_) => self.ledger.absorbed += 1,
+                Err(_violation) => {
+                    effect.violation = true;
+                    self.ledger.violations += 1;
+                    effect.backoff = self.dfs.on_violation(tick);
+                    self.charge(&flit);
+                    // Metastability resolves unpredictably: half the time
+                    // the register latches garbage (corruption), half the
+                    // time nothing valid (loss). Heads always corrupt —
+                    // losing one would orphan its worm.
+                    if flit.kind == FlitKind::Head || self.rng.gen_bool(0.5) {
+                        let bit = self.rng.gen_range(0u32..32);
+                        effect.flit = Some(flit.with_corrupted_payload(bit));
+                        effect.corrupted = true;
+                    } else {
+                        effect.flit = None;
+                    }
+                    return effect;
+                }
+            }
+        }
+        if self.roll(rates.bit_corruption) {
+            self.ledger.injected.bump(FaultKind::BitCorruption);
+            let base = effect.flit.unwrap_or(flit);
+            self.charge(&base);
+            let bit = self.rng.gen_range(0u32..32);
+            effect.flit = Some(base.with_corrupted_payload(bit));
+            effect.corrupted = true;
+        }
+        effect
+    }
+
+    // ----- endpoint hooks -------------------------------------------------
+
+    /// Registers a freshly injected flit with the acknowledgement tracker.
+    pub(crate) fn register_injection(&mut self, flit: &Flit, tick: u64) {
+        self.outstanding.insert(
+            (flit.src.0, flit.seq),
+            Outstanding {
+                flit: *flit,
+                deadline: tick + self.plan.timeout_edges,
+                attempts: 0,
+                faults: 0,
+                retx_due: None,
+            },
+        );
+    }
+
+    /// The consumer-side gate: CRC/identity check, duplicate filtering,
+    /// NACK scheduling, and acknowledgement of clean deliveries.
+    pub(crate) fn on_arrival(
+        &mut self,
+        flit: &Flit,
+        tick: u64,
+        port: icnoc_topology::PortId,
+    ) -> ArrivalVerdict {
+        if flit.dest != port {
+            // Misroutes are the scoreboard's concern, not the fault gate's.
+            return ArrivalVerdict::Deliver;
+        }
+        let key = (flit.src.0, flit.seq);
+        let integrity_ok =
+            flit.crc_ok() && flit.payload == Flit::expected_payload(flit.src, flit.dest, flit.seq);
+        if !integrity_ok {
+            self.ledger.corruptions_detected += 1;
+            // NACK: schedule a retransmission under the backoff policy.
+            let delay = self
+                .outstanding
+                .get(&key)
+                .map(|e| self.backoff_delay(e.attempts));
+            if let Some(entry) = self.outstanding.get_mut(&key) {
+                if entry.retx_due.is_none() {
+                    if entry.attempts >= self.plan.max_retries {
+                        let entry = self.outstanding.remove(&key).expect("present");
+                        self.ledger.lost += entry.faults;
+                        self.ledger.flits_abandoned += 1;
+                        self.abandoned.insert(key, entry.faults);
+                    } else {
+                        entry.retx_due = Some(tick + delay.unwrap_or(0));
+                    }
+                }
+            }
+            return ArrivalVerdict::Corrupt;
+        }
+        if self.delivered.contains(&key) {
+            self.ledger.duplicates_discarded += 1;
+            return ArrivalVerdict::Duplicate;
+        }
+        self.delivered.insert(key);
+        // The clean delivery acknowledges the flit: every fault charged to
+        // it has been recovered.
+        if let Some(entry) = self.outstanding.remove(&key) {
+            self.ledger.recovered += entry.faults;
+        } else if let Some(faults) = self.abandoned.remove(&key) {
+            // A copy the timeout had already written off arrived intact
+            // after all (it was stalled, not dropped): reclassify its
+            // charges — the loss was never real.
+            self.ledger.lost -= faults;
+            self.ledger.recovered += faults;
+            self.ledger.flits_abandoned -= 1;
+        }
+        ArrivalVerdict::Deliver
+    }
+
+    /// Pops the next pending retransmission for `port`'s source, if any,
+    /// resetting its acknowledgement deadline.
+    pub(crate) fn take_retx(&mut self, port: u32, tick: u64) -> Option<Flit> {
+        let queue = self.ready.get_mut(&port)?;
+        let flit = queue.pop_front()?;
+        self.ledger.retransmissions += 1;
+        if let Some(entry) = self.outstanding.get_mut(&(flit.src.0, flit.seq)) {
+            // The queue wait may have eaten into the timeout; re-arm it
+            // from the actual injection tick.
+            entry.deadline = tick + self.plan.timeout_edges;
+        }
+        Some(flit)
+    }
+
+    /// Whether the recovery layer still has work in flight (un-acked
+    /// flits or queued retransmissions) — the drain loop keeps stepping
+    /// while this holds.
+    pub(crate) fn recovery_busy(&self) -> bool {
+        !self.outstanding.is_empty() || self.ready.values().any(|q| !q.is_empty())
+    }
+
+    /// Retransmissions queued but not yet injected (counted as in-flight).
+    pub(crate) fn queued_retx(&self) -> u64 {
+        self.ready.values().map(|q| q.len() as u64).sum()
+    }
+
+    /// Fault hazards still unresolved (for drain diagnostics).
+    pub(crate) fn pending_hazards(&self) -> u64 {
+        self.outstanding.values().map(|e| e.faults).sum()
+    }
+
+    /// Diagnostic lines folded into
+    /// [`Network::diagnose_stall`](crate::Network::diagnose_stall).
+    pub(crate) fn stall_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (port, queue) in &self.ready {
+            if !queue.is_empty() {
+                lines.push(format!(
+                    "p{port} retransmit queue holds {} flit(s)",
+                    queue.len()
+                ));
+            }
+        }
+        if !self.outstanding.is_empty() {
+            let next = self
+                .outstanding
+                .values()
+                .map(|e| e.retx_due.unwrap_or(e.deadline))
+                .min()
+                .expect("non-empty");
+            lines.push(format!(
+                "recovery tracks {} un-acked flit(s), next action at tick {next}",
+                self.outstanding.len()
+            ));
+        }
+        lines
+    }
+
+    /// Snapshot of the conservation ledger.
+    pub(crate) fn report(&self) -> RecoveryReport {
+        let ledger = self.ledger;
+        RecoveryReport {
+            injected: ledger.injected,
+            absorbed: ledger.absorbed,
+            timing_violations: ledger.violations,
+            corruptions_detected: ledger.corruptions_detected,
+            drops_detected: ledger.drops_detected,
+            duplicates_discarded: ledger.duplicates_discarded,
+            retransmissions: ledger.retransmissions,
+            recovered: ledger.recovered,
+            lost: ledger.lost,
+            pending: self.pending_hazards(),
+            flits_abandoned: ledger.flits_abandoned,
+            backoffs: self.dfs.backoffs,
+            creep_ups: self.dfs.creep_ups,
+            slowdown: self.dfs.slowdown,
+            effective_ghz: self.plan.frequency.value() / self.dfs.slowdown,
+            dfs_locked: self.dfs.locked,
+            last_violation_tick: self.dfs.last_violation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icnoc_topology::PortId;
+
+    #[test]
+    fn rates_validate_and_scale() {
+        let soak = FaultRates::soak();
+        assert!(!soak.is_zero());
+        assert!(FaultRates::ZERO.is_zero());
+        let doubled = soak.scaled(2.0);
+        assert!((doubled.link_jitter - 2.0 * soak.link_jitter).abs() < 1e-12);
+        // Scaling clamps to a probability.
+        assert!(soak.scaled(1e9).link_jitter <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultPlan::new(1).with_rates(FaultRates {
+            link_jitter: 1.5,
+            ..FaultRates::ZERO
+        });
+    }
+
+    #[test]
+    fn plan_defaults_meet_nominal_timing() {
+        // The construction assertion must accept the default plan.
+        let state = FaultState::new(FaultPlan::soak(7), &["s0", "s1"]);
+        assert!(state.report().conserves());
+        assert_eq!(state.report().injected.total(), 0);
+    }
+
+    #[test]
+    fn element_overrides_resolve_by_prefix() {
+        let hot = FaultRates {
+            bit_corruption: 0.5,
+            ..FaultRates::ZERO
+        };
+        let plan = FaultPlan::new(3).with_element_rates("r0.", hot);
+        let state = FaultState::new(plan, &["src0", "r0.mid1", "r1.mid0"]);
+        assert_eq!(state.rates(1).bit_corruption, 0.5);
+        assert_eq!(state.rates(0).bit_corruption, 0.0);
+        assert_eq!(state.rates(2).bit_corruption, 0.0);
+    }
+
+    #[test]
+    fn worst_case_safety_threshold_matches_the_paper_algebra() {
+        // nominal_90nm at 1 GHz: setup bound = 500·s − 120; worst Δsum =
+        // 150 + 150 + 600 = 900 ⇒ safe iff s ≥ 2.04.
+        let plan = FaultPlan::soak(1);
+        assert_eq!(plan.worst_case_delta(), Picoseconds::new(900.0));
+        assert!(!plan.slowdown_is_safe(1.0));
+        assert!(!plan.slowdown_is_safe(2.0));
+        assert!(plan.slowdown_is_safe(2.05));
+        // Three default backoff steps clear the threshold: 1.3³ ≈ 2.197.
+        assert!(plan.slowdown_is_safe(1.3f64.powi(3)));
+    }
+
+    #[test]
+    fn dfs_backs_off_on_threshold_and_locks_after_failed_probe() {
+        let cfg = DfsConfig {
+            violation_threshold: 2,
+            window_edges: 100,
+            backoff_factor: 1.5,
+            max_slowdown: 8.0,
+            creep_factor: 1.2,
+            clean_edges: 50,
+        };
+        let mut dfs = Dfs::new(cfg);
+        assert!(!dfs.on_violation(1));
+        assert!(dfs.on_violation(2), "second violation in window backs off");
+        assert!((dfs.slowdown - 1.5).abs() < 1e-12);
+        // A clean stretch starts a probe at a faster clock (but ends
+        // before the probe is adopted as the new known-good point).
+        for t in 3..60 {
+            dfs.on_edge(t);
+        }
+        assert!(dfs.probe.is_some());
+        assert!(dfs.slowdown < 1.5);
+        // A violation during the probe reverts and locks.
+        assert!(dfs.on_violation(60));
+        assert!((dfs.slowdown - 1.5).abs() < 1e-12);
+        assert!(dfs.locked);
+        // No further probes, ever.
+        for t in 61..1000 {
+            dfs.on_edge(t);
+        }
+        assert!(dfs.probe.is_none());
+        assert!((dfs.slowdown - 1.5).abs() < 1e-12);
+        // But threshold backoffs stay armed.
+        dfs.on_violation(1000);
+        assert!(dfs.on_violation(1001));
+        assert!((dfs.slowdown - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dfs_probe_survives_a_clean_window_and_is_adopted() {
+        let cfg = DfsConfig {
+            violation_threshold: 1,
+            window_edges: 100,
+            backoff_factor: 2.0,
+            max_slowdown: 8.0,
+            creep_factor: 2.0,
+            clean_edges: 10,
+        };
+        let mut dfs = Dfs::new(cfg);
+        assert!(dfs.on_violation(0));
+        assert!((dfs.slowdown - 2.0).abs() < 1e-12);
+        for t in 1..25 {
+            dfs.on_edge(t);
+        }
+        // Probe started (creep to 1.0) and then adopted after 10 clean
+        // edges.
+        assert!(dfs.probe.is_none());
+        assert!((dfs.slowdown - 1.0).abs() < 1e-12);
+        assert_eq!(dfs.creep_ups, 1);
+        assert!(!dfs.locked);
+    }
+
+    #[test]
+    fn arrival_gate_acks_nacks_and_dedups() {
+        // Backoff base 1 (the minimum): NACKed flits retransmit on the
+        // next edge.
+        let mut state = FaultState::new(FaultPlan::new(9).with_retry(64, 1, 5), &[]);
+        let flit = Flit::new(PortId(0), PortId(1), 4, 0);
+        state.register_injection(&flit, 0);
+        assert!(state.recovery_busy());
+
+        // A corrupt copy is NACKed and discarded.
+        let bad = flit.with_corrupted_payload(3);
+        assert_eq!(
+            state.on_arrival(&bad, 10, PortId(1)),
+            ArrivalVerdict::Corrupt
+        );
+        assert_eq!(state.report().corruptions_detected, 1);
+        // The NACK scheduled a retransmission one backoff edge later.
+        state.begin_step(11);
+        let retx = state.take_retx(0, 11).expect("retransmission queued");
+        assert_eq!(retx.seq, 4);
+        assert_eq!(retx.retry, 1);
+        assert!(retx.crc_ok());
+
+        // The clean retransmission delivers and acknowledges.
+        assert_eq!(
+            state.on_arrival(&retx, 20, PortId(1)),
+            ArrivalVerdict::Deliver
+        );
+        assert!(!state.recovery_busy());
+        // A late duplicate of the same sequence is discarded.
+        assert_eq!(
+            state.on_arrival(&flit, 30, PortId(1)),
+            ArrivalVerdict::Duplicate
+        );
+        let report = state.report();
+        assert_eq!(report.duplicates_discarded, 1);
+        assert_eq!(report.retransmissions, 1);
+        assert!(report.conserves());
+    }
+
+    #[test]
+    fn timeout_drives_bounded_retries_then_explicit_loss() {
+        let plan = FaultPlan::new(5)
+            .with_retry(10, 2, 2)
+            .with_rates(FaultRates {
+                flit_drop: 1.0,
+                ..FaultRates::ZERO
+            });
+        let mut state = FaultState::new(plan, &[]);
+        let flit = Flit::new(PortId(2), PortId(3), 0, 0);
+        state.register_injection(&flit, 0);
+        // Inject a deterministic drop so the eventual loss is attributable.
+        assert!(state.held_drop(0, 0, &flit));
+
+        let mut retransmissions = 0;
+        for tick in 0..200 {
+            state.begin_step(tick);
+            if state.take_retx(2, tick).is_some() {
+                retransmissions += 1;
+            }
+            if !state.recovery_busy() {
+                break;
+            }
+        }
+        assert_eq!(retransmissions, 2, "retry budget is respected");
+        let report = state.report();
+        assert_eq!(
+            report.drops_detected, 3,
+            "initial timeout + 2 retry timeouts"
+        );
+        assert_eq!(report.flits_abandoned, 1);
+        assert_eq!(report.lost, 1);
+        assert_eq!(report.pending, 0);
+        assert!(report.conserves());
+        assert!(!state.recovery_busy());
+    }
+
+    #[test]
+    fn misroutes_bypass_the_gate() {
+        let mut state = FaultState::new(FaultPlan::new(11), &[]);
+        let flit = Flit::new(PortId(0), PortId(1), 0, 0);
+        // Arriving at the wrong port: the gate defers to the scoreboard.
+        assert_eq!(
+            state.on_arrival(&flit, 0, PortId(2)),
+            ArrivalVerdict::Deliver
+        );
+        assert_eq!(state.report().corruptions_detected, 0);
+    }
+
+    #[test]
+    fn recovery_report_displays_the_ledger() {
+        let state = FaultState::new(FaultPlan::new(2), &[]);
+        let text = state.report().to_string();
+        assert!(text.contains("faults injected"));
+        assert!(text.contains("conserves: true"));
+        assert!(text.contains("dfs:"));
+    }
+}

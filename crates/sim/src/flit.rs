@@ -34,6 +34,15 @@ impl FlitKind {
     pub fn closes_route(self) -> bool {
         matches!(self, FlitKind::Tail | FlitKind::Single)
     }
+
+    fn tag(self) -> u8 {
+        match self {
+            FlitKind::Head => 0,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::Single => 3,
+        }
+    }
 }
 
 /// A flit (flow-control unit) — in the IC-NoC demonstrator, one 32-bit word
@@ -55,6 +64,15 @@ pub struct Flit {
     pub injected_tick: u64,
     /// The 32-bit payload word.
     pub payload: u32,
+    /// CRC-16/CCITT over the identity fields and payload, computed at
+    /// creation. Fault injection flips payload bits *without* refreshing
+    /// this field, so a consumer detects corruption by recomputing it.
+    pub crc: u16,
+    /// Retransmission attempt, 0 for the original transmission. A retried
+    /// flit travels standalone — it both opens and closes a route — and
+    /// the scoreboard exempts it from in-order/wormhole checks, since a
+    /// recovered flit legitimately arrives late.
+    pub retry: u8,
 }
 
 impl Flit {
@@ -74,9 +92,7 @@ impl Flit {
         kind: FlitKind,
         injected_tick: u64,
     ) -> Self {
-        // A payload derived from identity makes accidental flit mix-ups
-        // visible in tests.
-        let payload = (seq as u32).wrapping_mul(0x9E37_79B9) ^ src.0 ^ dest.0.rotate_left(16);
+        let payload = Self::expected_payload(src, dest, seq);
         Self {
             src,
             dest,
@@ -85,7 +101,64 @@ impl Flit {
             kind,
             injected_tick,
             payload,
+            crc: crc16(src, dest, seq, packet, kind, payload),
+            retry: 0,
         }
+    }
+
+    /// The identity-derived payload for these coordinates. A payload
+    /// derived from identity makes accidental flit mix-ups visible in
+    /// tests and doubles as the end-to-end integrity oracle: any silent
+    /// corruption shows up as a mismatch at delivery.
+    #[must_use]
+    pub fn expected_payload(src: PortId, dest: PortId, seq: u64) -> u32 {
+        (seq as u32).wrapping_mul(0x9E37_79B9) ^ src.0 ^ dest.0.rotate_left(16)
+    }
+
+    /// Whether the CRC still matches the flit's contents.
+    #[must_use]
+    pub fn crc_ok(&self) -> bool {
+        self.crc
+            == crc16(
+                self.src,
+                self.dest,
+                self.seq,
+                self.packet,
+                self.kind,
+                self.payload,
+            )
+    }
+
+    /// This flit with payload bit `bit % 32` flipped and the CRC left
+    /// stale — a single-event upset as the fault injector models it.
+    #[must_use]
+    pub fn with_corrupted_payload(mut self, bit: u32) -> Self {
+        self.payload ^= 1 << (bit % 32);
+        self
+    }
+
+    /// A retransmitted copy: same identity and payload, `retry` set to
+    /// `attempt`. The original injection tick is preserved so recovered
+    /// flits report their true (fault-inflated) latency.
+    #[must_use]
+    pub fn as_retry(mut self, attempt: u8) -> Self {
+        self.retry = attempt;
+        self
+    }
+
+    /// Whether this flit may be captured by an *unlocked* arbitrated
+    /// stage. Retransmissions travel standalone and always may, whatever
+    /// their original wormhole position.
+    #[must_use]
+    pub fn opens_route(&self) -> bool {
+        self.kind.opens_route() || self.retry > 0
+    }
+
+    /// Whether capturing this flit releases a stage lock. Retransmissions
+    /// always do.
+    #[must_use]
+    pub fn closes_route(&self) -> bool {
+        self.kind.closes_route() || self.retry > 0
     }
 
     /// Latency in half-cycles if delivered at `tick`.
@@ -93,6 +166,33 @@ impl Flit {
     pub fn latency_half_cycles(&self, tick: u64) -> u64 {
         tick.saturating_sub(self.injected_tick)
     }
+}
+
+/// CRC-16/CCITT-FALSE over the flit's identity fields and payload. `retry`
+/// and `injected_tick` are deliberately excluded: a retransmission carries
+/// the original's checksum unchanged.
+fn crc16(src: PortId, dest: PortId, seq: u64, packet: u64, kind: FlitKind, payload: u32) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    let bytes = src
+        .0
+        .to_le_bytes()
+        .into_iter()
+        .chain(dest.0.to_le_bytes())
+        .chain(seq.to_le_bytes())
+        .chain(packet.to_le_bytes())
+        .chain([kind.tag()])
+        .chain(payload.to_le_bytes());
+    for b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
 }
 
 impl core::fmt::Display for Flit {
@@ -143,5 +243,27 @@ mod tests {
         let f = Flit::new(PortId(0), PortId(1), 7, 0);
         assert_eq!(f.kind, FlitKind::Single);
         assert_eq!(f.packet, 7);
+    }
+
+    #[test]
+    fn crc_detects_any_single_payload_bit_flip() {
+        let f = Flit::new(PortId(3), PortId(12), 41, 9);
+        assert!(f.crc_ok());
+        for bit in 0..32 {
+            let corrupted = f.with_corrupted_payload(bit);
+            assert!(!corrupted.crc_ok(), "bit {bit} flip must break the CRC");
+            assert_eq!(corrupted.crc, f.crc, "corruption leaves the CRC stale");
+        }
+    }
+
+    #[test]
+    fn retry_keeps_identity_and_checksum_but_relaxes_routing() {
+        let body = Flit::with_kind(PortId(0), PortId(1), 5, 2, FlitKind::Body, 10);
+        assert!(!body.opens_route() && !body.closes_route());
+        let retx = body.as_retry(2);
+        assert!(retx.crc_ok(), "retry is excluded from the CRC");
+        assert_eq!(retx.payload, body.payload);
+        assert_eq!(retx.injected_tick, body.injected_tick);
+        assert!(retx.opens_route() && retx.closes_route());
     }
 }

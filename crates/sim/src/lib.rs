@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod element;
+mod fault;
 mod flit;
 mod network;
 mod report;
@@ -44,11 +45,12 @@ mod tree_net;
 mod vcd;
 
 pub use element::{Arbitration, ElementId, MeshDirection, RouteFilter, SinkMode};
+pub use fault::{DfsConfig, FaultCounts, FaultKind, FaultPlan, FaultRates, RecoveryReport};
 pub use flit::{Flit, FlitKind};
-pub use network::Network;
+pub use network::{DrainTimeout, Network};
 pub use report::{LatencyHistogram, LatencyStats, SimReport};
 pub use trace::{
-    CountersSink, ElementCounters, ElementUtilisation, FlowLatency, ObservabilityReport,
+    CountersSink, DropCause, ElementCounters, ElementUtilisation, FlowLatency, ObservabilityReport,
     RingBufferSink, TraceEvent, TraceEventKind, TraceSink, TraceTotals,
 };
 pub use traffic::{TrafficPattern, TrafficPhase};

@@ -1,13 +1,17 @@
 //! The element-graph simulator core and the straight-pipeline builder.
 
 use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState};
+use crate::fault::{ArrivalVerdict, CaptureEffect, FaultState};
 use crate::report::Scoreboard;
-use crate::trace::{CountersSink, RingBufferSink, TraceEvent, TraceEventKind, TraceSink};
+use crate::trace::{
+    CountersSink, DropCause, RingBufferSink, TraceEvent, TraceEventKind, TraceSink,
+};
 use crate::{
-    Arbitration, ElementId, Flit, LatencyStats, RouteFilter, SimReport, SinkMode, TrafficPattern,
-    TrafficPhase,
+    Arbitration, ElementId, FaultPlan, Flit, LatencyStats, RecoveryReport, RouteFilter, SimReport,
+    SinkMode, TrafficPattern, TrafficPhase,
 };
 use icnoc_clock::{ClockGatingStats, ClockPolarity};
+use icnoc_timing::Direction;
 use icnoc_topology::PortId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,6 +35,9 @@ pub struct Network {
     /// instrumentation site checks emptiness before building an event, so
     /// the untraced hot path pays one predictable branch.
     sinks: Vec<Box<dyn TraceSink>>,
+    /// Fault injection and recovery state, if a [`FaultPlan`] is attached.
+    /// Boxed: the fault-free hot path pays one pointer of state.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Network {
@@ -54,7 +61,39 @@ impl Network {
             scoreboard: Scoreboard::default(),
             finalized: false,
             sinks: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection and recovery plan. Call after
+    /// [`finalize`](Self::finalize): per-element rate overrides resolve
+    /// against the complete element list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not finalized, or if the plan's nominal
+    /// link delays violate timing at its nominal frequency (faults must be
+    /// excursions from a working design).
+    #[track_caller]
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        assert!(
+            self.finalized,
+            "enable faults after finalize(): element rates resolve against the full graph"
+        );
+        let labels: Vec<&str> = self.elements.iter().map(|e| e.label.as_str()).collect();
+        self.faults = Some(Box::new(FaultState::new(plan, &labels)));
+    }
+
+    /// Whether a fault plan is attached.
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The fault-injection/recovery ledger so far, if a plan is attached.
+    #[must_use]
+    pub fn fault_report(&self) -> Option<RecoveryReport> {
+        self.faults.as_ref().map(|f| f.report())
     }
 
     /// Attaches a flit-lifecycle trace sink. Several sinks may coexist
@@ -361,10 +400,12 @@ impl Network {
     }
 
     /// Flits currently held in registers or waiting in sources, plus
-    /// responses queued inside memory tiles.
+    /// responses queued inside memory tiles and retransmissions queued by
+    /// the recovery layer.
     #[must_use]
     pub fn in_flight(&self) -> u64 {
-        self.elements
+        let held: u64 = self
+            .elements
             .iter()
             .map(|e| {
                 let held = u64::from(e.out_flit.is_some());
@@ -373,7 +414,8 @@ impl Network {
                     _ => held,
                 }
             })
-            .sum()
+            .sum();
+        held + self.faults.as_ref().map_or(0, |f| f.queued_retx())
     }
 
     /// Advances the simulation by one half-cycle (one clock edge).
@@ -383,6 +425,11 @@ impl Network {
     /// Panics if the network was constructed manually and never finalized.
     pub fn step(&mut self) {
         assert!(self.finalized, "network must be finalized before stepping");
+        if let Some(f) = &mut self.faults {
+            // Per-edge recovery machinery: DFS creep-up, ack timeouts,
+            // retransmission scheduling.
+            f.begin_step(self.tick);
+        }
         let parity = if self.tick.is_multiple_of(2) {
             ClockPolarity::Rising
         } else {
@@ -413,12 +460,41 @@ impl Network {
     }
 
     fn step_stage(&mut self, i: usize) {
-        let drained = self.was_drained(i);
+        let mut faults = self.faults.take();
+        let tick = self.tick;
+        // A transient outage freezes the stage: it captures nothing and
+        // presents nothing new. A flit drained on the previous edge is
+        // still gone (the downstream register already holds it).
+        if let Some(f) = faults.as_deref_mut() {
+            if f.outage_step(i, tick) {
+                let drained = self.was_drained(i);
+                let el = &mut self.elements[i];
+                if drained {
+                    el.out_flit = None;
+                }
+                el.accepted_from = None;
+                el.gating.record_gated();
+                self.faults = faults;
+                return;
+            }
+        }
+        let mut drained = self.was_drained(i);
+        // A lost `accept`: the stage misses the drain and re-presents a
+        // flit the downstream already captured — a duplicate is born.
+        if drained {
+            if let Some(f) = faults.as_deref_mut() {
+                let flit = self.elements[i].out_flit.expect("drained implies held");
+                if f.stuck_valid(i, tick, &flit) {
+                    drained = false;
+                }
+            }
+        }
         let tracing = !self.sinks.is_empty();
         // Collect capture candidates. A locked stage (a wormhole in
         // progress) only listens to the locked upstream and takes whatever
         // it presents; an unlocked stage arbitrates among upstreams
-        // presenting route-opening flits (heads/singles) its filter wants.
+        // presenting route-opening flits (heads/singles/retries) its
+        // filter wants.
         let el = &self.elements[i];
         let n = el.upstreams.len();
         let mut winner: Option<(usize, Flit)> = None;
@@ -443,7 +519,7 @@ impl Network {
                 let slot = (start + k) % n;
                 let u = el.upstreams[slot];
                 if let Some(flit) = self.elements[u.index()].out_flit {
-                    if flit.kind.opens_route() && el.filter.wants(&flit) {
+                    if flit.opens_route() && el.filter.wants(&flit) {
                         if winner.is_none() {
                             winner = Some((slot, flit));
                             if !tracing {
@@ -457,6 +533,14 @@ impl Network {
                 }
             }
         }
+        // A glitched-away `valid`: the stage sees no offer this edge.
+        if winner.is_some() {
+            if let Some(f) = faults.as_deref_mut() {
+                if f.lost_valid(i, tick) {
+                    winner = None;
+                }
+            }
+        }
 
         let el = &mut self.elements[i];
         let new_empty = el.out_flit.is_none() || drained;
@@ -464,21 +548,56 @@ impl Network {
         match winner {
             Some((slot, flit)) if new_empty => {
                 let upstream = el.upstreams[slot];
+                // The capture crosses a physical link: evaluate injected
+                // delay excursions against the analytic setup/hold window
+                // at the DFS controller's current frequency. Rising-edge
+                // captures sit on downstream links, falling-edge captures
+                // on upstream ones — the alternating-edge discipline.
+                let direction = match el.polarity {
+                    ClockPolarity::Rising => Direction::Downstream,
+                    ClockPolarity::Falling => Direction::Upstream,
+                };
+                let effect = match faults.as_deref_mut() {
+                    Some(f) => f.on_capture(i, tick, flit, direction),
+                    None => CaptureEffect::clean(flit),
+                };
                 el.accepted_from = Some(upstream);
-                el.out_flit = Some(flit);
-                if flit.kind.opens_route() {
+                // `None` here means metastability resolved to a lost flit:
+                // the upstream sees its drain, but nothing was latched.
+                el.out_flit = effect.flit;
+                if flit.opens_route() {
                     el.rr_next = (slot + 1) % n.max(1);
                 }
-                el.lock = if flit.kind.closes_route() {
+                el.lock = if flit.closes_route() {
                     None
                 } else {
                     Some(upstream)
                 };
                 el.gating.record_enabled();
                 if tracing {
-                    self.emit(i, TraceEventKind::HopForwarded, flit);
-                    if arbitrating && contenders > 1 {
-                        self.emit(i, TraceEventKind::Arbitrated { contenders }, flit);
+                    if effect.violation {
+                        self.emit(i, TraceEventKind::TimingViolation, flit);
+                    }
+                    if effect.backoff {
+                        self.emit(i, TraceEventKind::FrequencyBackoff, flit);
+                    }
+                    match effect.flit {
+                        Some(latched) => {
+                            self.emit(i, TraceEventKind::HopForwarded, latched);
+                            if effect.corrupted {
+                                self.emit(i, TraceEventKind::Corrupted, latched);
+                            }
+                            if arbitrating && contenders > 1 {
+                                self.emit(i, TraceEventKind::Arbitrated { contenders }, latched);
+                            }
+                        }
+                        None => self.emit(
+                            i,
+                            TraceEventKind::Dropped {
+                                cause: DropCause::Metastability,
+                            },
+                            flit,
+                        ),
                     }
                 }
             }
@@ -495,12 +614,32 @@ impl Network {
                 }
             }
         }
+        // A register upset may erase whatever the stage now holds.
+        if let Some(f) = faults.as_deref_mut() {
+            if let Some(flit) = self.elements[i].out_flit {
+                if f.held_drop(i, tick, &flit) {
+                    self.elements[i].out_flit = None;
+                    if tracing {
+                        self.emit(
+                            i,
+                            TraceEventKind::Dropped {
+                                cause: DropCause::FaultUpset,
+                            },
+                            flit,
+                        );
+                    }
+                }
+            }
+        }
+        self.faults = faults;
     }
 
     fn step_source(&mut self, i: usize) {
+        let mut faults = self.faults.take();
         let drained = self.was_drained(i);
         let tracing = !self.sinks.is_empty();
         let mut injected: Option<Flit> = None;
+        let mut retransmitted: Option<Flit> = None;
         let mut blocked: Option<Flit> = None;
         let num_ports = self.num_ports;
         let tick = self.tick;
@@ -512,10 +651,22 @@ impl Network {
             el.out_flit = None;
         }
         el.accepted_from = None;
-        let out_empty = el.out_flit.is_none();
         let Kind::Source(state) = &mut el.kind else {
             unreachable!()
         };
+        // Retransmissions take the idle slot between packets — never
+        // mid-worm: a standalone retry captured by a stage locked on this
+        // source would release the lock and strand the worm's remaining
+        // flits.
+        if el.out_flit.is_none() && state.emitting.is_none() {
+            if let Some(f) = faults.as_deref_mut() {
+                if let Some(flit) = f.take_retx(state.port.0, tick) {
+                    el.out_flit = Some(flit);
+                    retransmitted = Some(flit);
+                }
+            }
+        }
+        let out_empty = el.out_flit.is_none();
         if state.enabled || state.emitting.is_some() {
             if out_empty {
                 // Finish an in-flight packet before consulting the pattern
@@ -590,7 +741,7 @@ impl Network {
                         injected = Some(flit);
                     }
                 }
-            } else {
+            } else if retransmitted.is_none() {
                 state.stalled_edges += 1;
                 blocked = el.out_flit;
             }
@@ -599,9 +750,19 @@ impl Network {
             unreachable!()
         };
         state.cycle += 1;
+        if let Some(f) = faults.as_deref_mut() {
+            if let Some(flit) = injected {
+                // Fresh payloads enter the acknowledgement tracker.
+                f.register_injection(&flit, tick);
+            }
+        }
+        self.faults = faults;
         if tracing {
             if let Some(flit) = injected {
                 self.emit(i, TraceEventKind::Injected, flit);
+            }
+            if let Some(flit) = retransmitted {
+                self.emit(i, TraceEventKind::Retransmitted, flit);
             }
             if let Some(flit) = blocked {
                 self.emit(i, TraceEventKind::Blocked, flit);
@@ -610,6 +771,7 @@ impl Network {
     }
 
     fn step_sink(&mut self, i: usize) {
+        let mut faults = self.faults.take();
         let tick = self.tick;
         // Scan all upstreams (a port with ring shortcuts has several) and
         // consume the first one offering a flit.
@@ -624,26 +786,65 @@ impl Network {
         match (accepts, offered) {
             (true, Some(flit)) => {
                 el.accepted_from = up;
-                self.scoreboard.record_arrival(&flit, tick, port);
-                if !self.sinks.is_empty() {
-                    let kind = if flit.dest == port {
-                        TraceEventKind::Delivered
-                    } else {
-                        TraceEventKind::Dropped
-                    };
-                    self.emit(i, kind, flit);
+                // The consumer-side gate: CRC/identity and duplicate
+                // checks. Corrupt and duplicate flits are consumed but
+                // never reach the scoreboard — the gate NACKs/acks the
+                // recovery layer instead.
+                let verdict = match faults.as_deref_mut() {
+                    Some(f) => f.on_arrival(&flit, tick, port),
+                    None => ArrivalVerdict::Deliver,
+                };
+                match verdict {
+                    ArrivalVerdict::Deliver => {
+                        self.scoreboard.record_arrival(&flit, tick, port);
+                        if !self.sinks.is_empty() {
+                            let kind = if flit.dest == port {
+                                TraceEventKind::Delivered
+                            } else {
+                                TraceEventKind::Dropped {
+                                    cause: DropCause::Misroute,
+                                }
+                            };
+                            self.emit(i, kind, flit);
+                        }
+                    }
+                    ArrivalVerdict::Corrupt => {
+                        if !self.sinks.is_empty() {
+                            self.emit(
+                                i,
+                                TraceEventKind::Dropped {
+                                    cause: DropCause::CorruptPayload,
+                                },
+                                flit,
+                            );
+                        }
+                    }
+                    ArrivalVerdict::Duplicate => {
+                        if !self.sinks.is_empty() {
+                            self.emit(
+                                i,
+                                TraceEventKind::Dropped {
+                                    cause: DropCause::Duplicate,
+                                },
+                                flit,
+                            );
+                        }
+                    }
                 }
             }
             _ => {
                 el.accepted_from = None;
             }
         }
+        self.faults = faults;
     }
 
     fn step_tile(&mut self, i: usize) {
+        let mut faults = self.faults.take();
         let tick = self.tick;
         let tracing = !self.sinks.is_empty();
         let mut injected: Option<Flit> = None;
+        let mut retransmitted: Option<Flit> = None;
         let mut blocked: Option<Flit> = None;
         let num_ports = self.num_ports;
         let drained = self.was_drained(i);
@@ -662,7 +863,10 @@ impl Network {
         let cycle = state.cycle;
         state.cycle += 1;
 
-        // Consume whatever arrived.
+        // Consume whatever arrived, but only process flits the
+        // consumer-side gate clears: corrupt arrivals are NACKed (the
+        // recovery layer retransmits) and duplicates discarded, so a
+        // memory never double-serves and a processor never double-counts.
         let mut arrived = None;
         if let Some(flit) = offered {
             el.accepted_from = up;
@@ -670,11 +874,19 @@ impl Network {
         } else {
             el.accepted_from = None;
         }
+        let offered_flit = arrived;
+        let verdict = match (faults.as_deref_mut(), arrived) {
+            (Some(f), Some(flit)) => f.on_arrival(&flit, tick, port),
+            _ => ArrivalVerdict::Deliver,
+        };
+        if verdict != ArrivalVerdict::Deliver {
+            arrived = None;
+        }
         if let Some(flit) = arrived {
             match &mut state.role {
                 TileRole::Memory { service_cycles } => {
                     // Answer once per packet, after the service latency.
-                    if flit.kind.closes_route() {
+                    if flit.closes_route() {
                         state.pending.push_back((flit.src, cycle + *service_cycles));
                     }
                 }
@@ -689,8 +901,19 @@ impl Network {
             }
         }
 
-        // Produce at most one flit.
+        // Output side: a pending retransmission takes the idle slot first
+        // (tiles only ever emit standalone flits, so any idle edge works).
         if out_empty {
+            if let Some(f) = faults.as_deref_mut() {
+                if let Some(flit) = f.take_retx(port.0, tick) {
+                    el.out_flit = Some(flit);
+                    retransmitted = Some(flit);
+                }
+            }
+        }
+
+        // Produce at most one flit.
+        if out_empty && retransmitted.is_none() {
             let mut emit = None;
             match &mut state.role {
                 TileRole::Memory { .. } => {
@@ -739,7 +962,7 @@ impl Network {
                 el.out_flit = Some(flit);
                 injected = Some(flit);
             }
-        } else if state.enabled {
+        } else if !out_empty && state.enabled {
             state.stalled_edges += 1;
             blocked = el.out_flit;
         }
@@ -747,17 +970,33 @@ impl Network {
         if let Some(flit) = arrived {
             self.scoreboard.record_arrival(&flit, tick, port);
         }
+        if let Some(f) = faults.as_deref_mut() {
+            if let Some(flit) = injected {
+                f.register_injection(&flit, tick);
+            }
+        }
+        self.faults = faults;
         if tracing {
-            if let Some(flit) = arrived {
-                let kind = if flit.dest == port {
-                    TraceEventKind::Delivered
-                } else {
-                    TraceEventKind::Dropped
+            if let Some(flit) = offered_flit {
+                let kind = match verdict {
+                    ArrivalVerdict::Deliver if flit.dest == port => TraceEventKind::Delivered,
+                    ArrivalVerdict::Deliver => TraceEventKind::Dropped {
+                        cause: DropCause::Misroute,
+                    },
+                    ArrivalVerdict::Corrupt => TraceEventKind::Dropped {
+                        cause: DropCause::CorruptPayload,
+                    },
+                    ArrivalVerdict::Duplicate => TraceEventKind::Dropped {
+                        cause: DropCause::Duplicate,
+                    },
                 };
                 self.emit(i, kind, flit);
             }
             if let Some(flit) = injected {
                 self.emit(i, TraceEventKind::Injected, flit);
+            }
+            if let Some(flit) = retransmitted {
+                self.emit(i, TraceEventKind::Retransmitted, flit);
             }
             if let Some(flit) = blocked {
                 self.emit(i, TraceEventKind::Blocked, flit);
@@ -774,17 +1013,39 @@ impl Network {
         self.report()
     }
 
+    /// Whether nothing is left in flight and the recovery layer (if any)
+    /// has no un-acknowledged flits or queued retransmissions.
+    fn drained_idle(&self) -> bool {
+        self.in_flight() == 0 && self.faults.as_ref().is_none_or(|f| !f.recovery_busy())
+    }
+
     /// Stops injection and steps until the network is empty or
     /// `max_cycles` elapse. Returns `true` if fully drained.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
+        self.drain_or_diagnose(max_cycles).is_ok()
+    }
+
+    /// Like [`drain`](Self::drain), but a timeout returns a
+    /// [`DrainTimeout`] carrying the held-flit locations from
+    /// [`diagnose_stall`](Self::diagnose_stall) — so a failed soak names
+    /// the stuck elements instead of a bare `false`.
+    pub fn drain_or_diagnose(&mut self, max_cycles: u64) -> Result<(), DrainTimeout> {
         self.set_sources_enabled(false);
         for _ in 0..max_cycles * 2 {
-            if self.in_flight() == 0 {
-                return true;
+            if self.drained_idle() {
+                return Ok(());
             }
             self.step();
         }
-        self.in_flight() == 0
+        if self.drained_idle() {
+            return Ok(());
+        }
+        Err(DrainTimeout {
+            cycles: max_cycles,
+            in_flight: self.in_flight(),
+            pending_recovery: self.faults.as_ref().map_or(0, |f| f.pending_hazards()),
+            holders: self.diagnose_stall(),
+        })
     }
 
     /// The first upstream of `i` currently presenting a flit, if any.
@@ -840,13 +1101,29 @@ impl Network {
     /// route filter that no destination satisfies).
     #[must_use]
     pub fn diagnose_stall(&self) -> Vec<String> {
-        self.elements
+        let mut lines: Vec<String> = self
+            .elements
             .iter()
             .filter_map(|e| {
                 e.out_flit
                     .map(|flit| format!("{} holds {} ({:?})", e.label, flit, flit.kind))
             })
-            .collect()
+            .collect();
+        for e in &self.elements {
+            if let Kind::Tile(t) = &e.kind {
+                if !t.pending.is_empty() {
+                    lines.push(format!(
+                        "{} queues {} pending response(s)",
+                        e.label,
+                        t.pending.len()
+                    ));
+                }
+            }
+        }
+        if let Some(f) = &self.faults {
+            lines.extend(f.stall_lines());
+        }
+        lines
     }
 
     /// Snapshot of the statistics so far.
@@ -899,6 +1176,8 @@ impl Network {
             round_trip,
             responses,
             observability,
+            integrity_failures: self.scoreboard.integrity_failures,
+            recovery: self.faults.as_ref().map(|f| f.report()),
         }
     }
 
@@ -908,6 +1187,37 @@ impl Network {
         self.scoreboard.latency
     }
 }
+
+/// Why a [`Network::drain_or_diagnose`] call timed out: how much is still
+/// in flight, how much recovery work is unresolved, and which elements
+/// hold what (the [`Network::diagnose_stall`] lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainTimeout {
+    /// The cycle budget that elapsed.
+    pub cycles: u64,
+    /// Flits still held in registers and queues.
+    pub in_flight: u64,
+    /// Fault hazards still charged to un-acknowledged flits.
+    pub pending_recovery: u64,
+    /// One line per holding element / pending queue.
+    pub holders: Vec<String>,
+}
+
+impl core::fmt::Display for DrainTimeout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "network failed to drain within {} cycles: {} in flight, {} unresolved fault hazard(s)",
+            self.cycles, self.in_flight, self.pending_recovery
+        )?;
+        for line in &self.holders {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DrainTimeout {}
 
 #[cfg(test)]
 mod tests {

@@ -205,6 +205,12 @@ pub(crate) struct Scoreboard {
     pub misrouted: u64,
     pub packets_delivered: u64,
     pub interleaved: u64,
+    /// Delivered flits whose payload failed the identity oracle or whose
+    /// CRC did not verify. With the fault layer attached, corrupt flits
+    /// are filtered *before* reaching the scoreboard, so any count here
+    /// is a silent corruption escape — the one thing the robustness
+    /// contract forbids.
+    pub integrity_failures: u64,
     pub latency: LatencyStats,
     pub histogram: LatencyHistogram,
 }
@@ -218,6 +224,18 @@ impl Scoreboard {
         self.delivered += 1;
         self.latency.record(flit.latency_half_cycles(tick));
         self.histogram.record(flit.latency_half_cycles(tick));
+        if flit.payload != Flit::expected_payload(flit.src, flit.dest, flit.seq) || !flit.crc_ok() {
+            self.integrity_failures += 1;
+        }
+        if flit.retry > 0 {
+            // A recovered flit legitimately arrives late and standalone:
+            // it is exempt from the in-order and wormhole checks. It still
+            // completes its packet if it was the closing flit.
+            if flit.kind.closes_route() {
+                self.packets_delivered += 1;
+            }
+            return;
+        }
         let key = (flit.src.0, flit.dest.0);
         match self.last_seen.get(&key) {
             Some(&last) if flit.seq == last => self.duplicated += 1,
@@ -301,6 +319,13 @@ pub struct SimReport {
     /// when a [`CountersSink`](crate::CountersSink) was attached (e.g. via
     /// [`TreeNetworkConfig::with_counters`](crate::TreeNetworkConfig::with_counters)).
     pub observability: Option<crate::ObservabilityReport>,
+    /// Delivered flits that failed the end-to-end payload integrity check
+    /// (identity oracle + CRC). Nonzero means silent corruption escaped
+    /// the fault gate — always 0 when the recovery layer works.
+    pub integrity_failures: u64,
+    /// The fault-injection/recovery ledger, present when a
+    /// [`FaultPlan`](crate::FaultPlan) was attached.
+    pub recovery: Option<crate::RecoveryReport>,
 }
 
 impl SimReport {
@@ -332,6 +357,7 @@ impl SimReport {
             && self.reordered == 0
             && self.misrouted == 0
             && self.interleaved == 0
+            && self.integrity_failures == 0
     }
 }
 
@@ -429,6 +455,8 @@ mod tests {
             round_trip: LatencyStats::new(),
             responses: 0,
             observability: None,
+            integrity_failures: 0,
+            recovery: None,
         };
         assert_eq!(report.lost(), 0);
         assert!(report.is_correct());

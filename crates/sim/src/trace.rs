@@ -18,8 +18,18 @@
 //!   its downstream refuse it this edge (back pressure);
 //! * [`Delivered`](TraceEventKind::Delivered) — a sink or tile consumed
 //!   the flit at its destination;
-//! * [`Dropped`](TraceEventKind::Dropped) — a consumer received a flit
-//!   addressed elsewhere (a misroute; never happens in a correct fabric).
+//! * [`Dropped`](TraceEventKind::Dropped) — the flit left the network
+//!   undelivered; every drop carries a structured [`DropCause`] (a
+//!   misroute, or one of the fault-injection outcomes);
+//! * [`Corrupted`](TraceEventKind::Corrupted) — a flit's payload no longer
+//!   matches its CRC (an injected upset or resolved metastability);
+//! * [`TimingViolation`](TraceEventKind::TimingViolation) — a link
+//!   crossing's effective skew fell outside the analytic setup/hold
+//!   window (the per-transfer timing guard fired);
+//! * [`Retransmitted`](TraceEventKind::Retransmitted) — a source or tile
+//!   re-injected a NACKed or timed-out flit;
+//! * [`FrequencyBackoff`](TraceEventKind::FrequencyBackoff) — the DFS
+//!   controller stepped the clock down after repeated violations.
 //!
 //! Two sinks ship with the crate: [`RingBufferSink`] keeps the last N
 //! events for post-mortem dumps (allocation-free once full), and
@@ -31,6 +41,65 @@ use crate::{ElementId, Flit, LatencyHistogram, LatencyStats};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::HashMap;
+
+/// Why a flit left the network undelivered.
+///
+/// A [`Dropped`](TraceEventKind::Dropped) event is never emitted without a
+/// cause — drops are the one place where silent accounting would hide
+/// faults, so the cause taxonomy is part of the event, not a comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropCause {
+    /// A consumer received a flit addressed to a different port (never
+    /// happens in a correct fabric).
+    Misroute,
+    /// An injected register upset erased a held flit outright.
+    FaultUpset,
+    /// A timing violation resolved as metastability-to-loss: the transfer
+    /// consumed the upstream's flit but nothing valid was latched.
+    Metastability,
+    /// A consumer discarded a flit whose CRC/identity check failed
+    /// (detected corruption; a NACK retransmission is scheduled).
+    CorruptPayload,
+    /// A consumer discarded a duplicate of an already-delivered flit
+    /// (stuck-handshake double capture, or a redundant retransmission).
+    Duplicate,
+}
+
+impl DropCause {
+    /// Every cause, in the order used by
+    /// [`CountersSink::drops_by_cause`].
+    pub const ALL: [DropCause; 5] = [
+        DropCause::Misroute,
+        DropCause::FaultUpset,
+        DropCause::Metastability,
+        DropCause::CorruptPayload,
+        DropCause::Duplicate,
+    ];
+
+    /// Index of this cause within [`ALL`](Self::ALL).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            DropCause::Misroute => 0,
+            DropCause::FaultUpset => 1,
+            DropCause::Metastability => 2,
+            DropCause::CorruptPayload => 3,
+            DropCause::Duplicate => 4,
+        }
+    }
+
+    /// A short human-readable name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::Misroute => "misroute",
+            DropCause::FaultUpset => "fault-upset",
+            DropCause::Metastability => "metastability",
+            DropCause::CorruptPayload => "corrupt-payload",
+            DropCause::Duplicate => "duplicate",
+        }
+    }
+}
 
 /// What happened to a flit at one element on one clock edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,8 +118,23 @@ pub enum TraceEventKind {
     },
     /// A sink/tile consumed the flit at its destination port.
     Delivered,
-    /// A consumer received a flit addressed to a different port.
-    Dropped,
+    /// The flit left the network undelivered, for the stated cause.
+    Dropped {
+        /// Why the flit was removed.
+        cause: DropCause,
+    },
+    /// A flit whose payload no longer matches its CRC was observed
+    /// (emitted at the element that detected or created the corruption).
+    Corrupted,
+    /// A link crossing's effective skew fell outside the setup/hold
+    /// window computed by `icnoc-timing` — the per-transfer timing guard
+    /// turned a silently-marginal transfer into an explicit event.
+    TimingViolation,
+    /// A source or tile re-injected an un-acknowledged or NACKed flit.
+    Retransmitted,
+    /// The dynamic-frequency-scaling controller stepped the clock down in
+    /// response to repeated timing violations.
+    FrequencyBackoff,
 }
 
 /// One observability event: element, half-cycle timestamp, flit, kind.
@@ -185,8 +269,14 @@ pub struct ElementCounters {
     pub arbitrated: u64,
     /// Flits consumed here as their destination (sinks/tiles).
     pub delivered: u64,
-    /// Misrouted flits consumed here.
+    /// Flits removed from the network here (any [`DropCause`]).
     pub dropped: u64,
+    /// Corrupted flits observed here (created or detected).
+    pub corrupted: u64,
+    /// Timing-guard violations observed at this element's input link.
+    pub violations: u64,
+    /// Retransmissions re-injected by this source or tile.
+    pub retransmitted: u64,
 }
 
 impl ElementCounters {
@@ -195,7 +285,15 @@ impl ElementCounters {
     /// [`utilisation`](ElementUtilisation::utilisation).
     #[must_use]
     pub fn active_edges(&self) -> u64 {
-        self.injected + self.forwarded + self.blocked_edges + self.delivered + self.dropped
+        // `corrupted` and `violations` annotate captures/consumes already
+        // counted above; retransmissions occupy the register like a fresh
+        // injection does.
+        self.injected
+            + self.forwarded
+            + self.blocked_edges
+            + self.delivered
+            + self.dropped
+            + self.retransmitted
     }
 }
 
@@ -213,6 +311,7 @@ pub struct CountersSink {
     elements: Vec<ElementCounters>,
     flows: HashMap<(u32, u32), FlowCounters>,
     totals: TraceTotals,
+    drops_by_cause: [u64; DropCause::ALL.len()],
 }
 
 impl CountersSink {
@@ -232,6 +331,14 @@ impl CountersSink {
     #[must_use]
     pub fn totals(&self) -> TraceTotals {
         self.totals
+    }
+
+    /// Drop counts broken down by cause, indexed as [`DropCause::ALL`].
+    /// The entries always sum to [`TraceTotals::dropped`] — the
+    /// no-silent-drop invariant.
+    #[must_use]
+    pub fn drops_by_cause(&self) -> [u64; DropCause::ALL.len()] {
+        self.drops_by_cause
     }
 
     fn slot(&mut self, id: ElementId) -> &mut ElementCounters {
@@ -329,9 +436,25 @@ impl TraceSink for CountersSink {
                 flow.stats.record(latency);
                 flow.histogram.record(latency);
             }
-            TraceEventKind::Dropped => {
+            TraceEventKind::Dropped { cause } => {
                 slot.dropped += 1;
                 self.totals.dropped += 1;
+                self.drops_by_cause[cause.index()] += 1;
+            }
+            TraceEventKind::Corrupted => {
+                slot.corrupted += 1;
+                self.totals.corrupted += 1;
+            }
+            TraceEventKind::TimingViolation => {
+                slot.violations += 1;
+                self.totals.violations += 1;
+            }
+            TraceEventKind::Retransmitted => {
+                slot.retransmitted += 1;
+                self.totals.retransmitted += 1;
+            }
+            TraceEventKind::FrequencyBackoff => {
+                self.totals.backoffs += 1;
             }
         }
     }
@@ -359,8 +482,16 @@ pub struct TraceTotals {
     pub arbitrated: u64,
     /// Flits consumed at their destination.
     pub delivered: u64,
-    /// Misrouted flits consumed off-destination.
+    /// Flits removed undelivered (sum over all [`DropCause`]s).
     pub dropped: u64,
+    /// Corrupted-flit observations.
+    pub corrupted: u64,
+    /// Per-transfer timing-guard violations.
+    pub violations: u64,
+    /// Retransmissions injected by the recovery layer.
+    pub retransmitted: u64,
+    /// DFS frequency backoffs.
+    pub backoffs: u64,
 }
 
 /// One element's activity over a run.
@@ -437,14 +568,19 @@ impl ObservabilityReport {
         let _ = write!(
             out,
             "{{\n  \"cycles\": {},\n  \"totals\": {{\"injected\": {}, \"forwarded\": {}, \
-             \"blocked_edges\": {}, \"arbitrated\": {}, \"delivered\": {}, \"dropped\": {}}},\n",
+             \"blocked_edges\": {}, \"arbitrated\": {}, \"delivered\": {}, \"dropped\": {}, \
+             \"corrupted\": {}, \"violations\": {}, \"retransmitted\": {}, \"backoffs\": {}}},\n",
             self.cycles,
             t.injected,
             t.forwarded,
             t.blocked_edges,
             t.arbitrated,
             t.delivered,
-            t.dropped
+            t.dropped,
+            t.corrupted,
+            t.violations,
+            t.retransmitted,
+            t.backoffs
         );
         out.push_str("  \"elements\": [\n");
         for (i, e) in self.elements.iter().enumerate() {
@@ -453,7 +589,8 @@ impl ObservabilityReport {
                 out,
                 "    {{\"label\": \"{}\", \"injected\": {}, \"forwarded\": {}, \
                  \"blocked_edges\": {}, \"arbitrated\": {}, \"delivered\": {}, \
-                 \"dropped\": {}, \"utilisation\": {:.6}}}{}",
+                 \"dropped\": {}, \"corrupted\": {}, \"retransmitted\": {}, \
+                 \"utilisation\": {:.6}}}{}",
                 json_escape(&e.label),
                 c.injected,
                 c.forwarded,
@@ -461,6 +598,8 @@ impl ObservabilityReport {
                 c.arbitrated,
                 c.delivered,
                 c.dropped,
+                c.corrupted,
+                c.retransmitted,
                 e.utilisation,
                 if i + 1 < self.elements.len() { "," } else { "" }
             );
@@ -492,13 +631,14 @@ impl ObservabilityReport {
     pub fn elements_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from(
-            "label,injected,forwarded,blocked_edges,arbitrated,delivered,dropped,utilisation\n",
+            "label,injected,forwarded,blocked_edges,arbitrated,delivered,dropped,corrupted,\
+             retransmitted,utilisation\n",
         );
         for e in &self.elements {
             let c = e.counters;
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{:.6}",
+                "{},{},{},{},{},{},{},{},{},{:.6}",
                 e.label,
                 c.injected,
                 c.forwarded,
@@ -506,6 +646,8 @@ impl ObservabilityReport {
                 c.arbitrated,
                 c.delivered,
                 c.dropped,
+                c.corrupted,
+                c.retransmitted,
                 e.utilisation
             );
         }
@@ -597,6 +739,41 @@ mod tests {
         // Latency of the delivered flit: 4 half-cycles = 2 cycles.
         assert_eq!(flow.p50, 2.0);
         assert_eq!(flow.max_cycles, 2.0);
+    }
+
+    #[test]
+    fn drops_are_partitioned_by_cause() {
+        let mut sink = CountersSink::new();
+        for cause in DropCause::ALL {
+            sink.record(&ev(1, 3, TraceEventKind::Dropped { cause }));
+        }
+        sink.record(&ev(
+            2,
+            3,
+            TraceEventKind::Dropped {
+                cause: DropCause::Duplicate,
+            },
+        ));
+        let by_cause = sink.drops_by_cause();
+        assert_eq!(by_cause[DropCause::Duplicate.index()], 2);
+        assert_eq!(by_cause.iter().sum::<u64>(), sink.totals().dropped);
+    }
+
+    #[test]
+    fn fault_events_fold_into_totals() {
+        let mut sink = CountersSink::new();
+        sink.record(&ev(0, 1, TraceEventKind::TimingViolation));
+        sink.record(&ev(0, 1, TraceEventKind::Corrupted));
+        sink.record(&ev(1, 0, TraceEventKind::Retransmitted));
+        sink.record(&ev(1, 1, TraceEventKind::FrequencyBackoff));
+        let t = sink.totals();
+        assert_eq!(
+            (t.violations, t.corrupted, t.retransmitted, t.backoffs),
+            (1, 1, 1, 1)
+        );
+        let c = sink.element(ElementId(1));
+        assert_eq!((c.violations, c.corrupted), (1, 1));
+        assert_eq!(sink.element(ElementId(0)).retransmitted, 1);
     }
 
     #[test]

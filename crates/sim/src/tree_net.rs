@@ -8,7 +8,7 @@
 //! polarity follows the forwarded, per-link-inverted clock.
 
 use crate::element::TileRole;
-use crate::{Arbitration, ElementId, Network, RouteFilter, SinkMode, TrafficPattern};
+use crate::{Arbitration, ElementId, FaultPlan, Network, RouteFilter, SinkMode, TrafficPattern};
 use icnoc_clock::ClockPolarity;
 use icnoc_topology::{Floorplan, NodeId, PortId, TreeTopology};
 use icnoc_units::Millimeters;
@@ -42,6 +42,7 @@ pub struct TreeNetworkConfig {
     ring_shortcuts: bool,
     counters: bool,
     event_buffer: Option<usize>,
+    faults: Option<FaultPlan>,
 }
 
 /// Closed-loop tile configuration: processors (even ports) issue requests
@@ -75,6 +76,7 @@ impl TreeNetworkConfig {
             ring_shortcuts: false,
             counters: false,
             event_buffer: None,
+            faults: None,
         }
     }
 
@@ -198,12 +200,21 @@ impl TreeNetworkConfig {
         self
     }
 
+    /// Attaches a fault-injection and recovery plan to the built network
+    /// (see [`Network::enable_faults`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the runnable [`Network`].
     #[must_use]
     pub fn build(self) -> Network {
         let packet_len = self.packet_len;
         let counters = self.counters;
         let event_buffer = self.event_buffer;
+        let faults = self.faults.clone();
         let mut net = Builder::new(self).build();
         net.set_packet_length(packet_len);
         if counters {
@@ -211,6 +222,9 @@ impl TreeNetworkConfig {
         }
         if let Some(capacity) = event_buffer {
             net.enable_event_buffer(capacity);
+        }
+        if let Some(plan) = faults {
+            net.enable_faults(plan);
         }
         net
     }

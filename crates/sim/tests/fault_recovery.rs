@@ -1,0 +1,239 @@
+//! Integration tests for fault injection, the per-transfer timing guard,
+//! and the recovery loop: the seeded soak, conservation laws, the
+//! zero-rate identity, and the drain-timeout diagnostics.
+
+use icnoc_sim::{
+    DropCause, FaultKind, FaultPlan, FaultRates, Network, SinkMode, TrafficPattern,
+    TreeNetworkConfig,
+};
+use icnoc_topology::TreeTopology;
+use proptest::prelude::*;
+
+fn binary(ports: usize) -> TreeTopology {
+    TreeTopology::binary(ports).expect("power of 2")
+}
+
+/// A traced soak run: 16-port tree, every fault kind armed, counters on.
+fn soak_run(seed: u64, cycles: u64, packet_len: u32) -> (icnoc_sim::SimReport, Network, FaultPlan) {
+    let plan = FaultPlan::soak(seed);
+    let mut net = TreeNetworkConfig::new(binary(16))
+        .with_pattern(TrafficPattern::uniform(0.2))
+        .with_packet_length(packet_len)
+        .with_seed(seed)
+        .with_counters(true)
+        .with_faults(plan.clone())
+        .build();
+    net.run_cycles(cycles);
+    // Recovery chains (timeout plus bounded backoff across the retry
+    // budget) far outlive the traffic; give the drain a matching budget.
+    net.drain_or_diagnose(cycles.max(1_000).saturating_mul(4))
+        .expect("soak must drain");
+    (net.report(), net, plan)
+}
+
+/// The acceptance soak: three seeds, 10k cycles, every fault kind at a
+/// nonzero rate. Zero payloads corrupt silently, every fault is detected
+/// and recovered or explicitly lost, and the DFS controller converges to
+/// a frequency the plan's own worst-case algebra certifies as safe.
+#[test]
+fn seeded_soak_loses_nothing_silently() {
+    for seed in [7, 23, 91] {
+        let (report, net, plan) = soak_run(seed, 10_000, 1);
+        let recovery = report.recovery.expect("faults were enabled");
+
+        // Every kind actually fired.
+        for kind in FaultKind::ALL {
+            assert!(
+                recovery.injected.of(kind) > 0,
+                "seed {seed}: no {} faults injected\n{recovery}",
+                kind.label()
+            );
+        }
+        // The CRC/payload gate let no corruption through to a consumer.
+        assert_eq!(
+            report.integrity_failures, 0,
+            "seed {seed}: silent corruption escaped\n{recovery}"
+        );
+        // The fault ledger conserves, with nothing left unresolved.
+        assert!(recovery.conserves(), "seed {seed}\n{recovery}");
+        assert_eq!(recovery.pending, 0, "seed {seed}\n{recovery}");
+        assert!(recovery.detected() > 0, "seed {seed}\n{recovery}");
+        // Every undelivered flit is an explicit, counted casualty.
+        assert_eq!(
+            report.lost(),
+            recovery.flits_abandoned,
+            "seed {seed}: lost flits must all be explicit abandonments\n{recovery}"
+        );
+        // The DFS loop backed off under the spike barrage and settled at
+        // a slowdown the plan's worst-case excursion cannot violate.
+        assert!(recovery.backoffs >= 1, "seed {seed}\n{recovery}");
+        assert!(
+            plan.slowdown_is_safe(recovery.slowdown),
+            "seed {seed}: DFS settled at unsafe slowdown {}\n{recovery}",
+            recovery.slowdown
+        );
+
+        // Physical copy conservation, from the independent event tracer:
+        // every copy born (injection, retransmission, or stuck-valid
+        // duplication) terminates exactly once, delivered or dropped.
+        let totals = net.counters().expect("counters attached").totals();
+        assert_eq!(
+            totals.injected + totals.retransmitted + recovery.injected.stuck_valid,
+            totals.delivered + totals.dropped,
+            "seed {seed}: copies must terminate exactly once ({totals:?})"
+        );
+        // Satellite: every Dropped event carried a structured cause, and
+        // the soak exercised each fault-related cause at least once.
+        let by_cause = net.counters().expect("counters attached").drops_by_cause();
+        assert_eq!(
+            by_cause.iter().sum::<u64>(),
+            totals.dropped,
+            "seed {seed}: drop causes must partition the drops"
+        );
+        for cause in [
+            DropCause::FaultUpset,
+            DropCause::CorruptPayload,
+            DropCause::Duplicate,
+        ] {
+            assert!(
+                by_cause[cause.index()] > 0,
+                "seed {seed}: no {} drops in a full soak ({by_cause:?})",
+                cause.label()
+            );
+        }
+        // Tracer totals agree with the guard's own violation ledger.
+        assert_eq!(totals.violations, recovery.timing_violations, "seed {seed}");
+        assert_eq!(
+            totals.retransmitted, recovery.retransmissions,
+            "seed {seed}"
+        );
+        assert_eq!(totals.backoffs, recovery.backoffs, "seed {seed}");
+    }
+}
+
+/// Wormhole packets under fault: fragments retry as standalone flits, and
+/// the ledger still conserves.
+#[test]
+fn wormhole_soak_conserves_the_ledger() {
+    let (report, _net, _plan) = soak_run(5, 4_000, 3);
+    let recovery = report.recovery.expect("faults were enabled");
+    assert!(recovery.conserves(), "{recovery}");
+    assert_eq!(recovery.pending, 0, "{recovery}");
+    assert_eq!(report.integrity_failures, 0, "{report}");
+    assert_eq!(report.lost(), recovery.flits_abandoned, "{recovery}");
+    assert!(recovery.retransmissions > 0, "{recovery}");
+}
+
+/// Same seed, same plan: bit-identical reports. The injector must be
+/// fully deterministic for soak failures to be reproducible.
+#[test]
+fn faulty_runs_are_deterministic_per_seed() {
+    let run = || soak_run(13, 2_000, 2).0;
+    assert_eq!(run(), run());
+}
+
+/// A plan whose injection window has closed long before the interesting
+/// traffic leaves the network untouched afterwards: faults stop, recovery
+/// finishes, and the tail of the run is violation-free.
+#[test]
+fn windowed_injection_stops_at_the_window_edge() {
+    let plan = FaultPlan::soak(17).with_window(0, 1_000);
+    let mut net = TreeNetworkConfig::new(binary(16))
+        .with_pattern(TrafficPattern::uniform(0.2))
+        .with_seed(17)
+        .with_faults(plan)
+        .build();
+    net.run_cycles(500); // 1_000 ticks: exactly the window
+    let mid = net.report().recovery.expect("faults enabled");
+    net.run_cycles(2_000);
+    net.drain(10_000);
+    let end = net.report().recovery.expect("faults enabled");
+    assert!(mid.injected.total() > 0, "{mid}");
+    assert_eq!(
+        end.injected.total(),
+        mid.injected.total(),
+        "no injections after the window closes"
+    );
+    assert!(end.conserves(), "{end}");
+    assert_eq!(end.pending, 0, "{end}");
+}
+
+/// Satellite: a wedged network's drain timeout names the holding elements
+/// instead of returning a bare `false`.
+#[test]
+fn drain_timeout_folds_holders_into_the_diagnosis() {
+    let mut net = Network::pipeline(
+        4,
+        TrafficPattern::saturate(),
+        SinkMode::StallDuring {
+            from: 0,
+            to: u64::MAX,
+        },
+        3,
+    );
+    net.run_cycles(20);
+    let timeout = net.drain_or_diagnose(30).expect_err("sink is wedged");
+    assert_eq!(timeout.cycles, 30);
+    assert!(timeout.in_flight > 0);
+    assert_eq!(timeout.holders, net.diagnose_stall());
+    assert!(!timeout.holders.is_empty());
+    let text = timeout.to_string();
+    assert!(text.contains("failed to drain within 30 cycles"), "{text}");
+    // Every held flit's location is named in the rendered diagnosis.
+    for holder in &timeout.holders {
+        assert!(text.contains(holder.as_str()), "{text}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A zero-rate plan is invisible: attaching the injector with every
+    /// rate at zero yields a bit-identical [`SimReport`] to an
+    /// uninstrumented run of the same seed (the injector may not even
+    /// perturb the RNG stream).
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_no_injector(
+        seed in any::<u64>(), plan_seed in any::<u64>()
+    ) {
+        let run = |plan: Option<FaultPlan>| {
+            let mut cfg = TreeNetworkConfig::new(binary(16))
+                .with_pattern(TrafficPattern::uniform(0.25))
+                .with_packet_length(2)
+                .with_seed(seed);
+            if let Some(plan) = plan {
+                cfg = cfg.with_faults(plan);
+            }
+            let mut net = cfg.build();
+            net.run_cycles(400);
+            net.drain(2_000);
+            let mut report = net.report();
+            report.recovery = None; // compare the functional fields only
+            report
+        };
+        prop_assert_eq!(run(None), run(Some(FaultPlan::new(plan_seed))));
+    }
+
+    /// Conservation holds at any rate mix: injected faults always equal
+    /// absorbed + recovered + explicitly lost after a full drain, and no
+    /// corruption ever reaches a consumer silently.
+    #[test]
+    fn injected_faults_are_always_accounted(
+        seed in 0u64..1_000, scale in 0.1f64..2.5
+    ) {
+        let plan = FaultPlan::new(seed).with_rates(FaultRates::soak().scaled(scale));
+        let mut net = TreeNetworkConfig::new(binary(16))
+            .with_pattern(TrafficPattern::uniform(0.2))
+            .with_seed(seed)
+            .with_faults(plan)
+            .build();
+        net.run_cycles(600);
+        net.drain(12_000);
+        let report = net.report();
+        let recovery = report.recovery.expect("faults were enabled");
+        prop_assert!(recovery.conserves(), "{}", recovery);
+        prop_assert_eq!(recovery.pending, 0, "{}", recovery);
+        prop_assert_eq!(report.integrity_failures, 0, "{}", report);
+        prop_assert_eq!(report.lost(), recovery.flits_abandoned, "{}", recovery);
+    }
+}

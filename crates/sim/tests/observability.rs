@@ -39,6 +39,14 @@ fn events_conserve_flits_and_match_the_scoreboard() {
     assert_eq!(totals.injected, report.sent);
     assert_eq!(totals.delivered, report.delivered);
     assert_eq!(totals.dropped, report.misrouted);
+    // Every drop carries a structured cause, so the per-cause histogram
+    // partitions the drop total exactly.
+    let counters = net.counters().expect("counters attached");
+    assert_eq!(
+        counters.drops_by_cause().iter().sum::<u64>(),
+        totals.dropped,
+        "drop causes must partition the drops"
+    );
 
     // After a full drain everything is delivered.
     assert!(net.drain(500));

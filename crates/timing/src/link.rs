@@ -399,8 +399,29 @@ impl LinkTiming {
         data_delay: Picoseconds,
         clock_delay: Picoseconds,
     ) -> Result<TimingReport, TimingViolation> {
+        self.check_delta(direction, direction.skew_quantity(data_delay, clock_delay))
+    }
+
+    /// Checks a pre-computed skew quantity (`Δdiff` or `Δsum`) against the
+    /// direction's window, with the same slack-≥-0 semantics as
+    /// [`check`](Self::check).
+    ///
+    /// This is the entry point for runtime guards that perturb the skew
+    /// directly — e.g. the simulator's per-transfer timing guard, which
+    /// adds injected jitter/spike excursions to a nominal delta rather
+    /// than re-deriving wire delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimingViolation`] naming the broken bound when `delta`
+    /// falls outside the direction's window.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn check_delta(
+        &self,
+        direction: Direction,
+        delta: Picoseconds,
+    ) -> Result<TimingReport, TimingViolation> {
         const TOLERANCE: f64 = 1e-9;
-        let delta = direction.skew_quantity(data_delay, clock_delay);
         let window = self.window(direction);
         let setup_margin = window.setup_margin(delta);
         let hold_margin = window.hold_margin(delta);
@@ -427,6 +448,28 @@ impl LinkTiming {
             setup_margin,
             hold_margin,
         })
+    }
+
+    /// The same link analysed with the clock slowed by `factor`: the
+    /// frequency is divided, so every window widens per Section 4. This is
+    /// the primitive behind dynamic-frequency-scaling controllers — a
+    /// `derated(s)` link is what the hardware sees after backing `T_half`
+    /// off by `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and strictly positive.
+    #[must_use]
+    #[track_caller]
+    pub fn derated(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "derating factor must be finite and positive"
+        );
+        Self {
+            frequency: Gigahertz::new(self.frequency.value() / factor),
+            ..*self
+        }
     }
 
     /// The smallest `T_half` under which a transfer with skew quantity
@@ -572,6 +615,50 @@ mod tests {
         assert!(link
             .check(Direction::Downstream, Picoseconds::ZERO, Picoseconds::ZERO)
             .is_err());
+    }
+
+    #[test]
+    fn check_delta_agrees_with_check_on_derived_quantities() {
+        let link = link_1ghz();
+        let (data, clock) = (Picoseconds::new(210.0), Picoseconds::new(140.0));
+        for dir in [Direction::Downstream, Direction::Upstream] {
+            let via_delays = link.check(dir, data, clock);
+            let via_delta = link.check_delta(dir, dir.skew_quantity(data, clock));
+            assert_eq!(via_delays, via_delta);
+        }
+        // And a perturbed delta fails exactly where the window says.
+        let err = link
+            .check_delta(Direction::Upstream, Picoseconds::new(500.0))
+            .unwrap_err();
+        assert_eq!(err.kind, ViolationKind::Setup);
+        assert_eq!(err.excess(), Picoseconds::new(120.0));
+    }
+
+    #[test]
+    fn derated_link_widens_the_window_and_recovers_a_failing_delta() {
+        let link = link_1ghz();
+        let delta = Picoseconds::new(500.0); // fails at 1 GHz (bound: 380 ps)
+        assert!(link.check_delta(Direction::Upstream, delta).is_err());
+        // Halving the clock widens eq. (7)'s bound to 880 ps.
+        let slow = link.derated(2.0);
+        assert_eq!(slow.frequency(), Gigahertz::new(0.5));
+        assert_eq!(slow.upstream_window().max(), Picoseconds::new(880.0));
+        assert!(slow.check_delta(Direction::Upstream, delta).is_ok());
+        // Duty and jitter settings survive derating.
+        let shaped = link
+            .with_duty_cycle(0.4)
+            .with_jitter(Picoseconds::new(10.0))
+            .derated(2.0);
+        assert_eq!(shaped.duty_cycle(), 0.4);
+        assert_eq!(shaped.jitter(), Picoseconds::new(10.0));
+        // derated(1.0) is the identity.
+        assert_eq!(link.derated(1.0), link);
+    }
+
+    #[test]
+    #[should_panic(expected = "derating factor")]
+    fn derated_rejects_non_positive_factor() {
+        let _ = link_1ghz().derated(0.0);
     }
 
     #[test]
