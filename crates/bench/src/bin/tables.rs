@@ -1,13 +1,17 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run -p icnoc-bench --bin tables            # everything
+//! cargo run -p icnoc-bench --bin tables            # everything, serial
+//! cargo run -p icnoc-bench --bin tables -- --jobs 4
 //! cargo run -p icnoc-bench --bin tables -- --exp e3
 //! cargo run -p icnoc-bench --bin tables -- --list
 //! ```
+//!
+//! `--jobs N` runs the experiments across N worker threads; the output
+//! is byte-identical to the serial run.
 
 use icnoc_bench::{
-    e1, e10, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9, run_all, EXPERIMENT_IDS,
+    e1, e10, e11, e12, e13, e14, e15, e2, e3, e4, e5, e6, e7, e8, e9, run_all_jobs, EXPERIMENT_IDS,
 };
 
 fn run(id: &str) -> Option<String> {
@@ -25,6 +29,8 @@ fn run(id: &str) -> Option<String> {
         "e11" => e11(),
         "e12" => e12(),
         "e13" => e13(),
+        "e14" => e14(),
+        "e15" => e15(),
         _ => return None,
     })
 }
@@ -32,7 +38,14 @@ fn run(id: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
-        [] => print!("{}", run_all()),
+        [] => print!("{}", run_all_jobs(1)),
+        [flag, jobs] if flag == "--jobs" => match jobs.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => print!("{}", run_all_jobs(jobs)),
+            _ => {
+                eprintln!("--jobs expects a positive integer, got {jobs:?}");
+                std::process::exit(2);
+            }
+        },
         [flag] if flag == "--list" => {
             for id in EXPERIMENT_IDS {
                 println!("{id}");
@@ -46,7 +59,7 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: tables [--list | --exp <e1..e13>]");
+            eprintln!("usage: tables [--list | --exp <e1..e15> | --jobs <N>]");
             std::process::exit(2);
         }
     }

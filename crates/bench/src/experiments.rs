@@ -1,18 +1,23 @@
-//! The thirteen experiments. Each function regenerates one paper artefact
-//! and returns its rendered table(s).
+//! The fifteen experiments. Each function regenerates one paper artefact
+//! (or one extension check) and returns its rendered table(s).
 
 use crate::Table;
 use icnoc::{demonstrator_patterns, SystemBuilder, TilePreset};
 use icnoc_baseline::{LatchAblation, SchemeComparison, SyncScheme, SynchronousMesh};
 use icnoc_clock::{ClockDistribution, GlobalClockTree, LeafStagger, SurgeProfile};
-use icnoc_sim::{LatencyStats, Network, SinkMode, TrafficPattern};
+use icnoc_sim::{FaultRates, LatencyStats, Network, SinkMode, TrafficPattern};
 use icnoc_timing::{FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel};
 use icnoc_topology::{analysis, Floorplan, PortId, RouterClass, TreeKind, TreeTopology};
 use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
 
 /// The identifiers accepted by the `tables` binary.
-pub const EXPERIMENT_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+];
+
+/// The experiment functions, in [`EXPERIMENT_IDS`] order.
+const EXPERIMENTS: [fn() -> String; 15] = [
+    e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15,
 ];
 
 /// Formats a mean latency for a table cell, distinguishing "no samples"
@@ -23,25 +28,31 @@ fn fmt_mean(stats: &LatencyStats) -> String {
         .map_or_else(|| "n/a".to_owned(), |m| format!("{m:.1}"))
 }
 
-/// Runs every experiment and concatenates the outputs.
+/// Runs every experiment serially and concatenates the outputs.
 #[must_use]
 pub fn run_all() -> String {
-    [
-        e1(),
-        e2(),
-        e3(),
-        e4(),
-        e5(),
-        e6(),
-        e7(),
-        e8(),
-        e9(),
-        e10(),
-        e11(),
-        e12(),
-        e13(),
-    ]
-    .join("\n")
+    run_all_jobs(1)
+}
+
+/// Runs every experiment across `jobs` worker threads (via the explore
+/// crate's deterministic executor) and concatenates the outputs **in
+/// experiment order** — the result is byte-identical to [`run_all`]
+/// for any worker count.
+///
+/// # Panics
+///
+/// Re-raises (with its experiment id) the panic of any experiment whose
+/// internal assertion failed; the other experiments still complete first.
+#[must_use]
+pub fn run_all_jobs(jobs: usize) -> String {
+    icnoc_explore::run_indexed(EXPERIMENTS.len(), jobs, |i| EXPERIMENTS[i](), |_, _| {})
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| {
+            result.unwrap_or_else(|msg| panic!("{} panicked: {msg}", EXPERIMENT_IDS[i]))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// E1 — eq. (3)/(4): the downstream skew window `Δdiff` across clock
@@ -856,6 +867,140 @@ pub fn e13() -> String {
     out
 }
 
+/// E14 — observability checks (extension): the flit-lifecycle tracer's
+/// conservation laws, its agreement with the scoreboard, and the absence
+/// of an observer effect, measured on a live 16-port run.
+#[must_use]
+pub fn e14() -> String {
+    let sys = SystemBuilder::new(TreeKind::Binary, 16)
+        .build()
+        .expect("valid");
+    let pattern = TrafficPattern::uniform(0.2);
+    let run = |traced: bool| {
+        let patterns = vec![pattern.clone(); 16];
+        let mut net = sys.network(&patterns, 2_014);
+        if traced {
+            net.enable_counters();
+        }
+        net.run_cycles(1_000);
+        net.drain(2_000);
+        net.report()
+    };
+    let traced = run(true);
+    let untraced = run(false);
+    let obs = traced
+        .observability
+        .as_ref()
+        .expect("counters were enabled");
+    let totals = &obs.totals;
+
+    let mut t = Table::new(
+        "E14: observability checks (extension): 16 ports, uniform 0.2, 1000 cycles",
+        &["check", "measured", "verdict"],
+    );
+    let verdict = |ok: bool| if ok { "holds" } else { "VIOLATED" }.to_owned();
+    let conserves = totals.injected == totals.delivered + totals.dropped;
+    t.row_owned(vec![
+        "event conservation after drain".into(),
+        format!(
+            "injected {} = delivered {} + dropped {}",
+            totals.injected, totals.delivered, totals.dropped
+        ),
+        verdict(conserves),
+    ]);
+    let agrees = totals.injected == traced.sent && totals.delivered == traced.delivered;
+    t.row_owned(vec![
+        "counters vs scoreboard".into(),
+        format!(
+            "tracer {}/{} vs report {}/{}",
+            totals.injected, totals.delivered, traced.sent, traced.delivered
+        ),
+        verdict(agrees),
+    ]);
+    let observer_free = traced.digest() == untraced.digest();
+    t.row_owned(vec![
+        "observer effect".into(),
+        "traced vs untraced digest of the same seed".into(),
+        if observer_free { "none" } else { "PRESENT" }.into(),
+    ]);
+    let busiest = obs
+        .elements
+        .iter()
+        .max_by(|a, b| a.utilisation.total_cmp(&b.utilisation))
+        .expect("elements traced");
+    t.row_owned(vec![
+        "busiest element".into(),
+        format!(
+            "{} at {:.1}% active edges",
+            busiest.label,
+            busiest.utilisation * 100.0
+        ),
+        "reported".into(),
+    ]);
+    assert!(
+        conserves && agrees && observer_free,
+        "observability invariants must hold: {t:?}",
+        t = t.render()
+    );
+    t.note("full per-element and per-flow exports: `icnoc stats` (see E14 in EXPERIMENTS.md)");
+    t.render()
+}
+
+/// E15 — fault-soak sweep (extension): the Section 4 recovery story at
+/// increasing injection pressure. Every row must conserve its fault
+/// ledger and deliver zero silent corruptions.
+#[must_use]
+pub fn e15() -> String {
+    let sys = SystemBuilder::new(TreeKind::Binary, 16)
+        .build()
+        .expect("valid");
+    let mut t = Table::new(
+        "E15: fault-soak sweep (extension): 16 ports, uniform 0.2, 2000 cycles, seed 7",
+        &[
+            "soak scale",
+            "injected",
+            "absorbed",
+            "recovered",
+            "lost",
+            "retx",
+            "DFS slowdown",
+            "conserves",
+        ],
+    );
+    for scale in [0.5, 1.0, 2.0] {
+        let plan = sys
+            .fault_plan(7)
+            .with_rates(FaultRates::soak().scaled(scale));
+        let report = sys.simulate_with_faults(TrafficPattern::uniform(0.2), 2_000, 7, plan);
+        let recovery = report.recovery.as_ref().expect("faults were enabled");
+        assert!(
+            recovery.conserves() && recovery.pending == 0,
+            "ledger must balance at scale {scale}: {recovery}"
+        );
+        assert_eq!(
+            report.integrity_failures, 0,
+            "no silent corruption at scale {scale}"
+        );
+        t.row_owned(vec![
+            format!("{scale}"),
+            recovery.injected.total().to_string(),
+            recovery.absorbed.to_string(),
+            recovery.recovered.to_string(),
+            recovery.lost.to_string(),
+            recovery.retransmissions.to_string(),
+            format!(
+                "{:.3}{}",
+                recovery.slowdown,
+                if recovery.dfs_locked { " (locked)" } else { "" }
+            ),
+            recovery.conserves().to_string(),
+        ]);
+    }
+    t.note("ledger law: injected = absorbed + recovered + lost + pending, pending = 0 after drain");
+    t.note("CRC gate: zero corrupted payloads delivered at every rate");
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -925,7 +1070,29 @@ mod tests {
     }
 
     #[test]
+    fn e14_invariants_hold() {
+        let out = e14();
+        assert!(out.contains("holds"), "{out}");
+        assert!(out.contains("none"), "{out}");
+    }
+
+    #[test]
+    fn e15_ledger_balances_at_every_scale() {
+        let out = e15();
+        assert_eq!(out.matches("true").count(), 3, "{out}");
+        assert!(out.contains("(locked)"), "{out}");
+    }
+
+    #[test]
     fn experiment_ids_cover_all_functions() {
-        assert_eq!(EXPERIMENT_IDS.len(), 13);
+        assert_eq!(EXPERIMENT_IDS.len(), 15);
+        assert_eq!(EXPERIMENTS.len(), EXPERIMENT_IDS.len());
+    }
+
+    #[test]
+    fn parallel_run_all_matches_serial_bytes() {
+        // The satellite acceptance check: `run_all` through the executor
+        // with several workers is byte-identical to serial order.
+        assert_eq!(run_all_jobs(4), run_all());
     }
 }

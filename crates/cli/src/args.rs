@@ -1,5 +1,5 @@
-//! Hand-rolled argument parsing (no external dependencies needed for seven
-//! subcommands of `--key value` flags).
+//! Hand-rolled argument parsing (no external dependencies needed for a
+//! handful of subcommands of `--key value` flags).
 
 use icnoc_sim::{FaultRates, TrafficPattern};
 use icnoc_topology::{PortId, TreeKind};
@@ -156,6 +156,24 @@ pub enum Command {
         /// Sampling step (mm).
         step_mm: f64,
     },
+    /// Run a design-space exploration sweep: shard a parameter grid over
+    /// worker threads, cache results, and report Pareto fronts.
+    Explore {
+        /// Grid spec (`;`-separated axes; see
+        /// [`icnoc_explore::GridSpec::parse`]). Empty = the demonstrator
+        /// point.
+        grid: String,
+        /// Worker threads.
+        jobs: usize,
+        /// Result-cache directory, if caching was requested.
+        cache_dir: Option<String>,
+        /// Whether `--resume` selected the default cache directory.
+        resume: bool,
+        /// Where to write the JSON analysis.
+        out: String,
+        /// Suppress the live progress line.
+        quiet: bool,
+    },
     /// Run a fault-injection soak and print the
     /// injected-vs-detected-vs-recovered accounting.
     Faults {
@@ -278,6 +296,20 @@ impl Cli {
                 max_mm: flags.take_f64("max-mm", 3.0)?,
                 step_mm: flags.take_f64("step-mm", 0.1)?,
             },
+            "explore" => {
+                let jobs = flags.take_usize("jobs", 1)?;
+                if jobs == 0 {
+                    return Err(CliError("--jobs must be at least 1".to_owned()));
+                }
+                Command::Explore {
+                    grid: flags.take_string("grid", ""),
+                    jobs,
+                    cache_dir: flags.take_opt_string("cache-dir"),
+                    resume: flags.take_bool("resume")?,
+                    out: flags.take_string("out", "BENCH_explore.json"),
+                    quiet: flags.take_bool("quiet")?,
+                }
+            }
             "faults" => Command::Faults {
                 build: flags.build_opts()?,
                 pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
@@ -707,6 +739,54 @@ mod tests {
         };
         let faults = faults.expect("spec present");
         assert!((faults.rates.flit_drop - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explore_parses_grid_jobs_and_cache_flags() {
+        let cli = Cli::parse([
+            "explore",
+            "--grid",
+            "freq=0.8,1.0;corner=nominal",
+            "--jobs",
+            "4",
+            "--cache-dir",
+            ".cache",
+            "--quiet",
+        ])
+        .expect("parses");
+        let Command::Explore {
+            grid,
+            jobs,
+            cache_dir,
+            resume,
+            out,
+            quiet,
+        } = cli.command
+        else {
+            panic!("expected explore");
+        };
+        assert_eq!(grid, "freq=0.8,1.0;corner=nominal");
+        assert_eq!(jobs, 4);
+        assert_eq!(cache_dir.as_deref(), Some(".cache"));
+        assert!(!resume);
+        assert_eq!(out, "BENCH_explore.json");
+        assert!(quiet);
+        // Defaults: serial, no cache, standard output file.
+        let cli = Cli::parse(["explore"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Explore {
+                jobs: 1,
+                cache_dir: None,
+                resume: false,
+                quiet: false,
+                ..
+            }
+        ));
+        // `--resume` is a switch; zero workers make no sense.
+        let cli = Cli::parse(["explore", "--resume"]).expect("parses");
+        assert!(matches!(cli.command, Command::Explore { resume: true, .. }));
+        assert!(Cli::parse(["explore", "--jobs", "0"]).is_err());
     }
 
     #[test]

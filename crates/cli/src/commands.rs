@@ -2,10 +2,12 @@
 
 use crate::args::{BuildOpts, Cli, CliError, Command, FaultSpec, StatsFormat};
 use icnoc::{System, SystemBuilder};
+use icnoc_explore::{run_sweep, GridSpec, ResultCache, SweepOptions, DEFAULT_CACHE_DIR};
 use icnoc_sim::{FaultPlan, Network, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace};
 use icnoc_timing::{PipelineTimingModel, ProcessVariation};
 use icnoc_units::{Gigahertz, Millimeters};
 use std::fmt::Write as _;
+use std::io::Write as _;
 
 const USAGE: &str = "\
 icnoc — build, verify and simulate IC-NoC systems (DATE 2007 reproduction)
@@ -22,10 +24,15 @@ USAGE:
                [--packet-len 1] [--spec soak]
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
+  icnoc explore [--grid SPEC] [--jobs 1] [--cache-dir DIR] [--resume]
+               [--out BENCH_explore.json] [--quiet]
 
 PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent
 FAULTS:   soak  soak*F  key=rate[,key=rate...] over jitter, spike, corrupt, drop,
-          stuck, lost, outage, plus window=START:END (ticks)";
+          stuck, lost, outage, plus window=START:END (ticks)
+GRID:     `;`-separated axes of `name=v1,v2,...` (ranges `lo..hi/n`) over kind,
+          ports, die, width, freq (GHz), thalf (ps), corner, pattern, cycles,
+          soak, seed — e.g. \"freq=0.8..1.2/5;corner=nominal,slow30;soak=1\"";
 
 /// Executes `cli`, returning the text to print.
 ///
@@ -319,6 +326,51 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             );
             Ok(out)
         }
+        Command::Explore {
+            grid,
+            jobs,
+            cache_dir,
+            resume,
+            out,
+            quiet,
+        } => {
+            let spec = GridSpec::parse(grid).map_err(|e| CliError(e.to_string()))?;
+            // `--resume` without an explicit directory caches in the
+            // default location, so a rerun picks up where it left off.
+            let cache_path = cache_dir
+                .clone()
+                .or_else(|| resume.then(|| DEFAULT_CACHE_DIR.to_owned()));
+            let cache = match &cache_path {
+                Some(dir) => Some(
+                    ResultCache::open(std::path::Path::new(dir))
+                        .map_err(|e| CliError(format!("cannot open cache {dir:?}: {e}")))?,
+                ),
+                None => None,
+            };
+            let opts = SweepOptions { jobs: *jobs, cache };
+            let quiet = *quiet;
+            let (analysis, stats) = run_sweep(&spec, &opts, |done, total| {
+                if !quiet {
+                    eprint!("\rexplore: {done}/{total} job(s)");
+                    let _ = std::io::stderr().flush();
+                }
+            });
+            if !quiet {
+                eprintln!();
+            }
+            std::fs::write(out, analysis.to_json().to_pretty() + "\n")
+                .map_err(|e| CliError(format!("cannot write {out:?}: {e}")))?;
+            let mut text = analysis.render();
+            let _ = write!(
+                text,
+                "\nsweep: {} job(s) — {} executed, {} cached, {} failed; JSON written to {out}",
+                stats.total, stats.executed, stats.cached, stats.failed
+            );
+            if let Some(dir) = &cache_path {
+                let _ = write!(text, "\ncache: {dir}");
+            }
+            Ok(text)
+        }
         Command::Fig7 { max_mm, step_mm } => {
             let model = PipelineTimingModel::nominal_90nm();
             let mut out = String::from("length (mm)  f_max (GHz)  binding\n");
@@ -591,6 +643,39 @@ mod tests {
         let out = run_line(&["fig7", "--max-mm", "1.0", "--step-mm", "0.5"]).expect("runs");
         assert!(out.contains("1.800"), "{out}");
         assert!(out.contains("forward path"), "{out}");
+    }
+
+    #[test]
+    fn explore_renders_pareto_front_and_writes_json() {
+        let dir = std::env::temp_dir().join("icnoc_cli_test_explore");
+        let path = dir.join("explore.json");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_line(&[
+            "explore",
+            "--grid",
+            "ports=16;cycles=200;freq=0.9,1.0",
+            "--jobs",
+            "2",
+            "--quiet",
+            "--out",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .expect("runs");
+        assert!(out.contains("Pareto front"), "{out}");
+        assert!(
+            out.contains("2 job(s) — 2 executed, 0 cached, 0 failed"),
+            "{out}"
+        );
+        let json = std::fs::read_to_string(&path).expect("file exists");
+        assert!(json.contains("\"pareto_front\""), "{json}");
+        assert!(json.contains("\"safe_frequency_surface\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explore_rejects_bad_grids() {
+        let err = run_line(&["explore", "--grid", "teapots=4"]).unwrap_err();
+        assert!(err.0.contains("teapots"), "{err}");
     }
 
     #[test]

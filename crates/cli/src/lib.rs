@@ -10,6 +10,7 @@
 //!              [--seed 42] [--packet-len 1] [--tiles 4:5] [--vcd out.vcd]
 //! icnoc yield  [build opts] [--variation 0.2] [--sigma 0.08] [--samples 200]
 //! icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
+//! icnoc explore [--grid SPEC] [--jobs N] [--cache-dir DIR] [--resume]
 //! ```
 
 #![warn(missing_docs)]

@@ -51,7 +51,7 @@ mod yield_mc;
 pub use demonstrator::{demonstrator_patterns, TilePreset};
 pub use error::SystemError;
 pub use power::SystemPowerReport;
-pub use system::{System, SystemBuilder, SystemSummary};
+pub use system::{System, SystemBuilder, SystemConfig, SystemSummary};
 pub use verify::{SegmentCheck, TimingVerification};
 pub use yield_mc::YieldAnalysis;
 

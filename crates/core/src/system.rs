@@ -65,6 +65,24 @@ impl SystemBuilder {
         Self::new(TreeKind::Binary, 64)
     }
 
+    /// Starts a builder from a plain-data [`SystemConfig`] grid point:
+    /// the corner's flip-flop library is applied, the die is square.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] for an unknown corner label.
+    pub fn from_config(config: &SystemConfig) -> Result<Self, SystemError> {
+        let corner = config.resolve_corner()?;
+        Ok(Self::new(config.kind, config.ports)
+            .die(
+                Millimeters::new(config.die_mm),
+                Millimeters::new(config.die_mm),
+            )
+            .width_bits(config.width_bits)
+            .frequency(Gigahertz::new(config.freq_ghz))
+            .flip_flop(corner.flip_flop()))
+    }
+
     /// Sets the die dimensions.
     #[must_use]
     pub fn die(mut self, width: Millimeters, height: Millimeters) -> Self {
@@ -161,6 +179,90 @@ impl SystemBuilder {
             width_bits: self.width_bits,
             max_segment,
         })
+    }
+}
+
+/// A plain-data system description — one grid point of a design-space
+/// sweep, or a saved configuration — that [`SystemBuilder::from_config`]
+/// turns into a builder.
+///
+/// Unlike [`SystemBuilder`] it is pure data (no model objects), so it can
+/// be hashed into a stable cache key and round-tripped through job specs.
+/// The register library and wire corner are referenced by the *label* of a
+/// [`icnoc_timing::VariationCorner`] rather than embedded, keeping the
+/// canonical form short and exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Tree kind.
+    pub kind: TreeKind,
+    /// Network port count.
+    pub ports: usize,
+    /// Die edge in mm (square die).
+    pub die_mm: f64,
+    /// Data-path width in bits.
+    pub width_bits: u32,
+    /// Target clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Label of a standard corner
+    /// ([`ProcessVariation::standard_corners`]) selecting the flip-flop
+    /// library scale and the wire variation used for verification.
+    pub corner: String,
+}
+
+impl SystemConfig {
+    /// The paper's Section 6 demonstrator operating point at the nominal
+    /// corner.
+    #[must_use]
+    pub fn demonstrator() -> Self {
+        Self {
+            kind: TreeKind::Binary,
+            ports: 64,
+            die_mm: 10.0,
+            width_bits: 32,
+            freq_ghz: 1.0,
+            corner: "nominal".to_owned(),
+        }
+    }
+
+    /// The corner record named by [`corner`](Self::corner).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] for an unknown label.
+    pub fn resolve_corner(&self) -> Result<icnoc_timing::VariationCorner, SystemError> {
+        ProcessVariation::corner(&self.corner).ok_or_else(|| {
+            SystemError::InvalidConfig(format!(
+                "unknown corner {:?}; known: {}",
+                self.corner,
+                ProcessVariation::standard_corners()
+                    .iter()
+                    .map(|c| c.label)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Builds the system this configuration describes (the corner's
+    /// register library is applied; its wire variation is for the caller's
+    /// verification step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemBuilder::build`] errors, plus
+    /// [`SystemError::InvalidConfig`] for an unknown corner label.
+    pub fn build(&self) -> Result<System, SystemError> {
+        SystemBuilder::from_config(self)?.build()
+    }
+}
+
+impl core::fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} tree, {} ports, {} mm die, {} bits, {} GHz, {} corner",
+            self.kind, self.ports, self.die_mm, self.width_bits, self.freq_ghz, self.corner
+        )
     }
 }
 
@@ -651,6 +753,45 @@ mod tests {
         assert_eq!(recovery.pending, 0, "{recovery}");
         // The CRC gate catches every corruption: nothing escapes silently.
         assert_eq!(report.integrity_failures, 0, "{report}");
+    }
+
+    #[test]
+    fn system_config_builds_the_demonstrator() {
+        let cfg = SystemConfig::demonstrator();
+        let sys = cfg.build().expect("valid");
+        let direct = SystemBuilder::demonstrator().build().expect("valid");
+        assert_eq!(sys.summary(), direct.summary());
+        // The corner record resolves and matches the nominal library.
+        let corner = cfg.resolve_corner().expect("known corner");
+        assert_eq!(corner.ff_scale, 1.0);
+    }
+
+    #[test]
+    fn system_config_applies_the_corner_library() {
+        let slow = SystemConfig {
+            corner: "slow30".into(),
+            freq_ghz: 0.8,
+            ..SystemConfig::demonstrator()
+        };
+        let sys = slow.build().expect("valid");
+        // A 1.3x register library shrinks the admissible segment cap
+        // relative to the nominal build at the same frequency.
+        let nominal = SystemConfig {
+            freq_ghz: 0.8,
+            ..SystemConfig::demonstrator()
+        }
+        .build()
+        .expect("valid");
+        assert!(sys.max_segment() < nominal.max_segment());
+    }
+
+    #[test]
+    fn system_config_rejects_unknown_corners() {
+        let bad = SystemConfig {
+            corner: "mystery".into(),
+            ..SystemConfig::demonstrator()
+        };
+        assert!(matches!(bad.build(), Err(SystemError::InvalidConfig(_))));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! A content-addressed on-disk result cache.
+//!
+//! Each cached [`JobOutcome`] lives in `<dir>/<key>.json`, where `key`
+//! is the [`stable_hash`](crate::grid::stable_hash) of the job's
+//! canonical config string **salted with the crate version and the
+//! simulation report schema versions** — so bumping
+//! [`SimReport::SCHEMA_VERSION`] or [`RecoveryReport::SCHEMA_VERSION`]
+//! (or releasing a new crate version) invalidates every stale entry
+//! without any cleanup pass.
+//!
+//! Writes go through a temp file + rename so a crashed run never leaves
+//! a torn entry; loads verify the embedded config equals the requested
+//! one, so even a 64-bit hash collision degrades to a cache miss, never
+//! a wrong result.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use icnoc_sim::{RecoveryReport, SimReport};
+
+use crate::grid::{stable_hash, JobConfig};
+use crate::job::JobOutcome;
+use crate::json::JsonValue;
+
+/// The on-disk cache handle.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+/// The default cache directory used by `--resume` when no `--cache-dir`
+/// is given.
+pub const DEFAULT_CACHE_DIR: &str = ".icnoc_explore_cache";
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The versioned cache key of `config`.
+    #[must_use]
+    pub fn key(config: &JobConfig) -> u64 {
+        let salted = format!("{}\n{}", config.canonical(), version_salt());
+        stable_hash(salted.as_bytes())
+    }
+
+    /// The path an entry for `config` would occupy.
+    #[must_use]
+    pub fn entry_path(&self, config: &JobConfig) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", Self::key(config)))
+    }
+
+    /// Loads the cached outcome for `config`, or `None` on a miss (no
+    /// entry, unreadable entry, or an entry whose embedded config does
+    /// not match — all three degrade identically).
+    #[must_use]
+    pub fn load(&self, config: &JobConfig) -> Option<JobOutcome> {
+        let text = std::fs::read_to_string(self.entry_path(config)).ok()?;
+        let outcome = JobOutcome::from_json(&JsonValue::parse(&text).ok()?).ok()?;
+        (outcome.config == *config).then_some(outcome)
+    }
+
+    /// Stores `outcome` under its config's key, atomically (temp file +
+    /// rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, outcome: &JobOutcome) -> io::Result<()> {
+        let path = self.entry_path(&outcome.config);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, outcome.to_json().to_pretty())?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+/// The cache-invalidation salt: crate version plus every report schema
+/// version an outcome embeds.
+fn version_salt() -> String {
+    format!(
+        "crate={};sim_schema={};recovery_schema={}",
+        env!("CARGO_PKG_VERSION"),
+        SimReport::SCHEMA_VERSION,
+        RecoveryReport::SCHEMA_VERSION,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use crate::job::run_job;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "icnoc-explore-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).expect("opens");
+        let job = &GridSpec::parse("ports=16;cycles=120")
+            .expect("parses")
+            .resolve()[0];
+        assert!(cache.load(job).is_none(), "cold cache misses");
+        let outcome = run_job(job).expect("runs");
+        cache.store(&outcome).expect("stores");
+        assert_eq!(cache.load(job), Some(outcome));
+        // A different config is a different key — still a miss.
+        let other = &GridSpec::parse("ports=16;cycles=121")
+            .expect("parses")
+            .resolve()[0];
+        assert!(cache.load(other).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_degrade_to_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir).expect("opens");
+        let job = &GridSpec::parse("ports=16;cycles=130")
+            .expect("parses")
+            .resolve()[0];
+        // Corrupt entry: unparseable JSON at the right path.
+        std::fs::write(cache.entry_path(job), "{ not json").expect("writes");
+        assert!(cache.load(job).is_none());
+        // Mismatched entry: a valid outcome for a *different* config
+        // planted at this config's path (simulated hash collision).
+        let other = &GridSpec::parse("ports=16;cycles=131")
+            .expect("parses")
+            .resolve()[0];
+        let outcome = run_job(other).expect("runs");
+        std::fs::write(cache.entry_path(job), outcome.to_json().to_pretty()).expect("writes");
+        assert!(cache.load(job).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_salted_with_schema_versions() {
+        let job = &GridSpec::parse("").expect("parses").resolve()[0];
+        // The key differs from the raw config hash precisely because of
+        // the version salt.
+        assert_ne!(ResultCache::key(job), job.stable_hash());
+    }
+}

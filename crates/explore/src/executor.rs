@@ -1,0 +1,206 @@
+//! A deterministic work-stealing executor over `std::thread`.
+//!
+//! Jobs are identified by their **index** in the resolved job list. Each
+//! worker owns a deque pre-loaded with a contiguous shard of indices; it
+//! pops work from the front of its own deque and, when empty, steals from
+//! the *back* of the other workers' deques. Results are returned in a
+//! vector slot per index, so the output is a pure function of the job
+//! list — never of the worker count, scheduling order or steal pattern.
+//! (Per-job randomness is seeded from the job config's stable hash for
+//! the same reason; see [`crate::JobConfig::stable_hash`].)
+//!
+//! Each job runs under [`std::panic::catch_unwind`]: a panicking job
+//! becomes an `Err(message)` in its slot and the remaining jobs keep
+//! running, so one diverged simulation cannot take down a sweep.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs jobs `0..total` across `workers` threads and returns one result
+/// slot per index, in index order. `Err` carries the panic message of a
+/// job that panicked.
+///
+/// `progress(done, total)` is invoked after every completed job, from the
+/// completing worker's thread (`done` counts all workers' completions).
+///
+/// `workers` is clamped to `1..=total` (a zero-job run returns
+/// immediately; a zero-worker request means one worker).
+pub fn run_indexed<T, F, P>(
+    total: usize,
+    workers: usize,
+    job: F,
+    progress: P,
+) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    P: Fn(usize, usize) + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, total);
+
+    // Contiguous shards: worker w owns indices [w*chunk, ...). The last
+    // worker's shard absorbs the remainder.
+    let chunk = total.div_ceil(workers);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(total);
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let done = AtomicUsize::new(0);
+
+    let mut per_worker: Vec<Vec<(usize, Result<T, String>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let job = &job;
+                let progress = &progress;
+                let done = &done;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some(idx) = next_index(queues, w) {
+                        let result = catch_unwind(AssertUnwindSafe(|| job(idx)))
+                            .map_err(|payload| panic_message(payload.as_ref()));
+                        out.push((idx, result));
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        progress(n, total);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker threads do not panic"))
+            .collect()
+    });
+
+    // Scatter into index slots. Every index was queued exactly once and
+    // every queued index was executed, so all slots fill.
+    let mut slots: Vec<Option<Result<T, String>>> = (0..total).map(|_| None).collect();
+    for results in &mut per_worker {
+        for (idx, result) in results.drain(..) {
+            debug_assert!(slots[idx].is_none(), "job {idx} executed twice");
+            slots[idx] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index executed"))
+        .collect()
+}
+
+/// Pops the next index for worker `w`: front of its own deque, else a
+/// steal from the back of the first non-empty victim (scanning `w+1`,
+/// `w+2`, … cyclically). Returns `None` when every deque is empty.
+fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(idx) = queues[w].lock().expect("queue lock").pop_front() {
+        return Some(idx);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        if let Some(idx) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_land_in_index_order_for_any_worker_count() {
+        let serial = run_indexed(37, 1, |i| i * i, |_, _| {});
+        for workers in [2, 3, 8, 64] {
+            let parallel = run_indexed(37, workers, |i| i * i, |_, _| {});
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+        for (i, r) in serial.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &(i * i));
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_to_their_slot() {
+        let results = run_indexed(
+            8,
+            4,
+            |i| {
+                assert!(i != 3 && i != 5, "job {i} diverged");
+                i
+            },
+            |_, _| {},
+        );
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 || i == 5 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("diverged"), "got {msg:?}");
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &i);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_counts_every_completion_exactly_once() {
+        let max_seen = AtomicUsize::new(0);
+        let calls = AtomicUsize::new(0);
+        run_indexed(
+            25,
+            5,
+            |i| i,
+            |done, total| {
+                assert_eq!(total, 25);
+                calls.fetch_add(1, Ordering::Relaxed);
+                max_seen.fetch_max(done, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 25);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn degenerate_shapes_work() {
+        assert!(run_indexed(0, 4, |i| i, |_, _| {}).is_empty());
+        // Zero workers clamps to one; more workers than jobs clamps down.
+        assert_eq!(run_indexed(3, 0, |i| i, |_, _| {}).len(), 3);
+        assert_eq!(run_indexed(2, 16, |i| i, |_, _| {}).len(), 2);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_complete_via_stealing() {
+        // Worker 0's shard is all the slow jobs; the others must steal.
+        let results = run_indexed(
+            16,
+            4,
+            |i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                i
+            },
+            |_, _| {},
+        );
+        assert_eq!(results.len(), 16);
+        assert!(results.iter().all(Result::is_ok));
+    }
+}

@@ -1,0 +1,372 @@
+//! Folding job outcomes into Pareto fronts and safe-frequency surfaces.
+//!
+//! The sweep's four objectives are the paper's own trade-off axes:
+//! **clock frequency** (max), **delivered throughput** (max),
+//! **recovered-fault rate** (max) and **p99 latency** (min). A feasible
+//! outcome sits on the front iff no other feasible outcome is at least
+//! as good on every axis and strictly better on one.
+//!
+//! The *safe-frequency surface* answers the complementary question: for
+//! each distinct physical design (tree kind, ports, die, width, corner),
+//! what is the fastest timing-safe clock — the design-space rendering of
+//! the paper's Figure 7 frequency/length trade-off.
+
+use crate::job::JobOutcome;
+use crate::json::JsonValue;
+
+/// Schema version stamped into `BENCH_explore.json`.
+pub const ANALYSIS_SCHEMA_VERSION: u32 = 1;
+
+/// One entry of the max-safe-frequency surface: a distinct physical
+/// design and its degradation headroom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfacePoint {
+    /// Tree kind label (`binary` / `quad`).
+    pub kind: String,
+    /// Network port count.
+    pub ports: usize,
+    /// Die edge (mm).
+    pub die_mm: f64,
+    /// Data-path width (bits).
+    pub width_bits: u32,
+    /// Process-corner label.
+    pub corner: String,
+    /// Fastest timing-safe clock at this corner (GHz).
+    pub safe_freq_ghz: f64,
+    /// Longest pipeline segment of the floorplan (mm).
+    pub max_segment_mm: f64,
+}
+
+/// The folded results of a sweep: outcomes, front and surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Every job outcome, in grid order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Indices (into [`outcomes`](Self::outcomes)) of the Pareto-optimal
+    /// feasible entries, ascending.
+    pub front: Vec<usize>,
+    /// The safe-frequency surface, one entry per distinct physical
+    /// design, in first-seen (grid) order.
+    pub surface: Vec<SurfacePoint>,
+}
+
+/// The objective vector of a feasible, simulated outcome.
+fn objectives(o: &JobOutcome) -> Option<[f64; 4]> {
+    if !o.feasible {
+        return None;
+    }
+    let d = o.digest.as_ref()?;
+    Some([
+        o.config.system.freq_ghz,
+        d.throughput,
+        d.recovered_rate(),
+        -d.p99, // negate: every axis becomes "larger is better"
+    ])
+}
+
+fn dominates(a: &[f64; 4], b: &[f64; 4]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x >= y) && a.iter().zip(b).any(|(x, y)| x > y)
+}
+
+impl Analysis {
+    /// Folds `outcomes` into the front and surface.
+    #[must_use]
+    pub fn of(outcomes: Vec<JobOutcome>) -> Self {
+        let scored: Vec<(usize, [f64; 4])> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| objectives(o).map(|v| (i, v)))
+            .collect();
+        let front = scored
+            .iter()
+            .filter(|(_, v)| !scored.iter().any(|(_, w)| dominates(w, v)))
+            .map(|&(i, _)| i)
+            .collect();
+
+        let mut surface: Vec<SurfacePoint> = Vec::new();
+        for o in &outcomes {
+            if o.build_error.is_some() && o.safe_freq_ghz == 0.0 {
+                continue; // not buildable at any clock (e.g. topology error)
+            }
+            let sys = &o.config.system;
+            let key = (
+                sys.kind.to_string(),
+                sys.ports,
+                sys.die_mm.to_bits(),
+                sys.width_bits,
+                sys.corner.clone(),
+            );
+            if surface.iter().any(|p| {
+                (
+                    p.kind.clone(),
+                    p.ports,
+                    p.die_mm.to_bits(),
+                    p.width_bits,
+                    p.corner.clone(),
+                ) == key
+            }) {
+                continue;
+            }
+            surface.push(SurfacePoint {
+                kind: sys.kind.to_string(),
+                ports: sys.ports,
+                die_mm: sys.die_mm,
+                width_bits: sys.width_bits,
+                corner: sys.corner.clone(),
+                safe_freq_ghz: o.safe_freq_ghz,
+                max_segment_mm: o.max_segment_mm,
+            });
+        }
+        Self {
+            outcomes,
+            front,
+            surface,
+        }
+    }
+
+    /// The count of feasible outcomes.
+    #[must_use]
+    pub fn feasible_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.feasible).count()
+    }
+
+    /// Serialises the full analysis (the `BENCH_explore.json` document).
+    /// Deterministic given deterministic outcomes; the per-job `wall_ms`
+    /// lines are the only fields that vary between runs.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Num(f64::from(ANALYSIS_SCHEMA_VERSION)),
+            ),
+            ("jobs".into(), JsonValue::Num(self.outcomes.len() as f64)),
+            (
+                "feasible".into(),
+                JsonValue::Num(self.feasible_count() as f64),
+            ),
+            (
+                "pareto_front".into(),
+                JsonValue::Arr(self.front.iter().map(|&i| self.front_entry(i)).collect()),
+            ),
+            (
+                "safe_frequency_surface".into(),
+                JsonValue::Arr(self.surface.iter().map(surface_to_json).collect()),
+            ),
+            (
+                "outcomes".into(),
+                JsonValue::Arr(self.outcomes.iter().map(JobOutcome::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn front_entry(&self, i: usize) -> JsonValue {
+        let o = &self.outcomes[i];
+        let d = o.digest.as_ref().expect("front entries are simulated");
+        JsonValue::Obj(vec![
+            ("index".into(), JsonValue::Num(i as f64)),
+            ("config".into(), o.config.to_json()),
+            ("freq_ghz".into(), JsonValue::Num(o.config.system.freq_ghz)),
+            ("throughput".into(), JsonValue::Num(d.throughput)),
+            ("recovered_rate".into(), JsonValue::Num(d.recovered_rate())),
+            ("p99".into(), JsonValue::Num(d.p99)),
+            ("max_segment_mm".into(), JsonValue::Num(o.max_segment_mm)),
+            ("safe_freq_ghz".into(), JsonValue::Num(o.safe_freq_ghz)),
+        ])
+    }
+
+    /// Renders the human-readable summary: headline counts, the Pareto
+    /// front table, and the safe-frequency surface table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "explored {} jobs: {} feasible, {} on the Pareto front, {} distinct designs\n",
+            self.outcomes.len(),
+            self.feasible_count(),
+            self.front.len(),
+            self.surface.len(),
+        ));
+        out.push('\n');
+        out.push_str("Pareto front (freq ↑, throughput ↑, recovered ↑, p99 ↓):\n");
+        let rows: Vec<Vec<String>> = self
+            .front
+            .iter()
+            .map(|&i| {
+                let o = &self.outcomes[i];
+                let d = o.digest.as_ref().expect("front entries are simulated");
+                vec![
+                    o.config.system.to_string(),
+                    o.config.pattern.clone(),
+                    format!("{}", o.config.soak),
+                    format!("{:.3}", d.throughput),
+                    format!("{:.2}", d.recovered_rate()),
+                    format!("{:.1}", d.p99),
+                    format!("{:.2}", o.max_segment_mm),
+                ]
+            })
+            .collect();
+        out.push_str(&table(
+            &[
+                "design", "pattern", "soak", "thr/cyc", "recov", "p99", "seg mm",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+        out.push_str("Max-safe-frequency surface:\n");
+        let rows: Vec<Vec<String>> = self
+            .surface
+            .iter()
+            .map(|p| {
+                vec![
+                    p.kind.clone(),
+                    p.ports.to_string(),
+                    format!("{}", p.die_mm),
+                    p.width_bits.to_string(),
+                    p.corner.clone(),
+                    format!("{:.3}", p.safe_freq_ghz),
+                    format!("{:.2}", p.max_segment_mm),
+                ]
+            })
+            .collect();
+        out.push_str(&table(
+            &[
+                "kind", "ports", "die mm", "bits", "corner", "safe GHz", "seg mm",
+            ],
+            &rows,
+        ));
+        out
+    }
+}
+
+fn surface_to_json(p: &SurfacePoint) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("kind".into(), JsonValue::Str(p.kind.clone())),
+        ("ports".into(), JsonValue::Num(p.ports as f64)),
+        ("die_mm".into(), JsonValue::Num(p.die_mm)),
+        ("width_bits".into(), JsonValue::Num(f64::from(p.width_bits))),
+        ("corner".into(), JsonValue::Str(p.corner.clone())),
+        ("safe_freq_ghz".into(), JsonValue::Num(p.safe_freq_ghz)),
+        ("max_segment_mm".into(), JsonValue::Num(p.max_segment_mm)),
+    ])
+}
+
+/// Renders a fixed-width text table: left-aligned first column,
+/// right-aligned numerics, two-space gutters — matching the bench crate's
+/// house style without depending on it (the bench crate depends on us).
+fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i] - cell.chars().count();
+            if i == 0 {
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            } else {
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+                out.push_str(cell);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    emit(
+        &mut out,
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use crate::job::run_job;
+
+    fn sweep(spec: &str) -> Analysis {
+        let outcomes = GridSpec::parse(spec)
+            .expect("parses")
+            .resolve()
+            .iter()
+            .map(|j| run_job(j).expect("runs"))
+            .collect();
+        Analysis::of(outcomes)
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        // Same design at two rates: the higher rate strictly dominates on
+        // throughput at equal frequency/recovery unless latency suffers —
+        // either way the front is non-empty and contains no dominated pair.
+        let analysis = sweep("ports=16;cycles=300;pattern=uniform:0.05,uniform:0.2");
+        assert!(!analysis.front.is_empty());
+        let vecs: Vec<[f64; 4]> = analysis
+            .front
+            .iter()
+            .map(|&i| objectives(&analysis.outcomes[i]).expect("front is feasible"))
+            .collect();
+        for a in &vecs {
+            for b in &vecs {
+                assert!(!dominates(a, b), "front contains a dominated point");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_points_never_reach_the_front() {
+        // slow50 silicon at 1 GHz misses timing for the demonstrator die.
+        let analysis = sweep("ports=16;cycles=200;corner=nominal,slow50");
+        assert!(analysis.outcomes.iter().any(|o| !o.feasible));
+        for &i in &analysis.front {
+            assert!(analysis.outcomes[i].feasible);
+        }
+        // Both corners still appear on the surface (they build).
+        assert_eq!(analysis.surface.len(), 2);
+    }
+
+    #[test]
+    fn surface_collapses_workload_axes() {
+        // 1 design × 2 patterns × 2 soak levels = 4 jobs, 1 surface point.
+        let analysis = sweep("ports=16;cycles=150;pattern=uniform:0.05,neighbor:0.1;soak=0,1");
+        assert_eq!(analysis.outcomes.len(), 4);
+        assert_eq!(analysis.surface.len(), 1);
+    }
+
+    #[test]
+    fn json_and_table_render_deterministically() {
+        let a = sweep("ports=16;cycles=150");
+        let b = sweep("ports=16;cycles=150");
+        let strip = |s: String| -> String {
+            s.lines()
+                .filter(|l| !l.contains("wall_ms"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(a.to_json().to_pretty()),
+            strip(b.to_json().to_pretty())
+        );
+        let text = a.render();
+        assert!(text.contains("Pareto front"));
+        assert!(text.contains("Max-safe-frequency surface"));
+    }
+}

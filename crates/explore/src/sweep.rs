@@ -1,0 +1,208 @@
+//! The top-level sweep driver: grid → cache prescan → executor → cache
+//! fill → analysis.
+
+use crate::cache::ResultCache;
+use crate::executor::run_indexed;
+use crate::grid::GridSpec;
+use crate::job::{run_job, JobOutcome};
+use crate::pareto::Analysis;
+
+/// How a sweep should run.
+#[derive(Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads (`0` = one per job, clamped by the executor).
+    pub jobs: usize,
+    /// Result cache, if caching is enabled.
+    pub cache: Option<ResultCache>,
+}
+
+/// Where a sweep's outcomes came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Total jobs in the grid.
+    pub total: usize,
+    /// Jobs actually executed this run.
+    pub executed: usize,
+    /// Jobs answered from the cache.
+    pub cached: usize,
+    /// Executed jobs that panicked or failed to interpret (their slots
+    /// carry a synthetic infeasible outcome with the message).
+    pub failed: usize,
+}
+
+/// Runs `grid` and folds the outcomes.
+///
+/// Jobs found in the cache are not executed; fresh results are written
+/// back. `progress(done, total)` fires once after the cache prescan
+/// (covering all hits at once) and then per completed job, from worker
+/// threads.
+///
+/// The outcome vector — and therefore the entire [`Analysis`] — is in
+/// grid order and bit-identical for any worker count: job seeds come
+/// from config hashes, results land in index slots, and the fold is
+/// sequential.
+pub fn run_sweep<P>(grid: &GridSpec, opts: &SweepOptions, progress: P) -> (Analysis, SweepStats)
+where
+    P: Fn(usize, usize) + Sync,
+{
+    let jobs = grid.resolve();
+    let total = jobs.len();
+    let mut slots: Vec<Option<JobOutcome>> = jobs
+        .iter()
+        .map(|j| opts.cache.as_ref().and_then(|c| c.load(j)))
+        .collect();
+    let cached = slots.iter().filter(|s| s.is_some()).count();
+    progress(cached, total);
+
+    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+    let results = run_indexed(
+        pending.len(),
+        opts.jobs,
+        |k| run_job(&jobs[pending[k]]).map_err(|e| e.to_string()),
+        |done, _| progress(cached + done, total),
+    );
+
+    let mut executed = 0usize;
+    let mut failed = 0usize;
+    for (k, result) in results.into_iter().enumerate() {
+        let i = pending[k];
+        executed += 1;
+        let outcome = match result {
+            Ok(Ok(outcome)) => {
+                if let Some(cache) = &opts.cache {
+                    // A failed store degrades to "uncached", not an error:
+                    // the sweep's results do not depend on the cache.
+                    let _ = cache.store(&outcome);
+                }
+                outcome
+            }
+            Ok(Err(msg)) | Err(msg) => {
+                failed += 1;
+                failed_outcome(&jobs[i], &msg)
+            }
+        };
+        slots[i] = Some(outcome);
+    }
+
+    let outcomes = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by cache or executor"))
+        .collect();
+    (
+        Analysis::of(outcomes),
+        SweepStats {
+            total,
+            executed,
+            cached,
+            failed,
+        },
+    )
+}
+
+/// A synthetic infeasible outcome recording a panic or interpretation
+/// failure, so one diverged job cannot sink the sweep. Never cached.
+fn failed_outcome(config: &crate::grid::JobConfig, msg: &str) -> JobOutcome {
+    JobOutcome {
+        config: config.clone(),
+        hash: config.stable_hash(),
+        build_error: Some(format!("job failed: {msg}")),
+        feasible: false,
+        safe_freq_ghz: 0.0,
+        max_segment_mm: 0.0,
+        digest: None,
+        wall_ms: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn strip_wall(text: &str) -> String {
+        text.lines()
+            .filter(|l| !l.contains("wall_ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_analysis() {
+        let grid = GridSpec::parse("ports=16;cycles=200;freq=0.9,1.0;soak=0,1").expect("parses");
+        let (serial, _) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 1,
+                cache: None,
+            },
+            |_, _| {},
+        );
+        let (parallel, _) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 8,
+                cache: None,
+            },
+            |_, _| {},
+        );
+        assert_eq!(
+            strip_wall(&serial.to_json().to_pretty()),
+            strip_wall(&parallel.to_json().to_pretty()),
+        );
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let dir =
+            std::env::temp_dir().join(format!("icnoc-explore-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = GridSpec::parse("ports=16;cycles=150;freq=0.9,1.0").expect("parses");
+        let open = || ResultCache::open(&dir).expect("opens");
+        let (first, stats1) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: Some(open()),
+            },
+            |_, _| {},
+        );
+        assert_eq!(stats1.executed, 2);
+        assert_eq!(stats1.cached, 0);
+        let (second, stats2) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: Some(open()),
+            },
+            |_, _| {},
+        );
+        assert_eq!(stats2.executed, 0);
+        assert_eq!(stats2.cached, 2);
+        // Cached results are the executed results, wall clock and all.
+        assert_eq!(first.to_json().to_pretty(), second.to_json().to_pretty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_reaches_total_and_failures_become_outcomes() {
+        let max_done = AtomicUsize::new(0);
+        let grid = GridSpec::parse("ports=16;cycles=100;freq=0.9,3.0").expect("parses");
+        let (analysis, stats) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: None,
+            },
+            |done, total| {
+                assert_eq!(total, 2);
+                max_done.fetch_max(done, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(max_done.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.total, 2);
+        // 3 GHz fails to *build* (a recorded outcome, not a failure).
+        assert_eq!(stats.failed, 0);
+        assert_eq!(analysis.outcomes.len(), 2);
+        assert!(analysis.outcomes[1].build_error.is_some());
+    }
+}

@@ -532,6 +532,10 @@ impl FaultCounts {
 /// flit is un-acknowledged at report time; zero after a full drain).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryReport {
+    /// Layout version of this ledger (see
+    /// [`RecoveryReport::SCHEMA_VERSION`]); persisted copies compare it
+    /// against the current constant before trusting the fields.
+    pub schema_version: u32,
     /// Faults injected, per kind.
     pub injected: FaultCounts,
     /// Faults that provably did no harm.
@@ -571,6 +575,11 @@ pub struct RecoveryReport {
 }
 
 impl RecoveryReport {
+    /// Current layout version of [`RecoveryReport`]. Bump on any field
+    /// change so cached ledgers invalidate instead of deserialising
+    /// garbage.
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// The conservation law: `injected == absorbed + recovered + lost +
     /// pending`.
     #[must_use]
@@ -1226,6 +1235,7 @@ impl FaultState {
     pub(crate) fn report(&self) -> RecoveryReport {
         let ledger = self.ledger;
         RecoveryReport {
+            schema_version: RecoveryReport::SCHEMA_VERSION,
             injected: ledger.injected,
             absorbed: ledger.absorbed,
             timing_violations: ledger.violations,

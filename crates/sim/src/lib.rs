@@ -48,7 +48,7 @@ pub use element::{Arbitration, ElementId, MeshDirection, RouteFilter, SinkMode};
 pub use fault::{DfsConfig, FaultCounts, FaultKind, FaultPlan, FaultRates, RecoveryReport};
 pub use flit::{Flit, FlitKind};
 pub use network::{DrainTimeout, Network};
-pub use report::{LatencyHistogram, LatencyStats, SimReport};
+pub use report::{LatencyHistogram, LatencyStats, ReportDigest, SimReport};
 pub use trace::{
     CountersSink, DropCause, ElementCounters, ElementUtilisation, FlowLatency, ObservabilityReport,
     RingBufferSink, TraceEvent, TraceEventKind, TraceSink, TraceTotals,

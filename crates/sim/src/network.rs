@@ -1159,6 +1159,7 @@ impl Network {
             .find_map(|s| s.as_any().downcast_ref::<CountersSink>())
             .map(|c| c.report(self.tick / 2, &self.element_labels()));
         SimReport {
+            schema_version: SimReport::SCHEMA_VERSION,
             cycles: self.tick / 2,
             sent,
             delivered: self.scoreboard.delivered,

@@ -281,6 +281,11 @@ impl Scoreboard {
 /// flit exactly once, in order, under any stall pattern.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
+    /// Layout version of this report (see
+    /// [`SimReport::SCHEMA_VERSION`]). Persisted copies (e.g. the explore
+    /// result cache) compare it against the current constant and discard
+    /// mismatches instead of deserialising a stale layout as garbage.
+    pub schema_version: u32,
     /// Simulated clock cycles (half the tick count).
     pub cycles: u64,
     /// Flits created by all sources.
@@ -329,6 +334,47 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Current layout version of [`SimReport`]. Bump whenever a field is
+    /// added, removed or changes meaning, so externally persisted reports
+    /// (result caches, artefact files) invalidate instead of being read
+    /// back under the wrong layout.
+    pub const SCHEMA_VERSION: u32 = 2;
+
+    /// Folds the full report into the compact [`ReportDigest`] that batch
+    /// sweeps persist per job: the headline scalars, without the
+    /// histogram buckets, per-element counters or gating detail.
+    #[must_use]
+    pub fn digest(&self) -> ReportDigest {
+        let (injected, recovered, lost, retransmissions, effective_ghz) = match &self.recovery {
+            Some(r) => (
+                r.injected.total(),
+                r.recovered,
+                r.lost,
+                r.retransmissions,
+                r.effective_ghz,
+            ),
+            None => (0, 0, 0, 0, 0.0),
+        };
+        ReportDigest {
+            cycles: self.cycles,
+            sent: self.sent,
+            delivered: self.delivered,
+            throughput: self.throughput_per_cycle(),
+            mean_latency: self.latency.mean_cycles(),
+            p50: self.histogram.p50(),
+            p95: self.histogram.p95(),
+            p99: self.histogram.p99(),
+            max_latency: self.latency.max_cycles(),
+            correct: self.is_correct(),
+            responses: self.responses,
+            faults_injected: injected,
+            faults_recovered: recovered,
+            faults_lost: lost,
+            retransmissions,
+            effective_ghz,
+        }
+    }
+
     /// Flits unaccounted for: sent but neither delivered nor in flight.
     /// Always 0 for a correct flow-control implementation.
     #[must_use]
@@ -376,6 +422,62 @@ impl core::fmt::Display for SimReport {
             self.latency.max_cycles(),
             self.gating
         )
+    }
+}
+
+/// The compact per-job summary a design-space sweep keeps for every grid
+/// point: everything the Pareto analysis needs, nothing it does not.
+///
+/// Unlike [`SimReport`] it contains no histogram buckets, per-element
+/// counters or gating detail, so thousands of grid points stay cheap to
+/// cache and compare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportDigest {
+    /// Simulated clock cycles.
+    pub cycles: u64,
+    /// Flits created by all sources.
+    pub sent: u64,
+    /// Flits delivered to their destinations.
+    pub delivered: u64,
+    /// Delivered throughput in flits per cycle.
+    pub throughput: f64,
+    /// Mean delivery latency in cycles (0.0 when nothing delivered).
+    pub mean_latency: f64,
+    /// Median delivery latency in cycles.
+    pub p50: f64,
+    /// 95th-percentile delivery latency in cycles.
+    pub p95: f64,
+    /// 99th-percentile delivery latency in cycles.
+    pub p99: f64,
+    /// Maximum delivery latency in cycles.
+    pub max_latency: f64,
+    /// Whether the run was fully correct ([`SimReport::is_correct`]).
+    pub correct: bool,
+    /// Closed-loop responses received by processor tiles.
+    pub responses: u64,
+    /// Faults injected (0 without a fault plan).
+    pub faults_injected: u64,
+    /// Faults whose flit was cleanly delivered in the end.
+    pub faults_recovered: u64,
+    /// Faults whose flit exhausted its retries.
+    pub faults_lost: u64,
+    /// Retransmissions issued by the recovery layer.
+    pub retransmissions: u64,
+    /// Final DFS-effective clock in GHz (0.0 without a fault plan).
+    pub effective_ghz: f64,
+}
+
+impl ReportDigest {
+    /// Fraction of injected faults that ended in a clean delivery:
+    /// `recovered / injected`, or 1.0 when nothing was injected (a
+    /// fault-free run trivially recovers everything).
+    #[must_use]
+    pub fn recovered_rate(&self) -> f64 {
+        if self.faults_injected == 0 {
+            1.0
+        } else {
+            self.faults_recovered as f64 / self.faults_injected as f64
+        }
     }
 }
 
@@ -438,6 +540,7 @@ mod tests {
     #[test]
     fn report_loss_accounting() {
         let report = SimReport {
+            schema_version: SimReport::SCHEMA_VERSION,
             cycles: 100,
             sent: 50,
             delivered: 45,
@@ -468,6 +571,56 @@ mod tests {
         };
         assert_eq!(lossy.lost(), 5);
         assert!(!lossy.is_correct());
+    }
+
+    #[test]
+    fn digest_summarises_the_headline_scalars() {
+        let mut latency = LatencyStats::new();
+        latency.record(4);
+        latency.record(12);
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(4);
+        histogram.record(12);
+        let report = SimReport {
+            schema_version: SimReport::SCHEMA_VERSION,
+            cycles: 200,
+            sent: 2,
+            delivered: 2,
+            in_flight: 0,
+            duplicated: 0,
+            reordered: 0,
+            misrouted: 0,
+            latency,
+            histogram,
+            gating: ClockGatingStats::new(),
+            source_stall_edges: 0,
+            packets_sent: 2,
+            packets_delivered: 2,
+            interleaved: 0,
+            round_trip: LatencyStats::new(),
+            responses: 0,
+            observability: None,
+            integrity_failures: 0,
+            recovery: None,
+        };
+        let d = report.digest();
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.delivered, 2);
+        assert!((d.throughput - 0.01).abs() < 1e-12);
+        assert!((d.mean_latency - 4.0).abs() < 1e-12);
+        assert!(d.correct);
+        // No fault plan: the recovery scalars zero out and the recovered
+        // rate is trivially perfect.
+        assert_eq!(d.faults_injected, 0);
+        assert_eq!(d.recovered_rate(), 1.0);
+    }
+
+    #[test]
+    fn schema_version_is_stamped_on_reports() {
+        // Versions are compile-time constants persisted into caches;
+        // both must be positive and present on every constructed report.
+        const { assert!(SimReport::SCHEMA_VERSION >= 2) };
+        const { assert!(crate::RecoveryReport::SCHEMA_VERSION >= 2) };
     }
 
     #[test]

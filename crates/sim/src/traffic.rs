@@ -292,6 +292,81 @@ mod tests {
     }
 
     #[test]
+    fn hotspot_fraction_one_always_hits_target_from_other_ports() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            rate: 1.0,
+            target: PortId(2),
+            fraction: 1.0,
+        };
+        for cycle in 0..500 {
+            assert_eq!(
+                p.decide(PortId(5), 8, cycle, &mut r, &mut 0),
+                TrafficPhase::Inject(PortId(2))
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_fraction_zero_degenerates_to_uniform() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            rate: 1.0,
+            target: PortId(2),
+            fraction: 0.0,
+        };
+        let mut seen = [0usize; 8];
+        for cycle in 0..4_000 {
+            let TrafficPhase::Inject(d) = p.decide(PortId(5), 8, cycle, &mut r, &mut 0) else {
+                panic!("rate 1.0 must inject");
+            };
+            assert_ne!(d, PortId(5), "never self");
+            seen[d.0 as usize] += 1;
+        }
+        // The target gets background traffic like any other port: its
+        // share of 4000 injections over 7 candidates is ~571, nowhere
+        // near the full stream a non-zero fraction would steer at it.
+        assert!(seen[2] > 0, "target still reachable as background");
+        assert!(
+            (300..900).contains(&seen[2]),
+            "expected a uniform share for the target, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn hotspot_source_on_target_port_never_injects_to_itself() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            rate: 1.0,
+            target: PortId(3),
+            fraction: 1.0,
+        };
+        for cycle in 0..1_000 {
+            let TrafficPhase::Inject(d) = p.decide(PortId(3), 8, cycle, &mut r, &mut 0) else {
+                panic!("rate 1.0 must inject");
+            };
+            assert_ne!(d, PortId(3), "the hotspot itself must pick another port");
+            assert!(d.0 < 8);
+        }
+    }
+
+    #[test]
+    fn hotspot_rate_zero_is_silent() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            rate: 0.0,
+            target: PortId(0),
+            fraction: 1.0,
+        };
+        for cycle in 0..100 {
+            assert_eq!(
+                p.decide(PortId(5), 8, cycle, &mut r, &mut 0),
+                TrafficPhase::Idle
+            );
+        }
+    }
+
+    #[test]
     fn silent_never_injects() {
         let mut r = rng();
         for cycle in 0..10 {

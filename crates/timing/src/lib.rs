@@ -49,5 +49,5 @@ pub use flipflop::FlipFlopTiming;
 pub use link::{Direction, LinkTiming, SkewWindow, TimingReport, TimingViolation, ViolationKind};
 pub use pipeline::{FrequencyPoint, PipelineConstraint, PipelineTimingModel};
 pub use router_model::RouterTimingModel;
-pub use variation::{safe_frequency, ProcessVariation, VariationDraw};
+pub use variation::{safe_frequency, ProcessVariation, VariationCorner, VariationDraw};
 pub use wire::WireModel;

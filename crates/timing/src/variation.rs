@@ -96,6 +96,92 @@ impl ProcessVariation {
             rng: StdRng::seed_from_u64(seed),
         }
     }
+
+    /// The named process corners swept by design-space exploration: the
+    /// nominal library, a fast corner, and three progressively slower
+    /// corners with growing random mismatch. Each corner pairs a wire
+    /// [`ProcessVariation`] with the matching flip-flop library scale
+    /// (registers and wires slow down together on a real die).
+    #[must_use]
+    pub fn standard_corners() -> &'static [VariationCorner] {
+        STANDARD_CORNERS
+    }
+
+    /// Looks a standard corner up by its label (see
+    /// [`standard_corners`](Self::standard_corners)).
+    #[must_use]
+    pub fn corner(label: &str) -> Option<VariationCorner> {
+        STANDARD_CORNERS.iter().find(|c| c.label == label).copied()
+    }
+}
+
+/// A named (process corner, register library) point of the sweep space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationCorner {
+    /// Stable identifier used in grid specs and cache keys.
+    pub label: &'static str,
+    /// Systematic corner shift of wire delays.
+    pub systematic: f64,
+    /// Random within-die mismatch sigma of wire delays.
+    pub sigma: f64,
+    /// Scale applied to every [`FlipFlopTiming`] parameter.
+    pub ff_scale: f64,
+}
+
+/// The corner table behind [`ProcessVariation::standard_corners`].
+const STANDARD_CORNERS: &[VariationCorner] = &[
+    VariationCorner {
+        label: "nominal",
+        systematic: 0.0,
+        sigma: 0.0,
+        ff_scale: 1.0,
+    },
+    VariationCorner {
+        label: "fast",
+        systematic: -0.10,
+        sigma: 0.02,
+        ff_scale: 0.9,
+    },
+    VariationCorner {
+        label: "slow10",
+        systematic: 0.10,
+        sigma: 0.05,
+        ff_scale: 1.1,
+    },
+    VariationCorner {
+        label: "slow30",
+        systematic: 0.30,
+        sigma: 0.05,
+        ff_scale: 1.3,
+    },
+    VariationCorner {
+        label: "slow50",
+        systematic: 0.50,
+        sigma: 0.10,
+        ff_scale: 1.5,
+    },
+];
+
+impl VariationCorner {
+    /// The wire-delay variation model of this corner.
+    #[must_use]
+    pub fn variation(&self) -> ProcessVariation {
+        ProcessVariation::new(self.systematic, self.sigma)
+    }
+
+    /// The register library at this corner: the paper's nominal 90 nm
+    /// flip-flop with every parameter scaled by
+    /// [`ff_scale`](Self::ff_scale).
+    #[must_use]
+    pub fn flip_flop(&self) -> FlipFlopTiming {
+        FlipFlopTiming::nominal_90nm().scaled(self.ff_scale)
+    }
+}
+
+impl core::fmt::Display for VariationCorner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label)
+    }
 }
 
 impl Default for ProcessVariation {
@@ -247,6 +333,30 @@ mod tests {
     #[should_panic(expected = "systematic variation must keep delays positive")]
     fn impossible_systematic_rejected() {
         let _ = ProcessVariation::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn standard_corners_are_unique_and_resolvable() {
+        let corners = ProcessVariation::standard_corners();
+        assert!(corners.len() >= 4);
+        for (i, c) in corners.iter().enumerate() {
+            assert_eq!(ProcessVariation::corner(c.label), Some(*c));
+            assert!(c.ff_scale > 0.0);
+            // Labels are unique: the grid grammar keys on them.
+            assert!(corners[i + 1..].iter().all(|o| o.label != c.label));
+            // Every corner builds a valid variation model and FF library.
+            let _ = c.variation();
+            assert!(c.flip_flop().setup().value() >= 0.0);
+        }
+        assert_eq!(ProcessVariation::corner("nominal").unwrap().ff_scale, 1.0);
+        assert_eq!(ProcessVariation::corner("martian"), None);
+    }
+
+    #[test]
+    fn corner_nominal_matches_none_variation() {
+        let c = ProcessVariation::corner("nominal").unwrap();
+        assert_eq!(c.variation(), ProcessVariation::none());
+        assert_eq!(c.flip_flop(), FlipFlopTiming::nominal_90nm());
     }
 
     #[test]

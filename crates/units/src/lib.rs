@@ -105,6 +105,34 @@ macro_rules! quantity {
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
             }
+
+            /// `n` evenly spaced samples from `self` to `end` inclusive —
+            /// the standard way to declare a swept axis of this quantity
+            /// in a design-space grid.
+            ///
+            /// `n == 1` yields just `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `n` is zero.
+            #[must_use]
+            #[track_caller]
+            pub fn linspace(self, end: Self, n: usize) -> Vec<Self> {
+                assert!(n > 0, "linspace needs at least one sample");
+                if n == 1 {
+                    return vec![self];
+                }
+                let step = (end.0 - self.0) / (n - 1) as f64;
+                (0..n)
+                    .map(|i| {
+                        if i + 1 == n {
+                            end // land exactly on the endpoint
+                        } else {
+                            Self::new(self.0 + step * i as f64)
+                        }
+                    })
+                    .collect()
+            }
         }
 
         impl core::ops::Add for $name {
@@ -225,6 +253,29 @@ mod tests {
     #[should_panic(expected = "cannot be NaN")]
     fn nan_is_rejected() {
         let _ = Picoseconds::new(f64::NAN);
+    }
+
+    #[test]
+    fn linspace_covers_both_endpoints_evenly() {
+        let axis = Gigahertz::new(0.8).linspace(Gigahertz::new(1.2), 5);
+        assert_eq!(axis.len(), 5);
+        assert_eq!(axis[0], Gigahertz::new(0.8));
+        assert_eq!(axis[4], Gigahertz::new(1.2));
+        assert!((axis[2].value() - 1.0).abs() < 1e-12);
+        // Degenerate single-sample axis is just the start.
+        assert_eq!(
+            Millimeters::new(10.0).linspace(Millimeters::new(20.0), 1),
+            vec![Millimeters::new(10.0)]
+        );
+        // Reversed axes are allowed (descending sweeps).
+        let down = Picoseconds::new(500.0).linspace(Picoseconds::new(400.0), 3);
+        assert_eq!(down[1], Picoseconds::new(450.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn linspace_rejects_zero_samples() {
+        let _ = Gigahertz::new(1.0).linspace(Gigahertz::new(2.0), 0);
     }
 
     #[test]
