@@ -1,0 +1,372 @@
+//! The simulation-kernel perf suite behind CI's `bench-gate` job.
+//!
+//! Runs a fixed workload matrix — idle-heavy, saturated-uniform and
+//! hotspot traffic at 16 and 64 ports — under both stepping kernels,
+//! asserts the reports are **bit-identical** (the dense scan is the
+//! oracle), and measures the event-driven kernel's speedup.
+//!
+//! ```text
+//! cargo run --release -p icnoc-bench --bin sim_bench                 # print table
+//! cargo run --release -p icnoc-bench --bin sim_bench -- --out BENCH_sim.json
+//! cargo run --release -p icnoc-bench --bin sim_bench -- --out new.json \
+//!     --baseline BENCH_sim.json                                      # CI gate
+//! ```
+//!
+//! Gating policy (exit 1 on violation):
+//! * reports must match between kernels on every workload;
+//! * the event kernel must never visit more elements than the dense scan
+//!   (exact, deterministic — the real no-regression guarantee);
+//! * the idle-heavy 64-port speedup must stay ≥ 3×, the saturated
+//!   uniform speedups at parity (≥ 1× modulo a 10% wall-clock jitter
+//!   allowance) — the tentpole targets;
+//! * with `--baseline`, each workload's speedup must stay within −20%
+//!   of the committed baseline (regression fails; an improvement beyond
+//!   +20% warns to refresh the baseline). Speedup is a same-machine
+//!   ratio of the two kernels, so the comparison is hardware-independent.
+
+use icnoc_explore::JsonValue;
+use icnoc_sim::{SimKernel, TrafficPattern, TreeNetworkConfig};
+use icnoc_topology::{PortId, TreeTopology};
+use std::time::Instant;
+
+/// Relative tolerance for the baseline speedup comparison.
+const TOLERANCE: f64 = 0.20;
+/// Required event-vs-dense speedup on the idle-heavy 64-port workload.
+const IDLE64_MIN_SPEEDUP: f64 = 3.0;
+/// Required speedup (no regression) on saturated uniform traffic. Even
+/// fully saturated, backpressure keeps much of the fabric blocked-waiting
+/// and the capture-notification wakeups let those elements sleep, so the
+/// event kernel stays ahead (~1.1–1.5×) — but 16 ports at full load is
+/// close enough to parity that the gate allows wall-clock jitter; the
+/// *deterministic* no-regression guarantee (`work_ratio >= 1`: the event
+/// kernel never visits more elements than the dense scan) is enforced
+/// exactly, on every workload.
+const UNIFORM_MIN_SPEEDUP: f64 = 1.0;
+/// Wall-clock jitter allowance for the saturated-parity gate, sized to
+/// the observed rep-to-rep spread on shared runners. A real algorithmic
+/// regression trips the exact `work_ratio` gate regardless.
+const JITTER: f64 = 0.10;
+/// Timing repetitions per (workload, kernel); the fastest run counts.
+/// Kernels are interleaved within a rep so machine-load phases hit both,
+/// and one untimed warm-up rep precedes the timed ones.
+const REPS: usize = 5;
+
+struct Workload {
+    name: &'static str,
+    ports: usize,
+    pattern: TrafficPattern,
+    cycles: u64,
+    seed: u64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let idle = |ports| Workload {
+        name: if ports == 16 { "idle16" } else { "idle64" },
+        ports,
+        // ~1% duty cycle: the fabric lies idle almost always, the
+        // regime the paper's clock gating (and this kernel) target.
+        pattern: TrafficPattern::Bursty {
+            burst: 10,
+            idle: 990,
+        },
+        // Long enough that even the fast event-kernel side of the ratio
+        // is several milliseconds — sub-millisecond timings make the
+        // idle speedups far too noisy to gate on.
+        cycles: 20_000,
+        seed: 7,
+    };
+    let uniform = |ports| Workload {
+        name: if ports == 16 {
+            "uniform16"
+        } else {
+            "uniform64"
+        },
+        ports,
+        // Saturated uniform random traffic: every source pushes as hard
+        // as back pressure allows — the event kernel's worst case.
+        pattern: TrafficPattern::Uniform { rate: 1.0 },
+        cycles: 4_000,
+        seed: 11,
+    };
+    let hotspot = |ports: usize| Workload {
+        name: if ports == 16 {
+            "hotspot16"
+        } else {
+            "hotspot64"
+        },
+        ports,
+        pattern: TrafficPattern::Hotspot {
+            rate: 0.2,
+            target: PortId(0),
+            fraction: 0.8,
+        },
+        cycles: 4_000,
+        seed: 13,
+    };
+    vec![
+        idle(16),
+        idle(64),
+        uniform(16),
+        uniform(64),
+        hotspot(16),
+        hotspot(64),
+    ]
+}
+
+struct Measurement {
+    name: &'static str,
+    ports: usize,
+    cycles: u64,
+    dense_cps: f64,
+    event_cps: f64,
+    dense_steps: u64,
+    event_steps: u64,
+    /// Median of the per-rep `dense_secs / event_secs` ratios. The two
+    /// kernels run back-to-back inside each rep, so a load spike hits
+    /// both and cancels out of the ratio — far more stable than the
+    /// ratio of the best-of-rep throughputs.
+    speedup: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Deterministic work reduction: dense element visits per event visit.
+    fn work_ratio(&self) -> f64 {
+        self.dense_steps as f64 / (self.event_steps as f64).max(1.0)
+    }
+}
+
+/// One timed run: seconds for the traffic phase, element visits, and the
+/// final report (after drain) for the differential check.
+fn run_once(w: &Workload, kernel: SimKernel) -> (f64, u64, icnoc_sim::SimReport) {
+    let tree = TreeTopology::binary(w.ports).expect("power-of-two port count");
+    let mut net = TreeNetworkConfig::new(tree)
+        .with_pattern(w.pattern.clone())
+        .with_seed(w.seed)
+        .with_kernel(kernel)
+        .build();
+    let start = Instant::now();
+    net.run_cycles(w.cycles);
+    let secs = start.elapsed().as_secs_f64();
+    net.drain(w.cycles);
+    (secs, net.element_steps(), net.report())
+}
+
+fn measure(w: &Workload) -> Measurement {
+    let mut best = [f64::INFINITY; 2];
+    let mut steps = [0; 2];
+    let mut reports = [None, None];
+    let mut ratios = Vec::with_capacity(REPS);
+    // One untimed warm-up rep (page-in, branch training), then REPS timed
+    // reps with the kernels interleaved so load spikes bias neither.
+    for rep in 0..=REPS {
+        let mut secs = [0.0; 2];
+        for (slot, kernel) in [SimKernel::Dense, SimKernel::EventDriven]
+            .into_iter()
+            .enumerate()
+        {
+            let (elapsed, visits, report) = run_once(w, kernel);
+            secs[slot] = elapsed.max(1e-9);
+            if rep > 0 {
+                best[slot] = best[slot].min(secs[slot]);
+            }
+            steps[slot] = visits;
+            reports[slot] = Some(report);
+        }
+        if rep > 0 {
+            ratios.push(secs[0] / secs[1]);
+        }
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "{}: the event-driven kernel diverged from the dense oracle",
+        w.name
+    );
+    ratios.sort_by(f64::total_cmp);
+    Measurement {
+        name: w.name,
+        ports: w.ports,
+        cycles: w.cycles,
+        dense_cps: w.cycles as f64 / best[0],
+        event_cps: w.cycles as f64 / best[1],
+        dense_steps: steps[0],
+        event_steps: steps[1],
+        speedup: ratios[ratios.len() / 2],
+    }
+}
+
+fn to_json(results: &[Measurement]) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("schema_version".to_owned(), JsonValue::Num(1.0)),
+        ("suite".to_owned(), JsonValue::Str("sim_kernel".to_owned())),
+        (
+            "workloads".to_owned(),
+            JsonValue::Arr(
+                results
+                    .iter()
+                    .map(|m| {
+                        JsonValue::Obj(vec![
+                            ("name".to_owned(), JsonValue::Str(m.name.to_owned())),
+                            ("ports".to_owned(), JsonValue::Num(m.ports as f64)),
+                            ("cycles".to_owned(), JsonValue::Num(m.cycles as f64)),
+                            (
+                                "dense_cycles_per_sec".to_owned(),
+                                JsonValue::Num(m.dense_cps),
+                            ),
+                            (
+                                "event_cycles_per_sec".to_owned(),
+                                JsonValue::Num(m.event_cps),
+                            ),
+                            (
+                                "dense_element_steps".to_owned(),
+                                JsonValue::Num(m.dense_steps as f64),
+                            ),
+                            (
+                                "event_element_steps".to_owned(),
+                                JsonValue::Num(m.event_steps as f64),
+                            ),
+                            ("speedup".to_owned(), JsonValue::Num(m.speedup())),
+                            ("work_ratio".to_owned(), JsonValue::Num(m.work_ratio())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Extracts `name -> speedup` pairs from a baseline document.
+fn baseline_speedups(doc: &JsonValue) -> Vec<(String, f64)> {
+    doc.get("workloads")
+        .and_then(JsonValue::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|w| {
+                    let name = w.get("name")?.as_str()?.to_owned();
+                    let speedup = w.get("speedup")?.as_f64()?;
+                    Some((name, speedup))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut baseline_path = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
+            other => {
+                eprintln!("usage: sim_bench [--out FILE] [--baseline FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results: Vec<Measurement> = workloads().iter().map(measure).collect();
+
+    println!("workload   ports   dense c/s     event c/s   speedup  work-ratio");
+    for m in &results {
+        println!(
+            "{:<9} {:>5} {:>11.0} {:>13.0} {:>8.2}x {:>10.1}x",
+            m.name,
+            m.ports,
+            m.dense_cps,
+            m.event_cps,
+            m.speedup(),
+            m.work_ratio()
+        );
+    }
+
+    let mut failed = false;
+
+    // Tentpole gates: the event kernel must exploit idleness and must not
+    // regress under saturation.
+    for m in &results {
+        // Exact, noise-free: the event kernel may never visit more
+        // elements than the dense scan on any workload.
+        if m.event_steps > m.dense_steps {
+            eprintln!(
+                "GATE FAIL: {} event kernel visited {} elements vs dense {}",
+                m.name, m.event_steps, m.dense_steps
+            );
+            failed = true;
+        }
+        let (min, floor) = match m.name {
+            "idle64" => (IDLE64_MIN_SPEEDUP, IDLE64_MIN_SPEEDUP),
+            "uniform16" | "uniform64" => {
+                (UNIFORM_MIN_SPEEDUP, UNIFORM_MIN_SPEEDUP * (1.0 - JITTER))
+            }
+            _ => continue,
+        };
+        if m.speedup() < floor {
+            eprintln!(
+                "GATE FAIL: {} speedup {:.2}x below required {min:.1}x \
+                 (jitter-adjusted floor {floor:.2}x)",
+                m.name,
+                m.speedup()
+            );
+            failed = true;
+        }
+    }
+
+    // Baseline comparison on the hardware-independent speedup ratio.
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match JsonValue::parse(&text) {
+                Ok(doc) => {
+                    for (name, base) in baseline_speedups(&doc) {
+                        let Some(m) = results.iter().find(|m| m.name == name) else {
+                            eprintln!("BASELINE WARN: workload {name:?} no longer measured");
+                            continue;
+                        };
+                        let now = m.speedup();
+                        if now < base * (1.0 - TOLERANCE) {
+                            eprintln!(
+                                "BASELINE FAIL: {name} speedup {now:.2}x regressed more than \
+                                 {:.0}% below baseline {base:.2}x",
+                                TOLERANCE * 100.0
+                            );
+                            failed = true;
+                        } else if now > base * (1.0 + TOLERANCE) {
+                            eprintln!(
+                                "BASELINE WARN: {name} speedup {now:.2}x improved more than \
+                                 {:.0}% over baseline {base:.2}x — refresh BENCH_sim.json \
+                                 (rerun with --out BENCH_sim.json and commit)",
+                                TOLERANCE * 100.0
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("BASELINE FAIL: cannot parse {path:?}: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("BASELINE FAIL: cannot read {path:?}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, to_json(&results).to_pretty() + "\n") {
+            eprintln!("cannot write {path:?}: {e}");
+            std::process::exit(2);
+        }
+        println!("results written to {path}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench-gate: PASS (reports bit-identical across kernels)");
+}

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies needed for a
 //! handful of subcommands of `--key value` flags).
 
-use icnoc_sim::{FaultRates, TrafficPattern};
+use icnoc_sim::{FaultRates, SimKernel, TrafficPattern};
 use icnoc_topology::{PortId, TreeKind};
 
 /// A parse or validation failure, with a user-facing message.
@@ -93,8 +93,10 @@ pub enum Command {
         vcd: Option<String>,
         /// Print the stall diagnosis (flit-holding elements) after the run.
         diagnose: bool,
-        /// Fault-injection spec (see [`parse_fault_spec`]), if any.
+        /// Fault-injection spec (see `parse_fault_spec`), if any.
         faults: Option<FaultSpec>,
+        /// Stepping kernel (`event` default; `dense` is the oracle).
+        kernel: SimKernel,
     },
     /// Run a counter-traced simulation and export per-element utilisation
     /// and per-flow latency percentiles.
@@ -115,6 +117,8 @@ pub enum Command {
         format: StatsFormat,
         /// Write the export here instead of printing it.
         out: Option<String>,
+        /// Stepping kernel (`event` default; `dense` is the oracle).
+        kernel: SimKernel,
     },
     /// Run an event-traced simulation and dump the trailing flit-lifecycle
     /// events.
@@ -135,6 +139,8 @@ pub enum Command {
         limit: usize,
         /// Also write a VCD waveform of the first `cycles.min(200)` cycles.
         vcd: Option<String>,
+        /// Stepping kernel (`event` default; `dense` is the oracle).
+        kernel: SimKernel,
     },
     /// Monte-Carlo yield analysis.
     Yield {
@@ -189,6 +195,8 @@ pub enum Command {
         packet_len: u32,
         /// What to inject.
         spec: FaultSpec,
+        /// Stepping kernel (`event` default; `dense` is the oracle).
+        kernel: SimKernel,
     },
     /// Print usage.
     Help,
@@ -247,6 +255,7 @@ impl Cli {
                     Some(spec) => Some(parse_fault_spec(&spec)?),
                     None => None,
                 },
+                kernel: flags.take_kernel()?,
             },
             "stats" => Command::Stats {
                 build: flags.build_opts()?,
@@ -268,6 +277,7 @@ impl Cli {
                     }
                 },
                 out: flags.take_opt_string("out"),
+                kernel: flags.take_kernel()?,
             },
             "trace" => {
                 let capacity = flags.take_usize("capacity", 4_096)?;
@@ -283,6 +293,7 @@ impl Cli {
                     capacity,
                     limit: flags.take_usize("limit", 40)?,
                     vcd: flags.take_opt_string("vcd"),
+                    kernel: flags.take_kernel()?,
                 }
             }
             "yield" => Command::Yield {
@@ -317,6 +328,7 @@ impl Cli {
                 seed: flags.take_u64("seed", 42)?,
                 packet_len: flags.take_usize("packet-len", 1)? as u32,
                 spec: parse_fault_spec(&flags.take_string("spec", "soak"))?,
+                kernel: flags.take_kernel()?,
             },
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(CliError(format!("unknown subcommand {other:?}; try help"))),
@@ -506,6 +518,13 @@ impl Flags {
 
     fn take_usize(&mut self, name: &str, default: usize) -> Result<usize, CliError> {
         self.take_u64(name, default as u64).map(|v| v as usize)
+    }
+
+    fn take_kernel(&mut self) -> Result<SimKernel, CliError> {
+        match self.take_opt_string("kernel") {
+            None => Ok(SimKernel::default()),
+            Some(v) => SimKernel::parse(&v).map_err(CliError),
+        }
     }
 
     fn take_bool(&mut self, name: &str) -> Result<bool, CliError> {
@@ -787,6 +806,36 @@ mod tests {
         let cli = Cli::parse(["explore", "--resume"]).expect("parses");
         assert!(matches!(cli.command, Command::Explore { resume: true, .. }));
         assert!(Cli::parse(["explore", "--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_selects_the_stepper() {
+        let cli = Cli::parse(["sim", "--kernel", "dense"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Sim {
+                kernel: SimKernel::Dense,
+                ..
+            }
+        ));
+        // The event kernel is the default, under either spelling.
+        let cli = Cli::parse(["sim"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Sim {
+                kernel: SimKernel::EventDriven,
+                ..
+            }
+        ));
+        let cli = Cli::parse(["stats", "--kernel", "event-driven"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Stats {
+                kernel: SimKernel::EventDriven,
+                ..
+            }
+        ));
+        assert!(Cli::parse(["sim", "--kernel", "sparse"]).is_err());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::args::{BuildOpts, Cli, CliError, Command, FaultSpec, StatsFormat};
 use icnoc::{System, SystemBuilder};
 use icnoc_explore::{run_sweep, GridSpec, ResultCache, SweepOptions, DEFAULT_CACHE_DIR};
-use icnoc_sim::{FaultPlan, Network, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace};
+use icnoc_sim::{
+    FaultPlan, Network, SimKernel, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace,
+};
 use icnoc_timing::{PipelineTimingModel, ProcessVariation};
 use icnoc_units::{Gigahertz, Millimeters};
 use std::fmt::Write as _;
@@ -17,11 +19,11 @@ USAGE:
   icnoc verify [build opts] [--variation 0.3] [--sigma 0.05] [--top 10]
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
-               [--diagnose] [--faults SPEC]
+               [--diagnose] [--faults SPEC] [--kernel event|dense]
   icnoc stats  [build opts] [sim opts] [--format json|csv] [--out stats.json]
   icnoc trace  [build opts] [sim opts] [--capacity 4096] [--limit 40] [--vcd out.vcd]
   icnoc faults [build opts] [--pattern uniform:0.2] [--cycles 10000] [--seed 42]
-               [--packet-len 1] [--spec soak]
+               [--packet-len 1] [--spec soak] [--kernel event|dense]
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
   icnoc explore [--grid SPEC] [--jobs 1] [--cache-dir DIR] [--resume]
@@ -32,7 +34,9 @@ FAULTS:   soak  soak*F  key=rate[,key=rate...] over jitter, spike, corrupt, drop
           stuck, lost, outage, plus window=START:END (ticks)
 GRID:     `;`-separated axes of `name=v1,v2,...` (ranges `lo..hi/n`) over kind,
           ports, die, width, freq (GHz), thalf (ps), corner, pattern, cycles,
-          soak, seed — e.g. \"freq=0.8..1.2/5;corner=nominal,slow30;soak=1\"";
+          soak, seed — e.g. \"freq=0.8..1.2/5;corner=nominal,slow30;soak=1\"
+KERNEL:   event (default, activity-list stepping) or dense (full scan, the
+          differential-testing oracle) — both are bit-identical per seed";
 
 /// Executes `cli`, returning the text to print.
 ///
@@ -77,9 +81,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             vcd,
             diagnose,
             faults,
+            kernel,
         } => {
             let sys = build_system(build)?;
-            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len);
+            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len, *kernel);
             if let Some(spec) = faults {
                 net.enable_faults(fault_plan(&sys, spec, *seed));
             }
@@ -159,9 +164,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             tiles,
             format,
             out,
+            kernel,
         } => {
             let sys = build_system(build)?;
-            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len);
+            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len, *kernel);
             net.enable_counters();
             net.run_cycles(*cycles);
             net.drain((*cycles).max(1_000));
@@ -196,9 +202,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             capacity,
             limit,
             vcd,
+            kernel,
         } => {
             let sys = build_system(build)?;
-            let mut net = build_network(&sys, pattern, None, *seed, *packet_len);
+            let mut net = build_network(&sys, pattern, None, *seed, *packet_len, *kernel);
             net.enable_event_buffer(*capacity);
 
             let mut trace = vcd.as_ref().map(|_| VcdTrace::new(&net));
@@ -287,9 +294,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             seed,
             packet_len,
             spec,
+            kernel,
         } => {
             let sys = build_system(build)?;
-            let mut net = build_network(&sys, pattern, None, *seed, *packet_len);
+            let mut net = build_network(&sys, pattern, None, *seed, *packet_len, *kernel);
             net.enable_faults(fault_plan(&sys, spec, *seed));
             net.run_cycles(*cycles);
             let drained = net.drain_or_diagnose((*cycles).max(1_000).saturating_mul(4));
@@ -396,18 +404,20 @@ fn build_network(
     tiles: Option<(usize, u64)>,
     seed: u64,
     packet_len: u32,
+    kernel: SimKernel,
 ) -> Network {
     let patterns = vec![pattern.clone(); sys.tree().num_ports()];
     let mut net = match tiles {
-        Some((max_outstanding, service_cycles)) => sys.tile_network(
+        Some((max_outstanding, service_cycles)) => sys.tile_network_with_kernel(
             &patterns,
             TileTraffic {
                 max_outstanding,
                 service_cycles,
             },
             seed,
+            kernel,
         ),
-        None => sys.network(&patterns, seed),
+        None => sys.network_with_kernel(&patterns, seed, kernel),
     };
     net.set_packet_length(packet_len);
     net

@@ -35,6 +35,15 @@ impl ClockGatingStats {
         Self::default()
     }
 
+    /// Builds statistics from pre-computed counts — used by simulators
+    /// that track only enabled edges eagerly and derive the gated count
+    /// from elapsed time (an idle stage then costs nothing per edge,
+    /// mirroring the hardware's gated clock).
+    #[must_use]
+    pub fn from_counts(enabled: u64, gated: u64) -> Self {
+        Self { enabled, gated }
+    }
+
     /// Records one active (register-enabled) clock edge.
     pub fn record_enabled(&mut self) {
         self.enabled += 1;

@@ -59,7 +59,7 @@ pub use yield_mc::YieldAnalysis;
 // consume reports without depending on `icnoc_sim` directly.
 pub use icnoc_sim::{
     CountersSink, ElementCounters, ElementUtilisation, FlowLatency, ObservabilityReport,
-    RingBufferSink, TraceEvent, TraceEventKind, TraceSink, TraceTotals,
+    RingBufferSink, SimKernel, TraceEvent, TraceEventKind, TraceSink, TraceTotals,
 };
 
 // One-stop re-exports of the substrate crates so downstream users need a

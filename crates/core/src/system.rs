@@ -2,7 +2,9 @@
 
 use crate::{SystemError, TimingVerification};
 use icnoc_clock::ClockDistribution;
-use icnoc_sim::{FaultPlan, Network, SimReport, TileTraffic, TrafficPattern, TreeNetworkConfig};
+use icnoc_sim::{
+    FaultPlan, Network, SimKernel, SimReport, TileTraffic, TrafficPattern, TreeNetworkConfig,
+};
 use icnoc_timing::{
     Direction, FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel,
 };
@@ -450,6 +452,24 @@ impl System {
     #[must_use]
     #[track_caller]
     pub fn network(&self, patterns: &[TrafficPattern], seed: u64) -> Network {
+        self.network_with_kernel(patterns, seed, SimKernel::default())
+    }
+
+    /// Like [`network`](Self::network), but with an explicit stepping
+    /// [`SimKernel`] — `SimKernel::Dense` selects the oracle scan used for
+    /// differential testing and benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` does not cover every port.
+    #[must_use]
+    #[track_caller]
+    pub fn network_with_kernel(
+        &self,
+        patterns: &[TrafficPattern],
+        seed: u64,
+        kernel: SimKernel,
+    ) -> Network {
         assert_eq!(
             patterns.len(),
             self.tree.num_ports(),
@@ -457,7 +477,8 @@ impl System {
         );
         let mut cfg = TreeNetworkConfig::new(self.tree.clone())
             .with_link_stages_from(&self.plan, self.max_segment)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_kernel(kernel);
         for (i, p) in patterns.iter().enumerate() {
             cfg = cfg.with_port_pattern(icnoc_topology::PortId(i as u32), p.clone());
         }
@@ -492,6 +513,24 @@ impl System {
         tiles: TileTraffic,
         seed: u64,
     ) -> Network {
+        self.tile_network_with_kernel(patterns, tiles, seed, SimKernel::default())
+    }
+
+    /// Like [`tile_network`](Self::tile_network), but with an explicit
+    /// stepping [`SimKernel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` does not cover every port.
+    #[must_use]
+    #[track_caller]
+    pub fn tile_network_with_kernel(
+        &self,
+        patterns: &[TrafficPattern],
+        tiles: TileTraffic,
+        seed: u64,
+        kernel: SimKernel,
+    ) -> Network {
         assert_eq!(
             patterns.len(),
             self.tree.num_ports(),
@@ -500,7 +539,8 @@ impl System {
         let mut cfg = TreeNetworkConfig::new(self.tree.clone())
             .with_link_stages_from(&self.plan, self.max_segment)
             .with_tiles(tiles)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_kernel(kernel);
         for (i, p) in patterns.iter().enumerate() {
             cfg = cfg.with_port_pattern(icnoc_topology::PortId(i as u32), p.clone());
         }

@@ -83,14 +83,22 @@ impl ResultCache {
 }
 
 /// The cache-invalidation salt: crate version plus every report schema
-/// version an outcome embeds.
+/// version an outcome embeds. The `ICNOC_EXPLORE_SALT` environment
+/// variable, when set, is appended verbatim — CI uses it to prove that a
+/// salt change (as a schema bump would cause) re-executes a warm sweep
+/// exactly once.
 fn version_salt() -> String {
-    format!(
+    let mut salt = format!(
         "crate={};sim_schema={};recovery_schema={}",
         env!("CARGO_PKG_VERSION"),
         SimReport::SCHEMA_VERSION,
         RecoveryReport::SCHEMA_VERSION,
-    )
+    );
+    if let Ok(extra) = std::env::var("ICNOC_EXPLORE_SALT") {
+        salt.push_str(";extra=");
+        salt.push_str(&extra);
+    }
+    salt
 }
 
 #[cfg(test)]
@@ -154,5 +162,20 @@ mod tests {
         // The key differs from the raw config hash precisely because of
         // the version salt.
         assert_ne!(ResultCache::key(job), job.stable_hash());
+    }
+
+    #[test]
+    fn salt_embeds_the_current_schema_versions() {
+        // The event-kernel PR bumped the sim schema to 3; the salt must
+        // carry it so every pre-bump cache entry misses.
+        let salt = version_salt();
+        assert!(salt.contains("sim_schema=3"), "{salt}");
+        assert!(
+            salt.contains(&format!(
+                "recovery_schema={}",
+                RecoveryReport::SCHEMA_VERSION
+            )),
+            "{salt}"
+        );
     }
 }

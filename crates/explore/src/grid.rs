@@ -376,8 +376,8 @@ impl JobConfig {
         s
     }
 
-    /// The job's stable 64-bit identity: FNV-1a over [`canonical`]
-    /// (`canonical`: JobConfig::canonical). Used as the per-job simulation
+    /// The job's stable 64-bit identity: FNV-1a over
+    /// [`Self::canonical`]. Used as the per-job simulation
     /// seed, so results depend only on the resolved config — never on
     /// shard order, worker count or crate version.
     #[must_use]

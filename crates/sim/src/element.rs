@@ -172,7 +172,6 @@ pub(crate) struct SourceState {
     pub port: PortId,
     pub pattern: TrafficPattern,
     pub rng: StdRng,
-    pub cycle: u64,
     pub next_seq: u64,
     pub sent: u64,
     pub stalled_edges: u64,
@@ -211,7 +210,6 @@ pub(crate) struct TileState {
     pub port: PortId,
     pub role: TileRole,
     pub rng: StdRng,
-    pub cycle: u64,
     pub next_seq: u64,
     pub sent: u64,
     pub packets_sent: u64,
@@ -235,7 +233,6 @@ pub(crate) struct TileState {
 pub(crate) struct SinkState {
     pub port: PortId,
     pub mode: SinkMode,
-    pub cycle: u64,
 }
 
 /// What an element is.

@@ -37,7 +37,7 @@ use icnoc_units::{Gigahertz, Picoseconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 /// The kinds of fault the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -829,6 +829,15 @@ pub(crate) struct FaultState {
     /// copy that arrives intact *after* the write-off can be reclassified
     /// as recovered instead of staying a phantom loss.
     abandoned: BTreeMap<(u32, u64), u64>,
+    /// Timer event queue: `(due tick, outstanding key)` for every pending
+    /// acknowledgement deadline or scheduled retransmission. [`begin_step`]
+    /// pops elapsed entries instead of polling the whole `outstanding`
+    /// map every edge. Entries are validated lazily against the live
+    /// `Outstanding` state, so re-arming simply inserts a fresh timer and
+    /// lets the stale one fizzle on pop.
+    ///
+    /// [`begin_step`]: FaultState::begin_step
+    timers: BTreeSet<(u64, (u32, u64))>,
     ledger: Ledger,
 }
 
@@ -870,6 +879,7 @@ impl FaultState {
             delivered: HashSet::new(),
             ready: BTreeMap::new(),
             abandoned: BTreeMap::new(),
+            timers: BTreeSet::new(),
             ledger: Ledger::default(),
         }
     }
@@ -885,6 +895,13 @@ impl FaultState {
             .get(element)
             .copied()
             .unwrap_or(self.plan.rates)
+    }
+
+    /// The outage probability of `element`. The event kernel pins stages
+    /// with a nonzero rate: their outage roll consumes the shared fault
+    /// RNG on every active edge, so they must never be left asleep.
+    pub(crate) fn outage_rate(&self, element: usize) -> f64 {
+        self.rates(element).outage
     }
 
     /// A rate roll that consumes randomness only for nonzero rates, so a
@@ -912,40 +929,80 @@ impl FaultState {
 
     // ----- per-step hooks -------------------------------------------------
 
+    /// Arms the timer queue for `key`'s next scheduled action.
+    fn arm_timer(&mut self, key: (u32, u64), due: u64) {
+        self.timers.insert((due, key));
+    }
+
     /// Runs the per-edge recovery machinery: DFS creep-up bookkeeping,
-    /// acknowledgement timeouts, and retransmission scheduling.
-    pub(crate) fn begin_step(&mut self, tick: u64) {
+    /// acknowledgement timeouts, and retransmission scheduling. Timer
+    /// wakeups are *enqueued* (a `BTreeSet` keyed by due tick), so an edge
+    /// with nothing due costs one head peek instead of a scan over every
+    /// un-acknowledged flit.
+    ///
+    /// Returns the source ports for which a retransmission was queued this
+    /// edge, so an event-driven stepper can wake the matching injectors.
+    pub(crate) fn begin_step(&mut self, tick: u64) -> Vec<u32> {
         self.dfs.on_edge(tick);
-        if self.outstanding.is_empty() {
-            return;
+        if self.timers.first().is_none_or(|&(due, _)| due > tick) {
+            return Vec::new();
         }
+        // Pop every elapsed timer, dropping stale entries (the flit
+        // resolved, or was re-armed to a different due tick since).
+        let mut fired: Vec<(u32, u64)> = Vec::new();
+        while let Some(&(due, key)) = self.timers.first() {
+            if due > tick {
+                break;
+            }
+            self.timers.remove(&(due, key));
+            let Some(entry) = self.outstanding.get(&key) else {
+                continue;
+            };
+            if entry.retx_due.unwrap_or(entry.deadline) != due {
+                continue;
+            }
+            fired.push(key);
+        }
+        // Process in key order — the same order the former dense poll
+        // walked the `outstanding` map — so ready-queue contents (and with
+        // them every downstream report) stay bit-identical.
+        fired.sort_unstable();
+        fired.dedup();
         let max_retries = self.plan.max_retries;
         let timeout = self.plan.timeout_edges;
         let base = self.plan.backoff_base_edges;
         let mut drops_detected = 0u64;
         let mut retx: Vec<Flit> = Vec::new();
         let mut abandoned: Vec<(u32, u64)> = Vec::new();
-        for (key, entry) in &mut self.outstanding {
-            if let Some(due) = entry.retx_due {
-                if tick >= due {
-                    // Back-off elapsed: materialise the retransmission.
-                    entry.attempts += 1;
-                    entry.retx_due = None;
-                    entry.deadline = tick + timeout;
-                    retx.push(entry.flit.as_retry(entry.attempts.min(255) as u8));
-                }
-            } else if tick >= entry.deadline {
+        let mut rearm: Vec<((u32, u64), u64)> = Vec::new();
+        for key in fired {
+            let entry = self.outstanding.get_mut(&key).expect("validated above");
+            if entry.retx_due.is_some() {
+                // Back-off elapsed: materialise the retransmission.
+                entry.attempts += 1;
+                entry.retx_due = None;
+                entry.deadline = tick + timeout;
+                retx.push(entry.flit.as_retry(entry.attempts.min(255) as u8));
+                rearm.push((key, entry.deadline));
+            } else {
                 // No acknowledgement: presume the flit dropped.
                 drops_detected += 1;
                 if entry.attempts >= max_retries {
-                    abandoned.push(*key);
+                    abandoned.push(key);
                 } else {
                     let delay = base.saturating_mul(1u64 << entry.attempts.min(10));
                     entry.retx_due = Some(tick + delay);
+                    rearm.push((key, tick + delay));
                 }
             }
         }
+        for (key, due) in rearm {
+            self.arm_timer(key, due);
+        }
         self.ledger.drops_detected += drops_detected;
+        let mut woken: Vec<u32> = retx.iter().map(|f| f.src.0).collect();
+        woken.sort_unstable();
+        woken.dedup();
         for flit in retx {
             self.ready.entry(flit.src.0).or_default().push_back(flit);
         }
@@ -956,6 +1013,7 @@ impl FaultState {
                 self.abandoned.insert(key, entry.faults);
             }
         }
+        woken
     }
 
     /// Whether element `i` is frozen this edge (possibly starting a new
@@ -1105,16 +1163,19 @@ impl FaultState {
 
     /// Registers a freshly injected flit with the acknowledgement tracker.
     pub(crate) fn register_injection(&mut self, flit: &Flit, tick: u64) {
+        let key = (flit.src.0, flit.seq);
+        let deadline = tick + self.plan.timeout_edges;
         self.outstanding.insert(
-            (flit.src.0, flit.seq),
+            key,
             Outstanding {
                 flit: *flit,
-                deadline: tick + self.plan.timeout_edges,
+                deadline,
                 attempts: 0,
                 faults: 0,
                 retx_due: None,
             },
         );
+        self.arm_timer(key, deadline);
     }
 
     /// The consumer-side gate: CRC/identity check, duplicate filtering,
@@ -1147,7 +1208,9 @@ impl FaultState {
                         self.ledger.flits_abandoned += 1;
                         self.abandoned.insert(key, entry.faults);
                     } else {
-                        entry.retx_due = Some(tick + delay.unwrap_or(0));
+                        let due = tick + delay.unwrap_or(0);
+                        entry.retx_due = Some(due);
+                        self.arm_timer(key, due);
                     }
                 }
             }
@@ -1179,10 +1242,13 @@ impl FaultState {
         let queue = self.ready.get_mut(&port)?;
         let flit = queue.pop_front()?;
         self.ledger.retransmissions += 1;
-        if let Some(entry) = self.outstanding.get_mut(&(flit.src.0, flit.seq)) {
+        let key = (flit.src.0, flit.seq);
+        let deadline = tick + self.plan.timeout_edges;
+        if let Some(entry) = self.outstanding.get_mut(&key) {
             // The queue wait may have eaten into the timeout; re-arm it
             // from the actual injection tick.
-            entry.deadline = tick + self.plan.timeout_edges;
+            entry.deadline = deadline;
+            self.arm_timer(key, deadline);
         }
         Some(flit)
     }

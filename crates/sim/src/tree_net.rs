@@ -8,7 +8,9 @@
 //! polarity follows the forwarded, per-link-inverted clock.
 
 use crate::element::TileRole;
-use crate::{Arbitration, ElementId, FaultPlan, Network, RouteFilter, SinkMode, TrafficPattern};
+use crate::{
+    Arbitration, ElementId, FaultPlan, Network, RouteFilter, SimKernel, SinkMode, TrafficPattern,
+};
 use icnoc_clock::ClockPolarity;
 use icnoc_topology::{Floorplan, NodeId, PortId, TreeTopology};
 use icnoc_units::Millimeters;
@@ -43,6 +45,7 @@ pub struct TreeNetworkConfig {
     counters: bool,
     event_buffer: Option<usize>,
     faults: Option<FaultPlan>,
+    kernel: SimKernel,
 }
 
 /// Closed-loop tile configuration: processors (even ports) issue requests
@@ -77,6 +80,7 @@ impl TreeNetworkConfig {
             counters: false,
             event_buffer: None,
             faults: None,
+            kernel: SimKernel::default(),
         }
     }
 
@@ -208,6 +212,15 @@ impl TreeNetworkConfig {
         self
     }
 
+    /// Selects the stepping kernel of the built network (see
+    /// [`SimKernel`]). Defaults to the event-driven kernel; the dense scan
+    /// is retained as a differential-testing oracle.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SimKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Builds the runnable [`Network`].
     #[must_use]
     pub fn build(self) -> Network {
@@ -215,7 +228,9 @@ impl TreeNetworkConfig {
         let counters = self.counters;
         let event_buffer = self.event_buffer;
         let faults = self.faults.clone();
+        let kernel = self.kernel;
         let mut net = Builder::new(self).build();
+        net.set_kernel(kernel);
         net.set_packet_length(packet_len);
         if counters {
             net.enable_counters();
