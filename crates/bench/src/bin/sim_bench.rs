@@ -1,28 +1,38 @@
 //! The simulation-kernel perf suite behind CI's `bench-gate` job.
 //!
 //! Runs a fixed workload matrix — idle-heavy, saturated-uniform and
-//! hotspot traffic at 16 and 64 ports — under both stepping kernels,
-//! asserts the reports are **bit-identical** (the dense scan is the
-//! oracle), and measures the event-driven kernel's speedup.
+//! hotspot traffic at 16 and 64 ports, plus the `soak256` large-fabric
+//! soak — under all three stepping kernels, asserts the reports are
+//! **bit-identical** (the dense scan is the oracle), and measures the
+//! event-driven kernel's speedup over dense and the parallel kernel's
+//! speedup over event.
 //!
 //! ```text
 //! cargo run --release -p icnoc-bench --bin sim_bench                 # print table
 //! cargo run --release -p icnoc-bench --bin sim_bench -- --out BENCH_sim.json
 //! cargo run --release -p icnoc-bench --bin sim_bench -- --out new.json \
-//!     --baseline BENCH_sim.json                                      # CI gate
+//!     --baseline BENCH_sim.json --workers 2                           # CI gate
 //! ```
 //!
 //! Gating policy (exit 1 on violation):
-//! * reports must match between kernels on every workload;
-//! * the event kernel must never visit more elements than the dense scan
-//!   (exact, deterministic — the real no-regression guarantee);
+//! * reports must match between all kernels on every workload;
+//! * the event kernel must never visit more elements than the dense scan,
+//!   and the parallel kernel must visit **exactly** as many as the event
+//!   kernel (exact, deterministic — the real no-regression guarantees);
 //! * the idle-heavy 64-port speedup must stay ≥ 3×, the saturated
 //!   uniform speedups at parity (≥ 1× modulo a 10% wall-clock jitter
-//!   allowance) — the tentpole targets;
-//! * with `--baseline`, each workload's speedup must stay within −20%
-//!   of the committed baseline (regression fails; an improvement beyond
-//!   +20% warns to refresh the baseline). Speedup is a same-machine
-//!   ratio of the two kernels, so the comparison is hardware-independent.
+//!   allowance) — the event-kernel tentpole targets;
+//! * on `soak256`, the parallel kernel must reach ≥ 2× over the event
+//!   kernel — enforced only when both the requested worker count and the
+//!   host's core count are ≥ 8, since the speedup is bounded by physical
+//!   parallelism (on smaller hosts the measurement is still recorded);
+//! * with `--baseline`, each workload's event-vs-dense speedup must stay
+//!   within −20% of the committed baseline (regression fails; an
+//!   improvement beyond +20% warns to refresh the baseline). That ratio
+//!   is same-machine and hardware-independent. Parallel speedups are
+//!   compared the same way, but only when the baseline was recorded with
+//!   the same worker count on a host with the same core count — across
+//!   different hardware the ratio legitimately differs.
 
 use icnoc_explore::JsonValue;
 use icnoc_sim::{SimKernel, TrafficPattern, TreeNetworkConfig};
@@ -33,6 +43,12 @@ use std::time::Instant;
 const TOLERANCE: f64 = 0.20;
 /// Required event-vs-dense speedup on the idle-heavy 64-port workload.
 const IDLE64_MIN_SPEEDUP: f64 = 3.0;
+/// Required parallel-vs-event speedup on `soak256`, enforced only when
+/// `--workers` and the host core count both reach
+/// [`PARALLEL_GATE_MIN_CORES`].
+const SOAK256_MIN_PAR_SPEEDUP: f64 = 2.0;
+/// Physical-parallelism threshold for the `soak256` floor.
+const PARALLEL_GATE_MIN_CORES: usize = 8;
 /// Required speedup (no regression) on saturated uniform traffic. Even
 /// fully saturated, backpressure keeps much of the fabric blocked-waiting
 /// and the capture-notification wakeups let those elements sleep, so the
@@ -103,6 +119,16 @@ fn workloads() -> Vec<Workload> {
         cycles: 4_000,
         seed: 13,
     };
+    let soak = Workload {
+        name: "soak256",
+        ports: 256,
+        // A large fabric under steady mid-rate load: enough elements per
+        // tick that the parallel kernel's shard fan-out has real work to
+        // amortise its barrier against.
+        pattern: TrafficPattern::Uniform { rate: 0.3 },
+        cycles: 1_500,
+        seed: 17,
+    };
     vec![
         idle(16),
         idle(64),
@@ -110,6 +136,7 @@ fn workloads() -> Vec<Workload> {
         uniform(64),
         hotspot(16),
         hotspot(64),
+        soak,
     ]
 }
 
@@ -119,13 +146,17 @@ struct Measurement {
     cycles: u64,
     dense_cps: f64,
     event_cps: f64,
+    par_cps: f64,
     dense_steps: u64,
     event_steps: u64,
-    /// Median of the per-rep `dense_secs / event_secs` ratios. The two
+    par_steps: u64,
+    /// Median of the per-rep `dense_secs / event_secs` ratios. The
     /// kernels run back-to-back inside each rep, so a load spike hits
-    /// both and cancels out of the ratio — far more stable than the
-    /// ratio of the best-of-rep throughputs.
+    /// all of them and cancels out of the ratio — far more stable than
+    /// the ratio of the best-of-rep throughputs.
     speedup: f64,
+    /// Median of the per-rep `event_secs / parallel_secs` ratios.
+    par_speedup: f64,
 }
 
 impl Measurement {
@@ -155,18 +186,23 @@ fn run_once(w: &Workload, kernel: SimKernel) -> (f64, u64, icnoc_sim::SimReport)
     (secs, net.element_steps(), net.report())
 }
 
-fn measure(w: &Workload) -> Measurement {
-    let mut best = [f64::INFINITY; 2];
-    let mut steps = [0; 2];
-    let mut reports = [None, None];
+fn measure(w: &Workload, workers: u32) -> Measurement {
+    let mut best = [f64::INFINITY; 3];
+    let mut steps = [0; 3];
+    let mut reports = [None, None, None];
     let mut ratios = Vec::with_capacity(REPS);
+    let mut par_ratios = Vec::with_capacity(REPS);
     // One untimed warm-up rep (page-in, branch training), then REPS timed
-    // reps with the kernels interleaved so load spikes bias neither.
+    // reps with the kernels interleaved so load spikes bias none of them.
     for rep in 0..=REPS {
-        let mut secs = [0.0; 2];
-        for (slot, kernel) in [SimKernel::Dense, SimKernel::EventDriven]
-            .into_iter()
-            .enumerate()
+        let mut secs = [0.0; 3];
+        for (slot, kernel) in [
+            SimKernel::Dense,
+            SimKernel::EventDriven,
+            SimKernel::Parallel { workers },
+        ]
+        .into_iter()
+        .enumerate()
         {
             let (elapsed, visits, report) = run_once(w, kernel);
             secs[slot] = elapsed.max(1e-9);
@@ -178,6 +214,7 @@ fn measure(w: &Workload) -> Measurement {
         }
         if rep > 0 {
             ratios.push(secs[0] / secs[1]);
+            par_ratios.push(secs[1] / secs[2]);
         }
     }
     assert_eq!(
@@ -185,23 +222,34 @@ fn measure(w: &Workload) -> Measurement {
         "{}: the event-driven kernel diverged from the dense oracle",
         w.name
     );
+    assert_eq!(
+        reports[1], reports[2],
+        "{}: the parallel kernel diverged from the event kernel",
+        w.name
+    );
     ratios.sort_by(f64::total_cmp);
+    par_ratios.sort_by(f64::total_cmp);
     Measurement {
         name: w.name,
         ports: w.ports,
         cycles: w.cycles,
         dense_cps: w.cycles as f64 / best[0],
         event_cps: w.cycles as f64 / best[1],
+        par_cps: w.cycles as f64 / best[2],
         dense_steps: steps[0],
         event_steps: steps[1],
+        par_steps: steps[2],
         speedup: ratios[ratios.len() / 2],
+        par_speedup: par_ratios[par_ratios.len() / 2],
     }
 }
 
-fn to_json(results: &[Measurement]) -> JsonValue {
+fn to_json(results: &[Measurement], workers: u32, host_cores: usize) -> JsonValue {
     JsonValue::Obj(vec![
-        ("schema_version".to_owned(), JsonValue::Num(1.0)),
+        ("schema_version".to_owned(), JsonValue::Num(2.0)),
         ("suite".to_owned(), JsonValue::Str("sim_kernel".to_owned())),
+        ("workers".to_owned(), JsonValue::Num(f64::from(workers))),
+        ("host_cores".to_owned(), JsonValue::Num(host_cores as f64)),
         (
             "workloads".to_owned(),
             JsonValue::Arr(
@@ -221,6 +269,10 @@ fn to_json(results: &[Measurement]) -> JsonValue {
                                 JsonValue::Num(m.event_cps),
                             ),
                             (
+                                "parallel_cycles_per_sec".to_owned(),
+                                JsonValue::Num(m.par_cps),
+                            ),
+                            (
                                 "dense_element_steps".to_owned(),
                                 JsonValue::Num(m.dense_steps as f64),
                             ),
@@ -228,7 +280,12 @@ fn to_json(results: &[Measurement]) -> JsonValue {
                                 "event_element_steps".to_owned(),
                                 JsonValue::Num(m.event_steps as f64),
                             ),
+                            (
+                                "parallel_element_steps".to_owned(),
+                                JsonValue::Num(m.par_steps as f64),
+                            ),
                             ("speedup".to_owned(), JsonValue::Num(m.speedup())),
+                            ("parallel_speedup".to_owned(), JsonValue::Num(m.par_speedup)),
                             ("work_ratio".to_owned(), JsonValue::Num(m.work_ratio())),
                         ])
                     })
@@ -238,8 +295,9 @@ fn to_json(results: &[Measurement]) -> JsonValue {
     ])
 }
 
-/// Extracts `name -> speedup` pairs from a baseline document.
-fn baseline_speedups(doc: &JsonValue) -> Vec<(String, f64)> {
+/// Extracts `name -> (speedup, parallel_speedup)` from a baseline
+/// document. `parallel_speedup` is `None` for schema-1 baselines.
+fn baseline_speedups(doc: &JsonValue) -> Vec<(String, f64, Option<f64>)> {
     doc.get("workloads")
         .and_then(JsonValue::as_arr)
         .map(|arr| {
@@ -247,40 +305,65 @@ fn baseline_speedups(doc: &JsonValue) -> Vec<(String, f64)> {
                 .filter_map(|w| {
                     let name = w.get("name")?.as_str()?.to_owned();
                     let speedup = w.get("speedup")?.as_f64()?;
-                    Some((name, speedup))
+                    let par = w.get("parallel_speedup").and_then(JsonValue::as_f64);
+                    Some((name, speedup, par))
                 })
                 .collect()
         })
         .unwrap_or_default()
 }
 
+/// Whether a baseline's parallel speedups are comparable to this run:
+/// same requested worker count, same host core count. Across differing
+/// hardware the ratio legitimately changes, so the gate skips it.
+fn parallel_baseline_comparable(doc: &JsonValue, workers: u32, host_cores: usize) -> bool {
+    let base_workers = doc.get("workers").and_then(JsonValue::as_f64);
+    let base_cores = doc.get("host_cores").and_then(JsonValue::as_f64);
+    base_workers == Some(f64::from(workers)) && base_cores == Some(host_cores as f64)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = None;
     let mut baseline_path = None;
+    let mut workers: u32 = 2;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => out_path = it.next().cloned(),
             "--baseline" => baseline_path = it.next().cloned(),
+            "--workers" => {
+                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers expects an integer");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("usage: sim_bench [--out FILE] [--baseline FILE] (got {other:?})");
+                eprintln!(
+                    "usage: sim_bench [--out FILE] [--baseline FILE] [--workers N] (got {other:?})"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let results: Vec<Measurement> = workloads().iter().map(measure).collect();
+    let results: Vec<Measurement> = workloads().iter().map(|w| measure(w, workers)).collect();
 
-    println!("workload   ports   dense c/s     event c/s   speedup  work-ratio");
+    println!(
+        "workers: {workers} requested, {host_cores} host core(s)\n\
+         workload   ports   dense c/s     event c/s      par c/s   speedup  par-speedup  work-ratio"
+    );
     for m in &results {
         println!(
-            "{:<9} {:>5} {:>11.0} {:>13.0} {:>8.2}x {:>10.1}x",
+            "{:<9} {:>5} {:>11.0} {:>13.0} {:>12.0} {:>8.2}x {:>11.2}x {:>10.1}x",
             m.name,
             m.ports,
             m.dense_cps,
             m.event_cps,
+            m.par_cps,
             m.speedup(),
+            m.par_speedup,
             m.work_ratio()
         );
     }
@@ -288,7 +371,8 @@ fn main() {
     let mut failed = false;
 
     // Tentpole gates: the event kernel must exploit idleness and must not
-    // regress under saturation.
+    // regress under saturation; the parallel kernel must do exactly the
+    // event kernel's work.
     for m in &results {
         // Exact, noise-free: the event kernel may never visit more
         // elements than the dense scan on any workload.
@@ -298,6 +382,33 @@ fn main() {
                 m.name, m.event_steps, m.dense_steps
             );
             failed = true;
+        }
+        // Equally exact: the parallel kernel's visit set is the event
+        // kernel's, tick for tick.
+        if m.par_steps != m.event_steps {
+            eprintln!(
+                "GATE FAIL: {} parallel kernel visited {} elements vs event {}",
+                m.name, m.par_steps, m.event_steps
+            );
+            failed = true;
+        }
+        if m.name == "soak256" {
+            if workers as usize >= PARALLEL_GATE_MIN_CORES && host_cores >= PARALLEL_GATE_MIN_CORES
+            {
+                if m.par_speedup < SOAK256_MIN_PAR_SPEEDUP {
+                    eprintln!(
+                        "GATE FAIL: soak256 parallel speedup {:.2}x below required \
+                         {SOAK256_MIN_PAR_SPEEDUP:.1}x at {workers} workers on {host_cores} cores",
+                        m.par_speedup
+                    );
+                    failed = true;
+                }
+            } else {
+                println!(
+                    "soak256 parallel floor skipped: needs >= {PARALLEL_GATE_MIN_CORES} workers \
+                     and cores (have {workers} workers, {host_cores} core(s))"
+                );
+            }
         }
         let (min, floor) = match m.name {
             "idle64" => (IDLE64_MIN_SPEEDUP, IDLE64_MIN_SPEEDUP),
@@ -317,31 +428,45 @@ fn main() {
         }
     }
 
-    // Baseline comparison on the hardware-independent speedup ratio.
+    // Baseline comparison on the hardware-independent speedup ratios.
     if let Some(path) = &baseline_path {
         match std::fs::read_to_string(path) {
             Ok(text) => match JsonValue::parse(&text) {
                 Ok(doc) => {
-                    for (name, base) in baseline_speedups(&doc) {
+                    let par_comparable = parallel_baseline_comparable(&doc, workers, host_cores);
+                    if !par_comparable {
+                        println!(
+                            "baseline parallel speedups recorded on different hardware or \
+                             worker count — comparing event-vs-dense speedups only"
+                        );
+                    }
+                    for (name, base, base_par) in baseline_speedups(&doc) {
                         let Some(m) = results.iter().find(|m| m.name == name) else {
                             eprintln!("BASELINE WARN: workload {name:?} no longer measured");
                             continue;
                         };
-                        let now = m.speedup();
-                        if now < base * (1.0 - TOLERANCE) {
-                            eprintln!(
-                                "BASELINE FAIL: {name} speedup {now:.2}x regressed more than \
-                                 {:.0}% below baseline {base:.2}x",
-                                TOLERANCE * 100.0
-                            );
-                            failed = true;
-                        } else if now > base * (1.0 + TOLERANCE) {
-                            eprintln!(
-                                "BASELINE WARN: {name} speedup {now:.2}x improved more than \
-                                 {:.0}% over baseline {base:.2}x — refresh BENCH_sim.json \
-                                 (rerun with --out BENCH_sim.json and commit)",
-                                TOLERANCE * 100.0
-                            );
+                        let mut pairs = vec![("speedup", m.speedup(), base)];
+                        if par_comparable {
+                            if let Some(bp) = base_par {
+                                pairs.push(("parallel_speedup", m.par_speedup, bp));
+                            }
+                        }
+                        for (what, now, base) in pairs {
+                            if now < base * (1.0 - TOLERANCE) {
+                                eprintln!(
+                                    "BASELINE FAIL: {name} {what} {now:.2}x regressed more than \
+                                     {:.0}% below baseline {base:.2}x",
+                                    TOLERANCE * 100.0
+                                );
+                                failed = true;
+                            } else if now > base * (1.0 + TOLERANCE) {
+                                eprintln!(
+                                    "BASELINE WARN: {name} {what} {now:.2}x improved more than \
+                                     {:.0}% over baseline {base:.2}x — refresh BENCH_sim.json \
+                                     (rerun with --out BENCH_sim.json and commit)",
+                                    TOLERANCE * 100.0
+                                );
+                            }
                         }
                     }
                 }
@@ -358,7 +483,10 @@ fn main() {
     }
 
     if let Some(path) = &out_path {
-        if let Err(e) = std::fs::write(path, to_json(&results).to_pretty() + "\n") {
+        if let Err(e) = std::fs::write(
+            path,
+            to_json(&results, workers, host_cores).to_pretty() + "\n",
+        ) {
             eprintln!("cannot write {path:?}: {e}");
             std::process::exit(2);
         }

@@ -169,8 +169,11 @@ pub enum Command {
         /// [`icnoc_explore::GridSpec::parse`]). Empty = the demonstrator
         /// point.
         grid: String,
-        /// Worker threads.
+        /// Worker threads (jobs run concurrently).
         jobs: usize,
+        /// Simulate each job with the parallel kernel at this worker
+        /// count (`0` = one per core); `None` keeps the default kernel.
+        workers: Option<u32>,
         /// Result-cache directory, if caching was requested.
         cache_dir: Option<String>,
         /// Whether `--resume` selected the default cache directory.
@@ -315,6 +318,12 @@ impl Cli {
                 Command::Explore {
                     grid: flags.take_string("grid", ""),
                     jobs,
+                    workers: match flags.take_opt_string("workers") {
+                        None => None,
+                        Some(v) => Some(v.parse().map_err(|_| {
+                            CliError(format!("--workers expects an integer, got {v:?}"))
+                        })?),
+                    },
                     cache_dir: flags.take_opt_string("cache-dir"),
                     resume: flags.take_bool("resume")?,
                     out: flags.take_string("out", "BENCH_explore.json"),
@@ -521,9 +530,21 @@ impl Flags {
     }
 
     fn take_kernel(&mut self) -> Result<SimKernel, CliError> {
-        match self.take_opt_string("kernel") {
-            None => Ok(SimKernel::default()),
-            Some(v) => SimKernel::parse(&v).map_err(CliError),
+        let kernel = match self.take_opt_string("kernel") {
+            None => SimKernel::default(),
+            Some(v) => SimKernel::parse(&v).map_err(CliError)?,
+        };
+        match self.take_opt_string("workers") {
+            None => Ok(kernel),
+            Some(v) => {
+                let workers: u32 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--workers expects an integer, got {v:?}")))?;
+                match kernel {
+                    SimKernel::Parallel { .. } => Ok(SimKernel::Parallel { workers }),
+                    _ => Err(CliError("--workers requires --kernel parallel".to_owned())),
+                }
+            }
         }
     }
 
@@ -776,6 +797,7 @@ mod tests {
         let Command::Explore {
             grid,
             jobs,
+            workers,
             cache_dir,
             resume,
             out,
@@ -786,10 +808,20 @@ mod tests {
         };
         assert_eq!(grid, "freq=0.8,1.0;corner=nominal");
         assert_eq!(jobs, 4);
+        assert_eq!(workers, None);
         assert_eq!(cache_dir.as_deref(), Some(".cache"));
         assert!(!resume);
         assert_eq!(out, "BENCH_explore.json");
         assert!(quiet);
+        // `--workers` selects the parallel simulation kernel per job.
+        let cli = Cli::parse(["explore", "--workers", "2"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Explore {
+                workers: Some(2),
+                ..
+            }
+        ));
         // Defaults: serial, no cache, standard output file.
         let cli = Cli::parse(["explore"]).expect("parses");
         assert!(matches!(
@@ -836,6 +868,28 @@ mod tests {
             }
         ));
         assert!(Cli::parse(["sim", "--kernel", "sparse"]).is_err());
+        // The parallel kernel takes a worker count; 0 (and the default)
+        // mean one worker per core.
+        let cli = Cli::parse(["sim", "--kernel", "parallel", "--workers", "4"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Sim {
+                kernel: SimKernel::Parallel { workers: 4 },
+                ..
+            }
+        ));
+        let cli = Cli::parse(["faults", "--kernel", "parallel"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Faults {
+                kernel: SimKernel::Parallel { workers: 0 },
+                ..
+            }
+        ));
+        // --workers without the parallel kernel is a contradiction.
+        assert!(Cli::parse(["sim", "--workers", "4"]).is_err());
+        assert!(Cli::parse(["sim", "--kernel", "event", "--workers", "4"]).is_err());
+        assert!(Cli::parse(["sim", "--kernel", "parallel", "--workers", "x"]).is_err());
     }
 
     #[test]

@@ -19,14 +19,14 @@ USAGE:
   icnoc verify [build opts] [--variation 0.3] [--sigma 0.05] [--top 10]
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
-               [--diagnose] [--faults SPEC] [--kernel event|dense]
+               [--diagnose] [--faults SPEC] [--kernel event|dense|parallel] [--workers N]
   icnoc stats  [build opts] [sim opts] [--format json|csv] [--out stats.json]
   icnoc trace  [build opts] [sim opts] [--capacity 4096] [--limit 40] [--vcd out.vcd]
   icnoc faults [build opts] [--pattern uniform:0.2] [--cycles 10000] [--seed 42]
-               [--packet-len 1] [--spec soak] [--kernel event|dense]
+               [--packet-len 1] [--spec soak] [--kernel event|dense|parallel] [--workers N]
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
-  icnoc explore [--grid SPEC] [--jobs 1] [--cache-dir DIR] [--resume]
+  icnoc explore [--grid SPEC] [--jobs 1] [--workers N] [--cache-dir DIR] [--resume]
                [--out BENCH_explore.json] [--quiet]
 
 PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent
@@ -35,8 +35,11 @@ FAULTS:   soak  soak*F  key=rate[,key=rate...] over jitter, spike, corrupt, drop
 GRID:     `;`-separated axes of `name=v1,v2,...` (ranges `lo..hi/n`) over kind,
           ports, die, width, freq (GHz), thalf (ps), corner, pattern, cycles,
           soak, seed — e.g. \"freq=0.8..1.2/5;corner=nominal,slow30;soak=1\"
-KERNEL:   event (default, activity-list stepping) or dense (full scan, the
-          differential-testing oracle) — both are bit-identical per seed";
+KERNEL:   event (default, activity-list stepping), dense (full scan, the
+          differential-testing oracle) or parallel (subtree-sharded worker
+          threads; --workers N, 0 = one per core) — all bit-identical per
+          seed. explore --workers N simulates each job with the parallel
+          kernel at N workers without changing results or cache keys";
 
 /// Executes `cli`, returning the text to print.
 ///
@@ -337,6 +340,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         Command::Explore {
             grid,
             jobs,
+            workers,
             cache_dir,
             resume,
             out,
@@ -355,7 +359,15 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 ),
                 None => None,
             };
-            let opts = SweepOptions { jobs: *jobs, cache };
+            let kernel = match workers {
+                None => SimKernel::default(),
+                Some(w) => SimKernel::Parallel { workers: *w },
+            };
+            let opts = SweepOptions {
+                jobs: *jobs,
+                cache,
+                kernel,
+            };
             let quiet = *quiet;
             let (analysis, stats) = run_sweep(&spec, &opts, |done, total| {
                 if !quiet {

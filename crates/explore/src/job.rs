@@ -1,6 +1,6 @@
 //! Executing one grid point: build → verify → simulate → summarise.
 
-use icnoc_sim::{FaultRates, ReportDigest, SimReport};
+use icnoc_sim::{FaultRates, ReportDigest, SimKernel, SimReport};
 use icnoc_timing::ProcessVariation;
 use icnoc_units::Gigahertz;
 
@@ -51,6 +51,19 @@ pub struct JobOutcome {
 /// interpreted (unknown corner label or malformed pattern spec) —
 /// conditions [`crate::GridSpec::parse`] has already screened out.
 pub fn run_job(config: &JobConfig) -> Result<JobOutcome, GridError> {
+    run_job_with_kernel(config, SimKernel::default())
+}
+
+/// Like [`run_job`], but simulating with an explicit stepping
+/// [`SimKernel`]. The kernel is an **execution** option, not part of the
+/// job identity: every kernel produces bit-identical reports, so outcomes
+/// keep the same [`JobConfig::stable_hash`] and remain cache-compatible
+/// whichever kernel computed them.
+///
+/// # Errors
+///
+/// See [`run_job`].
+pub fn run_job_with_kernel(config: &JobConfig, kernel: SimKernel) -> Result<JobOutcome, GridError> {
     let corner = config
         .system
         .resolve_corner()
@@ -83,13 +96,24 @@ pub fn run_job(config: &JobConfig) -> Result<JobOutcome, GridError> {
         }
         Ok(system) => {
             let verification = system.verify_under(corner.variation(), K_SIGMA);
-            let report: SimReport = if config.soak > 0.0 {
-                let plan = system
-                    .fault_plan(hash)
-                    .with_rates(FaultRates::soak().scaled(config.soak));
-                system.simulate_with_faults(pattern, config.cycles, hash, plan)
-            } else {
-                system.simulate(pattern, config.cycles, hash)
+            // Mirror `System::simulate` / `simulate_with_faults` exactly
+            // (same drain budgets) so outcomes stay bit-identical to the
+            // default-kernel path at every grid point.
+            let report: SimReport = {
+                let patterns = vec![pattern; system.tree().num_ports()];
+                let mut net = system.network_with_kernel(&patterns, hash, kernel);
+                if config.soak > 0.0 {
+                    let plan = system
+                        .fault_plan(hash)
+                        .with_rates(FaultRates::soak().scaled(config.soak));
+                    net.enable_faults(plan);
+                    net.run_cycles(config.cycles);
+                    net.drain(config.cycles.max(1_000).saturating_mul(4));
+                } else {
+                    net.run_cycles(config.cycles);
+                    net.drain(config.cycles.max(1_000));
+                }
+                net.report()
             };
             JobOutcome {
                 config: config.clone(),

@@ -30,7 +30,8 @@
 //! // Two operating points of a 16-port binary tree, executed in
 //! // parallel; the analysis is identical for any worker count.
 //! let grid = GridSpec::parse("ports=16;cycles=200;freq=0.9,1.0")?;
-//! let (analysis, stats) = run_sweep(&grid, &SweepOptions { jobs: 2, cache: None }, |_, _| {});
+//! let opts = SweepOptions { jobs: 2, ..SweepOptions::default() };
+//! let (analysis, stats) = run_sweep(&grid, &opts, |_, _| {});
 //! assert_eq!(stats.total, 2);
 //! assert!(analysis.feasible_count() >= 1);
 //! # Ok::<(), icnoc_explore::GridError>(())
@@ -49,7 +50,7 @@ mod sweep;
 pub use cache::{ResultCache, DEFAULT_CACHE_DIR};
 pub use executor::run_indexed;
 pub use grid::{pattern_from_spec, stable_hash, GridError, GridSpec, JobConfig};
-pub use job::{run_job, JobOutcome, K_SIGMA};
+pub use job::{run_job, run_job_with_kernel, JobOutcome, K_SIGMA};
 pub use json::JsonValue;
 pub use pareto::{Analysis, SurfacePoint, ANALYSIS_SCHEMA_VERSION};
 pub use sweep::{run_sweep, SweepOptions, SweepStats};

@@ -4,8 +4,9 @@
 use crate::cache::ResultCache;
 use crate::executor::run_indexed;
 use crate::grid::GridSpec;
-use crate::job::{run_job, JobOutcome};
+use crate::job::{run_job_with_kernel, JobOutcome};
 use crate::pareto::Analysis;
+use icnoc_sim::SimKernel;
 
 /// How a sweep should run.
 #[derive(Debug, Default)]
@@ -14,6 +15,9 @@ pub struct SweepOptions {
     pub jobs: usize,
     /// Result cache, if caching is enabled.
     pub cache: Option<ResultCache>,
+    /// Stepping kernel each job simulates with. Purely an execution
+    /// option: outcomes (and cache keys) are kernel-invariant.
+    pub kernel: SimKernel,
 }
 
 /// Where a sweep's outcomes came from.
@@ -58,7 +62,7 @@ where
     let results = run_indexed(
         pending.len(),
         opts.jobs,
-        |k| run_job(&jobs[pending[k]]).map_err(|e| e.to_string()),
+        |k| run_job_with_kernel(&jobs[pending[k]], opts.kernel).map_err(|e| e.to_string()),
         |done, _| progress(cached + done, total),
     );
 
@@ -134,6 +138,7 @@ mod tests {
             &SweepOptions {
                 jobs: 1,
                 cache: None,
+                kernel: SimKernel::default(),
             },
             |_, _| {},
         );
@@ -142,11 +147,42 @@ mod tests {
             &SweepOptions {
                 jobs: 8,
                 cache: None,
+                kernel: SimKernel::default(),
             },
             |_, _| {},
         );
         assert_eq!(
             strip_wall(&serial.to_json().to_pretty()),
+            strip_wall(&parallel.to_json().to_pretty()),
+        );
+    }
+
+    #[test]
+    fn parallel_kernel_does_not_change_the_analysis() {
+        // The kernel is an execution option: a sweep simulated with the
+        // parallel subtree-sharded kernel (2 workers per job) must emit
+        // the same analysis, byte for byte, as the event kernel.
+        let grid = GridSpec::parse("ports=16;cycles=200;freq=0.9,1.0;soak=0,1").expect("parses");
+        let (event, _) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 1,
+                cache: None,
+                kernel: SimKernel::default(),
+            },
+            |_, _| {},
+        );
+        let (parallel, _) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: None,
+                kernel: SimKernel::Parallel { workers: 2 },
+            },
+            |_, _| {},
+        );
+        assert_eq!(
+            strip_wall(&event.to_json().to_pretty()),
             strip_wall(&parallel.to_json().to_pretty()),
         );
     }
@@ -163,6 +199,7 @@ mod tests {
             &SweepOptions {
                 jobs: 2,
                 cache: Some(open()),
+                kernel: SimKernel::default(),
             },
             |_, _| {},
         );
@@ -173,6 +210,7 @@ mod tests {
             &SweepOptions {
                 jobs: 2,
                 cache: Some(open()),
+                kernel: SimKernel::default(),
             },
             |_, _| {},
         );
@@ -192,6 +230,7 @@ mod tests {
             &SweepOptions {
                 jobs: 2,
                 cache: None,
+                kernel: SimKernel::default(),
             },
             |done, total| {
                 assert_eq!(total, 2);

@@ -1,5 +1,6 @@
 //! Network elements: handshake stages, traffic sources and sinks.
 
+use crate::label::LabelId;
 use crate::{Flit, LatencyStats, TrafficPattern};
 use icnoc_clock::{ClockGatingStats, ClockPolarity};
 use icnoc_topology::PortId;
@@ -251,7 +252,9 @@ pub(crate) enum Kind {
 /// One element of the simulated element graph.
 #[derive(Debug, Clone)]
 pub(crate) struct Element {
-    pub label: String,
+    /// Interned label, resolved through the network's
+    /// [`LabelTable`](crate::LabelTable) at report/diagnosis time.
+    pub label: LabelId,
     pub kind: Kind,
     pub polarity: ClockPolarity,
     pub upstreams: Vec<ElementId>,
@@ -271,7 +274,7 @@ pub(crate) struct Element {
 }
 
 impl Element {
-    pub(crate) fn new(label: String, kind: Kind, polarity: ClockPolarity) -> Self {
+    pub(crate) fn new(label: LabelId, kind: Kind, polarity: ClockPolarity) -> Self {
         Self {
             label,
             kind,

@@ -940,12 +940,16 @@ impl FaultState {
     /// with nothing due costs one head peek instead of a scan over every
     /// un-acknowledged flit.
     ///
-    /// Returns the source ports for which a retransmission was queued this
-    /// edge, so an event-driven stepper can wake the matching injectors.
-    pub(crate) fn begin_step(&mut self, tick: u64) -> Vec<u32> {
+    /// Fills `woken` with the source ports for which a retransmission was
+    /// queued this edge, so an event-driven stepper can wake the matching
+    /// injectors. The caller owns (and reuses) the scratch buffer: the
+    /// overwhelmingly common nothing-due edge clears it and allocates
+    /// nothing.
+    pub(crate) fn begin_step(&mut self, tick: u64, woken: &mut Vec<u32>) {
+        woken.clear();
         self.dfs.on_edge(tick);
         if self.timers.first().is_none_or(|&(due, _)| due > tick) {
-            return Vec::new();
+            return;
         }
         // Pop every elapsed timer, dropping stale entries (the flit
         // resolved, or was re-armed to a different due tick since).
@@ -1000,7 +1004,7 @@ impl FaultState {
             self.arm_timer(key, due);
         }
         self.ledger.drops_detected += drops_detected;
-        let mut woken: Vec<u32> = retx.iter().map(|f| f.src.0).collect();
+        woken.extend(retx.iter().map(|f| f.src.0));
         woken.sort_unstable();
         woken.dedup();
         for flit in retx {
@@ -1013,7 +1017,6 @@ impl FaultState {
                 self.abandoned.insert(key, entry.faults);
             }
         }
-        woken
     }
 
     /// Whether element `i` is frozen this edge (possibly starting a new
@@ -1460,7 +1463,7 @@ mod tests {
         );
         assert_eq!(state.report().corruptions_detected, 1);
         // The NACK scheduled a retransmission one backoff edge later.
-        state.begin_step(11);
+        state.begin_step(11, &mut Vec::new());
         let retx = state.take_retx(0, 11).expect("retransmission queued");
         assert_eq!(retx.seq, 4);
         assert_eq!(retx.retry, 1);
@@ -1499,7 +1502,7 @@ mod tests {
 
         let mut retransmissions = 0;
         for tick in 0..200 {
-            state.begin_step(tick);
+            state.begin_step(tick, &mut Vec::new());
             if state.take_retx(2, tick).is_some() {
                 retransmissions += 1;
             }

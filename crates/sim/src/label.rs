@@ -1,0 +1,92 @@
+//! Interned element labels.
+//!
+//! Element labels are construction-time strings (`r0.mid1`, `l5d.0`,
+//! `src3`, …) that the hot path never needs as text: stepping identifies
+//! elements by index, and labels only surface at report/diagnosis/CLI
+//! time. Interning them into a [`LabelTable`] lets every
+//! [`Element`](crate::ElementId) carry a 4-byte [`LabelId`] instead of an
+//! owned `String` — cloning a network stops copying thousands of heap
+//! strings, and diagnosis paths resolve labels lazily by index.
+
+/// Index of an interned label inside a [`LabelTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(u32);
+
+impl LabelId {
+    /// The raw table index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The string table element labels are interned into.
+///
+/// Labels are unique per element by construction (builders derive them
+/// from element ids), so interning is append-only — no dedup map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelTable {
+    names: Vec<String>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id.
+    pub fn intern(&mut self, name: String) -> LabelId {
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name);
+        id
+    }
+
+    /// Resolves an id back to its label text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    #[must_use]
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_resolve_round_trip() {
+        let mut table = LabelTable::new();
+        let a = table.intern("r0.mid1".to_owned());
+        let b = table.intern("src3".to_owned());
+        assert_ne!(a, b);
+        assert_eq!(table.resolve(a), "r0.mid1");
+        assert_eq!(table.resolve(b), "src3");
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_indices() {
+        let mut table = LabelTable::new();
+        for i in 0..10 {
+            let id = table.intern(format!("s{i}"));
+            assert_eq!(id.index(), i);
+        }
+    }
+}

@@ -37,7 +37,9 @@
 mod element;
 mod fault;
 mod flit;
+mod label;
 mod network;
+mod parallel;
 mod report;
 mod trace;
 mod traffic;
@@ -47,6 +49,7 @@ mod vcd;
 pub use element::{Arbitration, ElementId, MeshDirection, RouteFilter, SinkMode};
 pub use fault::{DfsConfig, FaultCounts, FaultKind, FaultPlan, FaultRates, RecoveryReport};
 pub use flit::{Flit, FlitKind};
+pub use label::{LabelId, LabelTable};
 pub use network::{DrainTimeout, Network, SimKernel};
 pub use report::{LatencyHistogram, LatencyStats, ReportDigest, SimReport};
 pub use trace::{

@@ -2,6 +2,8 @@
 
 use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState};
 use crate::fault::{ArrivalVerdict, CaptureEffect, FaultState};
+use crate::label::LabelTable;
+use crate::parallel::{self, ParState};
 use crate::report::Scoreboard;
 use crate::trace::{
     CountersSink, DropCause, RingBufferSink, TraceEvent, TraceEventKind, TraceSink,
@@ -35,10 +37,24 @@ pub enum SimKernel {
     /// handshake-derived clock gating (Section 5).
     #[default]
     EventDriven,
+    /// Multi-threaded stepping: the element graph is partitioned into
+    /// per-worker shards along subtree boundaries and each shard runs its
+    /// own activity-list kernel, exchanging cross-shard wakes through
+    /// mailboxes flushed at a two-phase barrier aligned with the clock
+    /// polarity. Reports stay bit-identical to the event kernel at any
+    /// worker count.
+    /// Networks with a fault plan or trace sinks attached fall back to
+    /// the sequential event kernel (their shared RNG/event streams are
+    /// order-dependent).
+    Parallel {
+        /// Worker thread count; `0` means auto-detect from the host's
+        /// available parallelism.
+        workers: u32,
+    },
 }
 
 impl SimKernel {
-    /// Parses a CLI spelling (`dense` / `event`).
+    /// Parses a CLI spelling (`dense` / `event` / `parallel`).
     ///
     /// # Errors
     ///
@@ -47,7 +63,10 @@ impl SimKernel {
         match s {
             "dense" => Ok(SimKernel::Dense),
             "event" | "event-driven" => Ok(SimKernel::EventDriven),
-            other => Err(format!("unknown kernel {other:?} (try dense|event)")),
+            "parallel" => Ok(SimKernel::Parallel { workers: 0 }),
+            other => Err(format!(
+                "unknown kernel {other:?} (try dense|event|parallel)"
+            )),
         }
     }
 
@@ -57,6 +76,7 @@ impl SimKernel {
         match self {
             SimKernel::Dense => "dense",
             SimKernel::EventDriven => "event",
+            SimKernel::Parallel { .. } => "parallel",
         }
     }
 }
@@ -65,19 +85,19 @@ impl SimKernel {
 /// element-index order (matching the dense kernel's iteration order, which
 /// the shared fault RNG stream and scoreboard accounting depend on).
 #[derive(Debug, Clone, Default)]
-struct ReadySet {
-    words: Vec<u64>,
+pub(crate) struct ReadySet {
+    pub(crate) words: Vec<u64>,
 }
 
 impl ReadySet {
-    fn with_element_count(n: usize) -> Self {
+    pub(crate) fn with_element_count(n: usize) -> Self {
         Self {
             words: vec![0; n.div_ceil(64)],
         }
     }
 
     #[inline]
-    fn insert(&mut self, i: usize) {
+    pub(crate) fn insert(&mut self, i: usize) {
         self.words[i >> 6] |= 1u64 << (i & 63);
     }
 }
@@ -101,6 +121,9 @@ fn pol_idx(p: ClockPolarity) -> usize {
 #[derive(Debug, Clone)]
 pub struct Network {
     elements: Vec<Element>,
+    /// Interned element labels; elements carry 4-byte ids into this table
+    /// and text is resolved only at report/diagnosis time.
+    labels: LabelTable,
     tick: u64,
     num_ports: u32,
     scoreboard: Scoreboard,
@@ -127,8 +150,19 @@ pub struct Network {
     /// Per-port injector element (source or tile), for waking a port when
     /// the recovery layer queues a retransmission.
     injectors: Vec<Option<u32>>,
-    /// Total element visits executed across all ticks (both kernels).
-    /// Deliberately *not* part of [`SimReport`]: the two kernels visit
+    /// Scratch for the fault layer's per-edge woken-port list, reused
+    /// across ticks so the (dominant) nothing-due edge allocates nothing.
+    woken_scratch: Vec<u32>,
+    /// Parallel kernel state (shard plan, per-worker ready sets and
+    /// mailboxes), built lazily at the first parallel step. `None` for
+    /// the sequential kernels and for parallel networks forced onto the
+    /// sequential fallback (fault plan or trace sinks attached).
+    par: Option<ParState>,
+    /// Builder-provided subtree id per element, steering the parallel
+    /// shard cut (set by the tree builder; contiguous ranges otherwise).
+    shard_hints: Option<Vec<u32>>,
+    /// Total element visits executed across all ticks (all kernels).
+    /// Deliberately *not* part of [`SimReport`]: the kernels visit
     /// different element counts while producing identical reports.
     element_steps: u64,
 }
@@ -149,6 +183,7 @@ impl Network {
         assert!(num_ports >= 2, "a network needs at least two ports");
         Self {
             elements: Vec::new(),
+            labels: LabelTable::new(),
             tick: 0,
             num_ports,
             scoreboard: Scoreboard::default(),
@@ -160,6 +195,9 @@ impl Network {
             scratch: Vec::new(),
             pinned: Vec::new(),
             injectors: Vec::new(),
+            woken_scratch: Vec::new(),
+            par: None,
+            shard_hints: None,
             element_steps: 0,
         }
     }
@@ -181,6 +219,14 @@ impl Network {
     #[must_use]
     pub fn kernel(&self) -> SimKernel {
         self.kernel
+    }
+
+    /// The parallel kernel's resolved worker count, once it has taken its
+    /// first step. `None` on the sequential kernels and on parallel
+    /// networks running the sequential fallback.
+    #[must_use]
+    pub fn active_workers(&self) -> Option<usize> {
+        self.par.as_ref().map(ParState::workers)
     }
 
     /// Total element visits executed so far, across all ticks. The dense
@@ -207,7 +253,11 @@ impl Network {
             self.finalized,
             "enable faults after finalize(): element rates resolve against the full graph"
         );
-        let labels: Vec<&str> = self.elements.iter().map(|e| e.label.as_str()).collect();
+        assert!(
+            self.par.is_none(),
+            "attach a fault plan before stepping a parallel-kernel network"
+        );
+        let labels = self.element_labels();
         self.faults = Some(Box::new(FaultState::new(plan, &labels)));
         // Stages with a nonzero outage rate roll the shared fault RNG on
         // every active edge, busy or not — pin them so the event kernel
@@ -236,14 +286,25 @@ impl Network {
 
     /// Attaches a flit-lifecycle trace sink. Several sinks may coexist
     /// (e.g. counters plus an event buffer); each receives every event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has already stepped on the parallel kernel:
+    /// tracing serialises on a single ordered event stream, so it must be
+    /// attached before the first step (forcing the sequential fallback).
+    #[track_caller]
     pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        assert!(
+            self.par.is_none(),
+            "attach trace sinks before stepping a parallel-kernel network"
+        );
         self.sinks.push(sink);
     }
 
     /// Attaches a [`CountersSink`], enabling the per-element utilisation
     /// and per-flow latency sections of [`SimReport`].
     pub fn enable_counters(&mut self) {
-        self.add_trace_sink(Box::new(CountersSink::new()));
+        self.add_trace_sink(Box::new(CountersSink::with_ports(self.num_ports)));
     }
 
     /// Attaches a [`RingBufferSink`] retaining the last `capacity` events
@@ -278,13 +339,18 @@ impl Network {
     /// The label of element `id`, if it exists.
     #[must_use]
     pub fn element_label(&self, id: ElementId) -> Option<&str> {
-        self.elements.get(id.index()).map(|e| e.label.as_str())
+        self.elements
+            .get(id.index())
+            .map(|e| self.labels.resolve(e.label))
     }
 
     /// Every element's label, indexed by element id.
     #[must_use]
     pub fn element_labels(&self) -> Vec<&str> {
-        self.elements.iter().map(|e| e.label.as_str()).collect()
+        self.elements
+            .iter()
+            .map(|e| self.labels.resolve(e.label))
+            .collect()
     }
 
     /// Fans one event out to every attached sink. Callers guard with
@@ -353,6 +419,7 @@ impl Network {
         filter: RouteFilter,
         arb: Arbitration,
     ) -> ElementId {
+        let label = self.labels.intern(label);
         let mut el = Element::new(label, Kind::Stage, polarity);
         el.filter = filter;
         el.arb = arb;
@@ -382,21 +449,15 @@ impl Network {
             cursor: 0,
             trace: None,
         };
-        self.push(Element::new(
-            format!("src{}", port.0),
-            Kind::Source(state),
-            polarity,
-        ))
+        let label = self.labels.intern(format!("src{}", port.0));
+        self.push(Element::new(label, Kind::Source(state), polarity))
     }
 
     /// Adds a sink for `port` (low-level builder API).
     pub fn add_sink(&mut self, port: PortId, mode: SinkMode, polarity: ClockPolarity) -> ElementId {
         let state = SinkState { port, mode };
-        self.push(Element::new(
-            format!("sink{}", port.0),
-            Kind::Sink(state),
-            polarity,
-        ))
+        let label = self.labels.intern(format!("sink{}", port.0));
+        self.push(Element::new(label, Kind::Sink(state), polarity))
     }
 
     /// Adds a closed-loop tile endpoint (low-level builder API): a
@@ -423,11 +484,8 @@ impl Network {
             responses: 0,
             cursor: 0,
         };
-        self.push(Element::new(
-            format!("tile{}", port.0),
-            Kind::Tile(state),
-            polarity,
-        ))
+        let label = self.labels.intern(format!("tile{}", port.0));
+        self.push(Element::new(label, Kind::Tile(state), polarity))
     }
 
     /// Overrides an element's route filter (used by the tree builder to
@@ -463,8 +521,8 @@ impl Network {
                     self.elements[i].polarity,
                     "connection {} -> {} joins equal polarities; \
                      the 2-phase protocol requires alternating edges",
-                    self.elements[u.index()].label,
-                    self.elements[i].label,
+                    self.labels.resolve(self.elements[u.index()].label),
+                    self.labels.resolve(self.elements[i].label),
                 );
                 self.elements[u.index()]
                     .downstreams
@@ -520,11 +578,76 @@ impl Network {
         }
     }
 
-    /// Registers element `i` into its polarity's ready-set.
+    /// Registers element `i` into its polarity's ready-set (routed to the
+    /// owning shard once the parallel kernel is active).
     #[inline]
     fn arm(&mut self, i: usize) {
         let p = pol_idx(self.elements[i].polarity);
-        self.armed[p].insert(i);
+        if let Some(par) = &mut self.par {
+            par.arm(i, p);
+        } else {
+            self.armed[p].insert(i);
+        }
+    }
+
+    /// Sets the per-element subtree hints steering the parallel shard cut
+    /// (whole hint groups stay on one worker). Tree builders derive these
+    /// from the root router's child subtrees; `u32::MAX` marks elements
+    /// with no subtree affinity (the root itself).
+    pub(crate) fn set_shard_hints(&mut self, hints: Vec<u32>) {
+        assert_eq!(hints.len(), self.elements.len(), "one hint per element");
+        self.shard_hints = Some(hints);
+    }
+
+    /// Whether this step should take the parallel path, activating the
+    /// shard state on first use. Networks with a fault plan or trace
+    /// sinks stay on the sequential event kernel: both fold into shared
+    /// state (one fault RNG stream, one ordered event stream) whose
+    /// results depend on global visit order.
+    fn parallel_ready(&mut self) -> bool {
+        let SimKernel::Parallel { workers } = self.kernel else {
+            return false;
+        };
+        if self.faults.is_some() || !self.sinks.is_empty() {
+            return false;
+        }
+        if self.par.is_none() {
+            let requested = if workers == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                workers as usize
+            };
+            self.par = Some(ParState::build(
+                &self.elements,
+                requested,
+                &self.armed,
+                self.shard_hints.as_deref(),
+            ));
+        }
+        true
+    }
+
+    /// Runs `ticks` half-cycles on the parallel kernel. Must only be
+    /// called when [`parallel_ready`](Self::parallel_ready) returned true.
+    fn par_step_batch(&mut self, ticks: u64, stop_when_drained: bool) {
+        let par = self.par.as_mut().expect("parallel state active");
+        let executed = parallel::par_run(
+            parallel::ParRunCtx {
+                elements: &mut self.elements,
+                scoreboard: &mut self.scoreboard,
+                pinned: &self.pinned,
+                par,
+                num_ports: self.num_ports,
+                base_tick: self.tick,
+            },
+            ticks,
+            stop_when_drained,
+        );
+        self.tick += executed;
+        for core in par.cores_mut() {
+            self.element_steps += core.steps;
+            core.steps = 0;
+        }
     }
 
     /// Event kernel: after visiting element `i` (whose polarity index is
@@ -640,8 +763,9 @@ impl Network {
     /// construction order. Useful for waveform-style visualisation of the
     /// Fig. 4 handshake.
     pub fn stage_occupancy(&self) -> impl Iterator<Item = (&str, bool)> {
-        self.elements.iter().filter_map(|e| match e.kind {
-            Kind::Stage => Some((e.label.as_str(), e.out_flit.is_some())),
+        let labels = &self.labels;
+        self.elements.iter().filter_map(move |e| match e.kind {
+            Kind::Stage => Some((labels.resolve(e.label), e.out_flit.is_some())),
             _ => None,
         })
     }
@@ -689,17 +813,23 @@ impl Network {
     /// Panics if the network was constructed manually and never finalized.
     pub fn step(&mut self) {
         assert!(self.finalized, "network must be finalized before stepping");
+        if self.parallel_ready() {
+            self.par_step_batch(1, false);
+            return;
+        }
         if let Some(f) = &mut self.faults {
             // Per-edge recovery machinery: DFS creep-up, ack timeouts,
             // retransmission scheduling. Ports with a freshly queued
             // retransmission are woken — the timer *enqueues* work; nobody
             // polls for it.
-            let woken = f.begin_step(self.tick);
-            for port in woken {
+            let mut woken = std::mem::take(&mut self.woken_scratch);
+            f.begin_step(self.tick, &mut woken);
+            for &port in &woken {
                 if let Some(i) = self.injectors.get(port as usize).copied().flatten() {
                     self.arm(i as usize);
                 }
             }
+            self.woken_scratch = woken;
         }
         let parity = if self.tick.is_multiple_of(2) {
             ClockPolarity::Rising
@@ -716,7 +846,9 @@ impl Network {
                     self.dispatch(i);
                 }
             }
-            SimKernel::EventDriven => {
+            SimKernel::EventDriven | SimKernel::Parallel { .. } => {
+                // (A parallel kernel reaching this arm is the sequential
+                // fallback: a fault plan or trace sinks are attached.)
                 // Per-edge side effects of a held flit — fault-RNG rolls,
                 // `Blocked` trace events, source stall counters — only
                 // exist with a fault plan or trace sinks attached; they
@@ -1309,8 +1441,14 @@ impl Network {
     /// Runs `cycles` full clock cycles (two ticks each) and returns the
     /// cumulative report.
     pub fn run_cycles(&mut self, cycles: u64) -> SimReport {
-        for _ in 0..cycles * 2 {
-            self.step();
+        if self.parallel_ready() {
+            // One thread scope for the whole batch: spawn cost amortises
+            // over all `2 * cycles` ticks.
+            self.par_step_batch(cycles * 2, false);
+        } else {
+            for _ in 0..cycles * 2 {
+                self.step();
+            }
         }
         self.report()
     }
@@ -1333,11 +1471,18 @@ impl Network {
     /// the stuck elements instead of a bare `false`.
     pub fn drain_or_diagnose(&mut self, max_cycles: u64) -> Result<(), DrainTimeout> {
         self.set_sources_enabled(false);
-        for _ in 0..max_cycles * 2 {
-            if self.drained_idle() {
-                return Ok(());
+        if self.parallel_ready() {
+            // The batch evaluates the drained condition between ticks —
+            // the same place this loop checks — so tick counts match the
+            // sequential kernels exactly.
+            self.par_step_batch(max_cycles * 2, true);
+        } else {
+            for _ in 0..max_cycles * 2 {
+                if self.drained_idle() {
+                    return Ok(());
+                }
+                self.step();
             }
-            self.step();
         }
         if self.drained_idle() {
             return Ok(());
@@ -1410,7 +1555,7 @@ impl Network {
     pub fn gating_for_label_prefix(&self, prefix: &str) -> ClockGatingStats {
         let mut acc = ClockGatingStats::new();
         for el in &self.elements {
-            if matches!(el.kind, Kind::Stage) && el.label.starts_with(prefix) {
+            if matches!(el.kind, Kind::Stage) && self.labels.resolve(el.label).starts_with(prefix) {
                 acc.merge(&self.stage_gating(el));
             }
         }
@@ -1424,12 +1569,21 @@ impl Network {
     /// route filter that no destination satisfies).
     #[must_use]
     pub fn diagnose_stall(&self) -> Vec<String> {
+        // Labels resolve lazily through the interning table: only the
+        // handful of holding elements ever materialise a line, and the
+        // label text itself is borrowed, never cloned per element.
         let mut lines: Vec<String> = self
             .elements
             .iter()
             .filter_map(|e| {
-                e.out_flit
-                    .map(|flit| format!("{} holds {} ({:?})", e.label, flit, flit.kind))
+                e.out_flit.map(|flit| {
+                    format!(
+                        "{} holds {} ({:?})",
+                        self.labels.resolve(e.label),
+                        flit,
+                        flit.kind
+                    )
+                })
             })
             .collect();
         for e in &self.elements {
@@ -1437,7 +1591,7 @@ impl Network {
                 if !t.pending.is_empty() {
                     lines.push(format!(
                         "{} queues {} pending response(s)",
-                        e.label,
+                        self.labels.resolve(e.label),
                         t.pending.len()
                     ));
                 }

@@ -1,0 +1,921 @@
+//! The multi-threaded subtree-sharded stepping kernel.
+//!
+//! [`SimKernel::Parallel`](crate::SimKernel) partitions the element graph
+//! into per-worker shards and runs each shard's activity-list kernel on
+//! its own thread. The alternating-edge protocol makes this safe without
+//! any per-element locking: every connection joins **opposite** clock
+//! polarities, so within one tick a worker only mutates current-parity
+//! elements of its own shard, and every cross-element read (an upstream's
+//! presented flit, a downstream's `accepted_from` marker) touches an
+//! opposite-parity element whose state is frozen for the whole tick — the
+//! software form of the half-period propagation budget the paper's
+//! handshake enjoys in hardware (Section 5).
+//!
+//! Each tick runs as two phases separated by barriers, aligned with the
+//! clock polarity of the edge being evaluated:
+//!
+//! 1. **Visit** — every worker drains its shard's current-parity ready
+//!    set in ascending element order, exactly like the sequential event
+//!    kernel. Wakes aimed at elements of other shards are appended to a
+//!    fixed-order mailbox row instead of being applied directly; sink and
+//!    tile deliveries are deferred into a per-worker arrival buffer.
+//! 2. **Merge** — after a barrier, each worker folds the mailbox column
+//!    addressed to it into its next-parity ready set (bitset inserts are
+//!    idempotent, so mailbox ordering cannot influence state), while the
+//!    coordinating thread applies all deferred arrivals to the single
+//!    scoreboard **sorted by element index** — each consumer records at
+//!    most one arrival per tick, so this reproduces the sequential
+//!    kernel's visit order exactly, and every report bit matches at any
+//!    worker count.
+//!
+//! Fault plans and trace sinks serialise on shared order-dependent state
+//! (one fault RNG stream, one event stream), so a network with either
+//! attached transparently falls back to the sequential event kernel — the
+//! parallel path never trades determinism for speed.
+
+use crate::element::{Element, Kind, TileRole};
+use crate::network::ReadySet;
+use crate::report::Scoreboard;
+use crate::{ElementId, Flit, TrafficPhase};
+use icnoc_topology::PortId;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A deferred sink/tile delivery: `(element index, flit, consuming port)`.
+type Arrival = (u32, Flit, PortId);
+
+/// Persistent state of the parallel kernel: the shard plan plus each
+/// worker's ready sets, mailboxes and arrival buffer. Plain data — worker
+/// threads are scoped per batch, so the network stays `Clone`.
+#[derive(Debug, Clone)]
+pub(crate) struct ParState {
+    /// Worker count (= shard count).
+    workers: usize,
+    /// Shard owning each element.
+    shard_of: Vec<u16>,
+    /// Per-worker kernel state.
+    cores: Vec<ShardCore>,
+    /// Cross-shard wake mailboxes, row-major: `mail[from * workers + to]`
+    /// holds element indices worker `from` wants woken in shard `to`.
+    mail: Vec<Vec<u32>>,
+    /// Per-worker deferred arrivals, merged into the scoreboard each tick.
+    arrivals: Vec<Vec<Arrival>>,
+    /// Scratch for the per-tick arrival sort.
+    arrival_scratch: Vec<Arrival>,
+}
+
+/// One worker's slice of the activity-list kernel.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardCore {
+    /// Per-polarity ready sets over the **full** element index space
+    /// (only this shard's bits are ever set).
+    ready: [ReadySet; 2],
+    /// Agenda swap buffer, as in the sequential event kernel.
+    scratch: Vec<u64>,
+    /// Element visits executed by this worker, drained into the
+    /// network-wide counter after each batch.
+    pub(crate) steps: u64,
+}
+
+impl ParState {
+    /// Builds the shard plan and seeds per-shard ready sets from the
+    /// sequential kernel's current `armed` bits.
+    pub(crate) fn build(
+        elements: &[Element],
+        workers: usize,
+        armed: &[ReadySet; 2],
+        hints: Option<&[u32]>,
+    ) -> Self {
+        let n = elements.len();
+        let workers = workers.clamp(1, n.max(1)).min(u16::MAX as usize);
+        let shard_of = plan_shards(n, workers, hints);
+        let mut cores = vec![
+            ShardCore {
+                ready: [
+                    ReadySet::with_element_count(n),
+                    ReadySet::with_element_count(n),
+                ],
+                scratch: vec![0; n.div_ceil(64)],
+                steps: 0,
+            };
+            workers
+        ];
+        for (p, set) in armed.iter().enumerate() {
+            for (word, &bits) in set.words.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let i = (word << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    cores[shard_of[i] as usize].ready[p].insert(i);
+                }
+            }
+        }
+        Self {
+            workers,
+            shard_of,
+            cores,
+            mail: vec![Vec::new(); workers * workers],
+            arrivals: vec![Vec::new(); workers],
+            arrival_scratch: Vec::new(),
+        }
+    }
+
+    /// Registers element `i` into its owning shard's parity-`p` ready set
+    /// (the parallel-mode form of [`Network::arm`](crate::Network)).
+    pub(crate) fn arm(&mut self, i: usize, p: usize) {
+        let s = self.shard_of[i] as usize;
+        self.cores[s].ready[p].insert(i);
+    }
+
+    /// The number of worker shards.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Per-worker step counters, for draining into the network total.
+    pub(crate) fn cores_mut(&mut self) -> &mut [ShardCore] {
+        &mut self.cores
+    }
+}
+
+/// Assigns every element to a shard.
+///
+/// With builder-provided subtree hints, elements are grouped by hint and
+/// whole groups are placed longest-processing-time-first onto the least
+/// loaded shard — subtrees stay intact, so in a tree fabric almost all
+/// handshake traffic is shard-internal and only root crossings use the
+/// mailboxes. Without hints, contiguous index ranges are used (builders
+/// allocate neighbouring elements contiguously, so ranges approximate
+/// locality for meshes and pipelines).
+fn plan_shards(n: usize, workers: usize, hints: Option<&[u32]>) -> Vec<u16> {
+    let mut shard_of = vec![0u16; n];
+    match hints {
+        Some(h) if h.len() == n && workers > 1 => {
+            // Group elements by hint, keyed ascending for determinism.
+            let mut groups: std::collections::BTreeMap<u32, Vec<u32>> =
+                std::collections::BTreeMap::new();
+            for (i, &g) in h.iter().enumerate() {
+                groups.entry(g).or_default().push(i as u32);
+            }
+            // LPT: biggest group first (ties by key), onto the least
+            // loaded shard (ties by lowest shard index).
+            let mut order: Vec<(&u32, &Vec<u32>)> = groups.iter().collect();
+            order.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+            let mut load = vec![0usize; workers];
+            for (_, members) in order {
+                let target = (0..workers).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+                load[target] += members.len();
+                for &i in members {
+                    shard_of[i as usize] = target as u16;
+                }
+            }
+        }
+        _ => {
+            for (i, slot) in shard_of.iter_mut().enumerate() {
+                *slot = (i * workers / n.max(1)) as u16;
+            }
+        }
+    }
+    shard_of
+}
+
+/// A shared view of the element array. Each element sits in its own
+/// [`UnsafeCell`]; the alternating-edge discipline is the aliasing proof:
+/// a tick's unique mutator of element `i` is the worker owning `i`'s
+/// shard when `i`'s polarity matches the tick parity, and every other
+/// access is a read of an opposite-parity element, frozen for the tick.
+#[derive(Clone, Copy)]
+struct SharedElements<'a> {
+    cells: &'a [UnsafeCell<Element>],
+}
+
+// SAFETY: `Element` is `Send` (plain data + element-local RNG); the
+// per-phase ownership discipline above keeps accesses disjoint.
+unsafe impl Send for SharedElements<'_> {}
+unsafe impl Sync for SharedElements<'_> {}
+
+impl<'a> SharedElements<'a> {
+    fn new(elements: &'a mut [Element]) -> Self {
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`.
+        let cells = unsafe { &*(elements as *mut [Element] as *const [UnsafeCell<Element>]) };
+        Self { cells }
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// # Safety
+    /// The caller must be the current tick's unique owner of element `i`
+    /// (matching parity, own shard, visit phase), with no other reference
+    /// to `i` live.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut Element {
+        unsafe { &mut *self.cells[i].get() }
+    }
+
+    /// # Safety
+    /// `i` must not be concurrently mutated: an opposite-parity element
+    /// during the visit phase, or any element during the merge phase.
+    #[inline]
+    unsafe fn get(&self, i: usize) -> &Element {
+        unsafe { &*self.cells[i].get() }
+    }
+}
+
+/// A shared view over a slice of `Vec`s, each in its own cell — the
+/// mailbox matrix and the arrival buffers. Ownership rotates by phase:
+/// during visits worker `w` owns mailbox row `w` and arrival buffer `w`;
+/// during merges worker `w` owns mailbox **column** `w` and the
+/// coordinator owns every arrival buffer.
+struct SharedVecs<'a, T> {
+    cells: &'a [UnsafeCell<Vec<T>>],
+}
+
+unsafe impl<T: Send> Send for SharedVecs<'_, T> {}
+unsafe impl<T: Send> Sync for SharedVecs<'_, T> {}
+
+impl<T> Clone for SharedVecs<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedVecs<'_, T> {}
+
+impl<'a, T> SharedVecs<'a, T> {
+    fn new(vecs: &'a mut [Vec<T>]) -> Self {
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`.
+        let cells = unsafe { &*(vecs as *mut [Vec<T>] as *const [UnsafeCell<Vec<T>>]) };
+        Self { cells }
+    }
+
+    /// # Safety
+    /// The caller must own cell `idx` in the current phase (see the type
+    /// docs), with no other reference to it live.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, idx: usize) -> &mut Vec<T> {
+        unsafe { &mut *self.cells[idx].get() }
+    }
+}
+
+/// A sense-reversing spin-then-yield barrier. Pure spinning would
+/// livelock on machines with fewer cores than workers, so waiters
+/// escalate from `spin_loop` hints to `yield_now` to short sleeps.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arrival: reset the count while everyone else is still
+            // parked on this generation, then release them.
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut rounds = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                rounds += 1;
+                if rounds < 64 {
+                    std::hint::spin_loop();
+                } else if rounds < 1024 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+/// Everything a parallel batch borrows from the network.
+pub(crate) struct ParRunCtx<'a> {
+    pub elements: &'a mut [Element],
+    pub scoreboard: &'a mut Scoreboard,
+    pub pinned: &'a [bool],
+    pub par: &'a mut ParState,
+    pub num_ports: u32,
+    pub base_tick: u64,
+}
+
+/// Runs up to `max_ticks` half-cycles across all workers, returning the
+/// number actually executed. With `stop_when_drained`, the batch also
+/// stops before the first tick at which nothing is left in flight —
+/// evaluated between ticks, exactly where the sequential drain loop
+/// checks, so tick counts (and the gating statistics derived from them)
+/// match the event kernel bit for bit.
+pub(crate) fn par_run(ctx: ParRunCtx<'_>, max_ticks: u64, stop_when_drained: bool) -> u64 {
+    let ParRunCtx {
+        elements,
+        scoreboard,
+        pinned,
+        par,
+        num_ports,
+        base_tick,
+    } = ctx;
+    let workers = par.workers;
+    let shard_of: &[u16] = &par.shard_of;
+    let shared = SharedElements::new(elements);
+    let mail = SharedVecs::new(&mut par.mail);
+    let arrivals = SharedVecs::new(&mut par.arrivals);
+    let arrival_scratch = &mut par.arrival_scratch;
+
+    let stop = AtomicBool::new(max_ticks == 0 || (stop_when_drained && nothing_in_flight(shared)));
+    let barrier = SpinBarrier::new(workers);
+    let mut executed = 0u64;
+
+    let mut core_iter = par.cores.iter_mut();
+    let coordinator_core = core_iter.next().expect("at least one worker");
+
+    std::thread::scope(|scope| {
+        for (offset, core) in core_iter.enumerate() {
+            let w = offset + 1;
+            let barrier = &barrier;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut k = 0u64;
+                loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let tick = base_tick + k;
+                    let p = (tick % 2) as usize;
+                    visit_shard(
+                        shared, tick, p, w, workers, core, mail, arrivals, shard_of, pinned,
+                        num_ports,
+                    );
+                    barrier.wait();
+                    merge_shard(mail, w, workers, p, core);
+                    k += 1;
+                }
+            });
+        }
+        // The coordinating thread is worker 0; after each merge it also
+        // folds deferred arrivals into the scoreboard and evaluates the
+        // stop condition for the next tick.
+        let mut k = 0u64;
+        loop {
+            barrier.wait();
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let tick = base_tick + k;
+            let p = (tick % 2) as usize;
+            visit_shard(
+                shared,
+                tick,
+                p,
+                0,
+                workers,
+                coordinator_core,
+                mail,
+                arrivals,
+                shard_of,
+                pinned,
+                num_ports,
+            );
+            barrier.wait();
+            merge_shard(mail, 0, workers, p, coordinator_core);
+            // Merge phase: no worker mutates elements, so the coordinator
+            // may read all of them and own every arrival buffer.
+            arrival_scratch.clear();
+            for buf in 0..workers {
+                // SAFETY: arrival buffers belong to the coordinator
+                // during the merge phase.
+                arrival_scratch.append(unsafe { arrivals.get_mut(buf) });
+            }
+            // Each consumer records at most one arrival per tick and each
+            // worker appended in ascending element order, so sorting by
+            // element index reproduces the sequential kernel's scoreboard
+            // order exactly (keys are unique; unstable sort is fine).
+            arrival_scratch.sort_unstable_by_key(|a| a.0);
+            for (_, flit, port) in arrival_scratch.drain(..) {
+                scoreboard.record_arrival(&flit, tick, port);
+            }
+            k += 1;
+            executed = k;
+            if k >= max_ticks || (stop_when_drained && nothing_in_flight(shared)) {
+                stop.store(true, Ordering::Release);
+            }
+        }
+    });
+    executed
+}
+
+/// Whether no element holds a flit and no tile queues a response — the
+/// fault-free form of the drain-idle check. Only callable while elements
+/// are quiescent (before a batch or during a merge phase).
+fn nothing_in_flight(shared: SharedElements<'_>) -> bool {
+    (0..shared.len()).all(|i| {
+        // SAFETY: no worker is in a visit phase.
+        let el = unsafe { shared.get(i) };
+        el.out_flit.is_none()
+            && match &el.kind {
+                Kind::Tile(t) => t.pending.is_empty(),
+                _ => true,
+            }
+    })
+}
+
+/// The visit phase of one tick for one shard: drain the parity-`p` ready
+/// set in ascending element order, stepping each element and re-arming
+/// exactly as the sequential event kernel does (conservative mode is
+/// never active here — fault plans and trace sinks force the sequential
+/// fallback before a `ParState` is ever built).
+#[allow(clippy::too_many_arguments)]
+fn visit_shard(
+    shared: SharedElements<'_>,
+    tick: u64,
+    p: usize,
+    w: usize,
+    workers: usize,
+    core: &mut ShardCore,
+    mail: SharedVecs<'_, u32>,
+    arrivals: SharedVecs<'_, Arrival>,
+    shard_of: &[u16],
+    pinned: &[bool],
+    num_ports: u32,
+) {
+    std::mem::swap(&mut core.ready[p].words, &mut core.scratch);
+    for word in 0..core.scratch.len() {
+        let mut bits = std::mem::take(&mut core.scratch[word]);
+        while bits != 0 {
+            let i = (word << 6) | bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            core.steps += 1;
+            // SAFETY: `i` is in shard `w` with parity `p` — this worker
+            // is its unique owner for this tick.
+            let el = unsafe { shared.get_mut(i) };
+            let before = el.out_flit;
+            match el.kind {
+                Kind::Stage => par_step_stage(shared, el, i),
+                Kind::Source(_) => par_step_source(shared, el, i, tick, num_ports),
+                Kind::Sink(_) => {
+                    // SAFETY: arrival buffer `w` belongs to this worker
+                    // during the visit phase.
+                    let buf = unsafe { arrivals.get_mut(w) };
+                    par_step_sink(shared, el, i, tick, buf);
+                }
+                Kind::Tile(_) => {
+                    let buf = unsafe { arrivals.get_mut(w) };
+                    par_step_tile(shared, el, i, tick, num_ports, buf);
+                }
+            }
+            par_rearm(
+                shared, el, i, p, before, pinned, shard_of, w, workers, core, mail,
+            );
+        }
+    }
+}
+
+/// The merge phase: fold the mailbox column addressed to worker `w` into
+/// its next-parity ready set. Bitset inserts are idempotent and
+/// commutative, so the result is independent of mailbox order — the
+/// determinism anchor for cross-shard wakes.
+fn merge_shard(
+    mail: SharedVecs<'_, u32>,
+    w: usize,
+    workers: usize,
+    p: usize,
+    core: &mut ShardCore,
+) {
+    for from in 0..workers {
+        if from == w {
+            continue;
+        }
+        // SAFETY: mailbox column `w` belongs to this worker during the
+        // merge phase.
+        let inbox = unsafe { mail.get_mut(from * workers + w) };
+        for &idx in inbox.iter() {
+            core.ready[p ^ 1].insert(idx as usize);
+        }
+        inbox.clear();
+    }
+}
+
+/// Post-visit re-arm, mirroring `Network::rearm_after_visit` with
+/// `conservative == false`; cross-shard wakes go through the mailboxes.
+#[allow(clippy::too_many_arguments)]
+fn par_rearm(
+    shared: SharedElements<'_>,
+    el: &mut Element,
+    i: usize,
+    p: usize,
+    before: Option<Flit>,
+    pinned: &[bool],
+    shard_of: &[u16],
+    w: usize,
+    workers: usize,
+    core: &mut ShardCore,
+    mail: SharedVecs<'_, u32>,
+) {
+    let presenting = el.out_flit.is_some();
+    let captured = el.accepted_from;
+    let mut stay = captured.is_some() || pinned[i];
+    match &el.kind {
+        Kind::Source(s) => stay |= s.emitting.is_some(),
+        Kind::Tile(t) => stay |= presenting || !t.pending.is_empty(),
+        Kind::Sink(_) => {
+            stay |= el.upstreams.iter().any(|u| {
+                // SAFETY: upstreams are opposite parity, frozen this tick.
+                unsafe { shared.get(u.index()) }.out_flit.is_some()
+            });
+        }
+        Kind::Stage => {}
+    }
+    if stay {
+        core.ready[p].insert(i);
+    }
+    let wake = |idx: usize, core: &mut ShardCore| {
+        let target = shard_of[idx] as usize;
+        if target == w {
+            core.ready[p ^ 1].insert(idx);
+        } else {
+            // SAFETY: mailbox row `w` belongs to this worker during the
+            // visit phase.
+            unsafe { mail.get_mut(w * workers + target) }.push(idx as u32);
+        }
+    };
+    if let Some(u) = captured {
+        wake(u.index(), core);
+    }
+    if presenting && el.out_flit != before {
+        for d in &el.downstreams {
+            wake(d.index(), core);
+        }
+    }
+}
+
+/// `Network::was_drained` against the shared element view.
+#[inline]
+fn par_was_drained(shared: SharedElements<'_>, el: &Element, i: usize) -> bool {
+    el.out_flit.is_some()
+        && el.downstreams.iter().any(|d| {
+            // SAFETY: downstreams are opposite parity, frozen this tick.
+            unsafe { shared.get(d.index()) }.accepted_from == Some(ElementId(i as u32))
+        })
+}
+
+/// `Network::first_offer` against the shared element view.
+#[inline]
+fn par_first_offer(shared: SharedElements<'_>, el: &Element) -> (Option<ElementId>, Option<Flit>) {
+    for &u in &el.upstreams {
+        // SAFETY: upstreams are opposite parity, frozen this tick.
+        if let Some(flit) = unsafe { shared.get(u.index()) }.out_flit {
+            return (Some(u), Some(flit));
+        }
+    }
+    (None, None)
+}
+
+/// `Network::step_stage` specialised for no faults and no tracing.
+fn par_step_stage(shared: SharedElements<'_>, el: &mut Element, i: usize) {
+    let drained = par_was_drained(shared, el, i);
+    let n = el.upstreams.len();
+    let mut winner: Option<(usize, Flit)> = None;
+    if let Some(locked) = el.lock {
+        // SAFETY: the locked upstream is opposite parity.
+        if let Some(flit) = unsafe { shared.get(locked.index()) }.out_flit {
+            let slot = el
+                .upstreams
+                .iter()
+                .position(|&u| u == locked)
+                .expect("lock always names an upstream");
+            winner = Some((slot, flit));
+        }
+    } else if n > 0 {
+        let start = match el.arb {
+            crate::Arbitration::RoundRobin => el.rr_next % n,
+            crate::Arbitration::Priority => 0,
+        };
+        for k in 0..n {
+            let slot = (start + k) % n;
+            let u = el.upstreams[slot];
+            // SAFETY: upstreams are opposite parity.
+            if let Some(flit) = unsafe { shared.get(u.index()) }.out_flit {
+                if flit.opens_route() && el.filter.wants(&flit) {
+                    winner = Some((slot, flit));
+                    break;
+                }
+            }
+        }
+    }
+    let new_empty = el.out_flit.is_none() || drained;
+    match winner {
+        Some((slot, flit)) if new_empty => {
+            let upstream = el.upstreams[slot];
+            el.accepted_from = Some(upstream);
+            el.out_flit = Some(flit);
+            if flit.opens_route() {
+                el.rr_next = (slot + 1) % n.max(1);
+            }
+            el.lock = if flit.closes_route() {
+                None
+            } else {
+                Some(upstream)
+            };
+            el.gating.record_enabled();
+        }
+        _ => {
+            if drained {
+                el.out_flit = None;
+            }
+            el.accepted_from = None;
+        }
+    }
+}
+
+/// `Network::step_source` specialised for no faults and no tracing.
+fn par_step_source(
+    shared: SharedElements<'_>,
+    el: &mut Element,
+    i: usize,
+    tick: u64,
+    num_ports: u32,
+) {
+    let drained = par_was_drained(shared, el, i);
+    let cycle = tick / 2;
+    if drained {
+        el.out_flit = None;
+    }
+    el.accepted_from = None;
+    let Kind::Source(state) = &mut el.kind else {
+        unreachable!("par_step_source called on non-source")
+    };
+    if state.enabled || state.emitting.is_some() {
+        if el.out_flit.is_none() {
+            if let Some((dest, remaining)) = state.emitting {
+                let kind = if remaining == 1 {
+                    crate::FlitKind::Tail
+                } else {
+                    crate::FlitKind::Body
+                };
+                let flit = Flit::with_kind(
+                    state.port,
+                    dest,
+                    state.next_seq,
+                    state.next_packet,
+                    kind,
+                    tick,
+                );
+                state.next_seq += 1;
+                state.sent += 1;
+                state.emitting = if remaining == 1 {
+                    state.next_packet += 1;
+                    state.packets_sent += 1;
+                    None
+                } else {
+                    Some((dest, remaining - 1))
+                };
+                el.out_flit = Some(flit);
+            } else if state.enabled {
+                let crate::element::SourceState {
+                    pattern,
+                    port,
+                    rng,
+                    cursor,
+                    ..
+                } = state;
+                if let TrafficPhase::Inject(dest) =
+                    pattern.decide(*port, num_ports, cycle, rng, cursor)
+                {
+                    if let Some(trace) = &mut state.trace {
+                        trace.push((cycle, dest.0));
+                    }
+                    let flit = if state.packet_len == 1 {
+                        let f = Flit::with_kind(
+                            state.port,
+                            dest,
+                            state.next_seq,
+                            state.next_packet,
+                            crate::FlitKind::Single,
+                            tick,
+                        );
+                        state.next_packet += 1;
+                        state.packets_sent += 1;
+                        f
+                    } else {
+                        let f = Flit::with_kind(
+                            state.port,
+                            dest,
+                            state.next_seq,
+                            state.next_packet,
+                            crate::FlitKind::Head,
+                            tick,
+                        );
+                        state.emitting = Some((dest, state.packet_len - 1));
+                        f
+                    };
+                    state.next_seq += 1;
+                    state.sent += 1;
+                    el.out_flit = Some(flit);
+                }
+            }
+        } else {
+            state.stalled_edges += 1;
+        }
+    }
+}
+
+/// `Network::step_sink` specialised for no faults and no tracing; the
+/// scoreboard arrival is deferred into this worker's buffer.
+fn par_step_sink(
+    shared: SharedElements<'_>,
+    el: &mut Element,
+    i: usize,
+    tick: u64,
+    arrivals: &mut Vec<Arrival>,
+) {
+    let (up, offered) = par_first_offer(shared, el);
+    let Kind::Sink(state) = &el.kind else {
+        unreachable!("par_step_sink called on non-sink")
+    };
+    let accepts = state.mode.accepts(tick / 2);
+    let port = state.port;
+    match (accepts, offered) {
+        (true, Some(flit)) => {
+            el.accepted_from = up;
+            arrivals.push((i as u32, flit, port));
+        }
+        _ => {
+            el.accepted_from = None;
+        }
+    }
+}
+
+/// `Network::step_tile` specialised for no faults and no tracing; the
+/// scoreboard arrival is deferred into this worker's buffer.
+fn par_step_tile(
+    shared: SharedElements<'_>,
+    el: &mut Element,
+    i: usize,
+    tick: u64,
+    num_ports: u32,
+    arrivals: &mut Vec<Arrival>,
+) {
+    let drained = par_was_drained(shared, el, i);
+    let (up, offered) = par_first_offer(shared, el);
+    if drained {
+        el.out_flit = None;
+    }
+    let out_empty = el.out_flit.is_none();
+    let Kind::Tile(state) = &mut el.kind else {
+        unreachable!("par_step_tile called on non-tile")
+    };
+    let port = state.port;
+    let cycle = tick / 2;
+    let arrived = offered;
+    if offered.is_some() {
+        el.accepted_from = up;
+    } else {
+        el.accepted_from = None;
+    }
+    if let Some(flit) = arrived {
+        match &mut state.role {
+            TileRole::Memory { service_cycles } => {
+                if flit.closes_route() {
+                    state.pending.push_back((flit.src, cycle + *service_cycles));
+                }
+            }
+            TileRole::Processor { .. } => {
+                if let Some(queue) = state.outstanding.get_mut(&flit.src.0) {
+                    if let Some(sent_tick) = queue.pop_front() {
+                        state.round_trip.record(tick.saturating_sub(sent_tick));
+                        state.responses += 1;
+                    }
+                }
+            }
+        }
+    }
+    if out_empty {
+        let mut emit = None;
+        match &mut state.role {
+            TileRole::Memory { .. } => {
+                if let Some(&(requester, ready)) = state.pending.front() {
+                    if cycle >= ready {
+                        state.pending.pop_front();
+                        emit = Some(requester);
+                    }
+                }
+            }
+            TileRole::Processor {
+                pattern,
+                max_outstanding,
+            } => {
+                if state.enabled {
+                    let in_flight: usize = state.outstanding.values().map(|q| q.len()).sum();
+                    if in_flight < *max_outstanding {
+                        if let TrafficPhase::Inject(dest) = pattern.decide(
+                            port,
+                            num_ports,
+                            cycle,
+                            &mut state.rng,
+                            &mut state.cursor,
+                        ) {
+                            emit = Some(dest);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(dest) = emit {
+            let flit = Flit::with_kind(
+                port,
+                dest,
+                state.next_seq,
+                state.next_seq, // single-flit packets: packet id = seq
+                crate::FlitKind::Single,
+                tick,
+            );
+            state.next_seq += 1;
+            state.sent += 1;
+            state.packets_sent += 1;
+            if let TileRole::Processor { .. } = state.role {
+                state.outstanding.entry(dest.0).or_default().push_back(tick);
+            }
+            el.out_flit = Some(flit);
+        }
+    } else if state.enabled {
+        state.stalled_edges += 1;
+    }
+    if let Some(flit) = arrived {
+        arrivals.push((i as u32, flit, port));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_plan_balances_counts() {
+        let plan = plan_shards(10, 3, None);
+        assert_eq!(plan.len(), 10);
+        let mut counts = [0usize; 3];
+        for &s in &plan {
+            counts[s as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 3), "{counts:?}");
+        // Contiguous: non-decreasing shard ids.
+        assert!(plan.windows(2).all(|w| w[0] <= w[1]), "{plan:?}");
+    }
+
+    #[test]
+    fn hinted_plan_keeps_groups_intact() {
+        // 4 groups of sizes 5, 3, 3, 1 over 2 shards: LPT puts the 5
+        // alone-first, then 3 and 3 and 1 balance to 6/6.
+        let mut hints = Vec::new();
+        hints.extend(std::iter::repeat_n(0u32, 5));
+        hints.extend(std::iter::repeat_n(1u32, 3));
+        hints.extend(std::iter::repeat_n(2u32, 3));
+        hints.push(3);
+        let plan = plan_shards(12, 2, Some(&hints));
+        // Every group lands wholly in one shard.
+        for g in 0..4u32 {
+            let shards: std::collections::BTreeSet<u16> = hints
+                .iter()
+                .zip(&plan)
+                .filter(|(&h, _)| h == g)
+                .map(|(_, &s)| s)
+                .collect();
+            assert_eq!(shards.len(), 1, "group {g} split across {shards:?}");
+        }
+        let mut counts = [0usize; 2];
+        for &s in &plan {
+            counts[s as usize] += 1;
+        }
+        assert_eq!(counts, [6, 6], "{plan:?}");
+    }
+
+    #[test]
+    fn spin_barrier_synchronises_threads() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    assert_eq!(counter.load(Ordering::SeqCst), 4);
+                });
+            }
+            counter.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

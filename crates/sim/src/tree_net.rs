@@ -265,6 +265,12 @@ struct Builder {
     port_out: Vec<Option<(ElementId, ClockPolarity)>>,
     /// Per-port consumer element (sink or tile) and its polarity.
     port_in: Vec<Option<(ElementId, ClockPolarity)>>,
+    /// Port ranges of the root router's child subtrees, in child order.
+    /// These are the natural cut lines for the parallel kernel's shards.
+    root_child_ranges: Vec<(u32, u32)>,
+    /// Per-element shard hint: index into `root_child_ranges`, or
+    /// `u32::MAX` for the root router itself.
+    hints: Vec<u32>,
 }
 
 impl Builder {
@@ -327,6 +333,11 @@ impl Builder {
                 }
             }
         }
+        let root_child_ranges = tree
+            .children(tree.root())
+            .iter()
+            .map(|c| ranges[c.index()])
+            .collect();
         Self {
             cfg,
             net,
@@ -335,7 +346,35 @@ impl Builder {
             ring_partners,
             port_out: vec![None; n],
             port_in: vec![None; n],
+            root_child_ranges,
+            hints: Vec::new(),
         }
+    }
+
+    /// The root-child subtree covering `port`, or `u32::MAX` when no
+    /// subtree does (never happens for in-range ports).
+    fn subtree_of_port(&self, port: u32) -> u32 {
+        self.root_child_ranges
+            .iter()
+            .position(|&(lo, hi)| (lo..hi).contains(&port))
+            .map_or(u32::MAX, |i| i as u32)
+    }
+
+    /// The root-child subtree containing `node` (`u32::MAX` for the root
+    /// router itself).
+    fn subtree_of_node(&self, tree: &TreeTopology, node: NodeId) -> u32 {
+        if node == tree.root() {
+            u32::MAX
+        } else {
+            self.subtree_of_port(self.ranges[node.index()].0)
+        }
+    }
+
+    /// Tags every element created since the last call with shard hint
+    /// `group`. Called after each construction step so the hint vector
+    /// tracks the element list exactly.
+    fn mark(&mut self, group: u32) {
+        self.hints.resize(self.net.element_count(), group);
     }
 
     fn build(mut self) -> Network {
@@ -345,7 +384,9 @@ impl Builder {
         for idx in 0..tree.node_count() {
             let node = NodeId(idx as u32);
             routers.push(if tree.is_router(node) {
-                Some(self.build_router(&tree, node))
+                let ports = self.build_router(&tree, node);
+                self.mark(self.subtree_of_node(&tree, node));
+                Some(ports)
             } else {
                 None
             });
@@ -415,6 +456,7 @@ impl Builder {
                     self.net
                         .set_filter(tree_entry, RouteFilter::DestNotIn { a: left, b: right });
                 }
+                self.mark(self.subtree_of_port(port.0));
             } else {
                 let child_ports = routers[child.index()].as_ref().expect("router");
                 let child_in = child_ports.ins[0].expect("non-root routers have a parent port");
@@ -422,6 +464,7 @@ impl Builder {
                 self.chain(parent_out, child_in, k, p_parent, &format!("l{}d", link.0));
                 let p_child = self.router_polarity[child.index()];
                 self.chain(child_out, parent_in, k, p_child, &format!("l{}u", link.0));
+                self.mark(self.subtree_of_node(&tree, child));
             }
         }
         // Ring shortcut channels: injector(i) -> sync stages -> consumer(j).
@@ -454,8 +497,14 @@ impl Builder {
                     from_pol.inverted(),
                     &format!("ring{i}-{j}"),
                 );
+                // Ring synchronisers sit between two subtrees; keep them
+                // with the consumer so the arrival edge stays shard-local.
+                self.mark(self.subtree_of_port(j));
             }
         }
+        debug_assert_eq!(self.hints.len(), self.net.element_count());
+        let hints = std::mem::take(&mut self.hints);
+        self.net.set_shard_hints(hints);
         self.net.finalize();
         self.net
     }

@@ -1,10 +1,12 @@
-//! Differential tests for the two stepping kernels: for any seed and
+//! Differential tests for the stepping kernels: for any seed and
 //! configuration, the event-driven kernel must produce a **bit-identical**
 //! [`SimReport`] — scoreboard, latency statistics, clock-gating counts,
 //! per-element counters, trace-event stream, and recovery ledger — to the
-//! dense full-scan oracle, while never visiting more elements. Plus the
-//! tentpole's idleness property: an all-idle network executes zero element
-//! updates per tick.
+//! dense full-scan oracle, while never visiting more elements; and the
+//! parallel subtree-sharded kernel must match the event kernel exactly at
+//! every worker count (1, 2 and 8), including its element-update count.
+//! Plus the tentpole's idleness property: an all-idle network executes
+//! zero element updates per tick.
 
 use icnoc_sim::{
     FaultPlan, Network, SimKernel, SimReport, SinkMode, TrafficPattern, TreeNetworkConfig,
@@ -16,22 +18,58 @@ fn binary(ports: usize) -> TreeTopology {
     TreeTopology::binary(ports).expect("power of 2")
 }
 
-/// Builds the same network twice — once per kernel — runs both through
-/// the traffic phase and a drain, and returns them for comparison.
+/// The worker counts every parallel-kernel differential runs at: the
+/// degenerate single shard, a root cut in two, and more shards than most
+/// test fabrics have subtrees (exercising the LPT rebalance).
+const PARALLEL_WORKERS: [u32; 3] = [1, 2, 8];
+
+fn run_one(cfg: &TreeNetworkConfig, kernel: SimKernel, cycles: u64) -> Network {
+    let mut net = cfg.clone().with_kernel(kernel).build();
+    net.run_cycles(cycles);
+    // Recovery chains outlive the traffic under fault injection; give
+    // the drain a generous budget (a hung drain still ends).
+    net.drain(cycles.max(1_000) * 4);
+    net
+}
+
+/// Builds the same network twice — once per sequential kernel — runs both
+/// through the traffic phase and a drain, and returns them for comparison.
 fn run_pair(cfg: &TreeNetworkConfig, cycles: u64) -> (Network, Network) {
-    let mut nets = [SimKernel::Dense, SimKernel::EventDriven]
-        .into_iter()
-        .map(|kernel| {
-            let mut net = cfg.clone().with_kernel(kernel).build();
-            net.run_cycles(cycles);
-            // Recovery chains outlive the traffic under fault injection;
-            // give the drain a generous budget (a hung drain still ends).
-            net.drain(cycles.max(1_000) * 4);
-            net
-        });
-    let dense = nets.next().expect("dense");
-    let event = nets.next().expect("event");
-    (dense, event)
+    (
+        run_one(cfg, SimKernel::Dense, cycles),
+        run_one(cfg, SimKernel::EventDriven, cycles),
+    )
+}
+
+/// Runs the same configuration under the parallel kernel at every worker
+/// count in [`PARALLEL_WORKERS`] and asserts each run is bit-identical to
+/// the event-kernel reference — same report, same trace stream, same
+/// recovery ledger, and the **same** element-update count (the parallel
+/// visit set must match the event kernel's tick by tick).
+fn assert_parallel_matches(cfg: &TreeNetworkConfig, event: &Network, cycles: u64, context: &str) {
+    for workers in PARALLEL_WORKERS {
+        let par = run_one(cfg, SimKernel::Parallel { workers }, cycles);
+        assert_eq!(
+            event.report(),
+            par.report(),
+            "{context}: parallel workers={workers} report diverged"
+        );
+        assert_eq!(
+            event.event_buffer().map(|b| b.events()),
+            par.event_buffer().map(|b| b.events()),
+            "{context}: parallel workers={workers} trace streams diverged"
+        );
+        assert_eq!(
+            event.fault_report(),
+            par.fault_report(),
+            "{context}: parallel workers={workers} recovery ledgers diverged"
+        );
+        assert_eq!(
+            event.element_steps(),
+            par.element_steps(),
+            "{context}: parallel workers={workers} element-update counts diverged"
+        );
+    }
 }
 
 /// The full differential assertion: identical reports, identical trace
@@ -114,6 +152,7 @@ proptest! {
             .with_seed(seed);
         let (dense, event) = run_pair(&cfg, cycles);
         assert_identical(&dense, &event, "open-loop");
+        assert_parallel_matches(&cfg, &event, cycles, "open-loop");
     }
 
     /// Closed-loop processor/memory tiles (request/response with service
@@ -135,6 +174,7 @@ proptest! {
             .with_seed(seed);
         let (dense, event) = run_pair(&cfg, cycles);
         assert_identical(&dense, &event, "closed-loop");
+        assert_parallel_matches(&cfg, &event, cycles, "closed-loop");
     }
 
     /// The fault soak — every fault kind at a nonzero rate, shared fault
@@ -153,7 +193,86 @@ proptest! {
             .with_seed(seed);
         let (dense, event) = run_pair(&cfg, cycles);
         assert_identical(&dense, &event, "fault soak");
+        // Fault plans share one order-dependent RNG stream, so the
+        // parallel kernel runs its sequential fallback here — the
+        // differential still holds, proving the fallback engages.
+        assert_parallel_matches(&cfg, &event, cycles, "fault soak");
     }
+}
+
+/// The hardest case for subtree sharding: mirror traffic, where **every**
+/// flit crosses the root router and therefore a shard boundary in both
+/// directions. With two workers the root cut splits the fabric exactly
+/// between the root's children, so all forward progress depends on the
+/// mailbox exchange at the polarity barrier.
+#[test]
+fn all_traffic_crossing_the_root_survives_the_shard_cut() {
+    for seed in [5u64, 19, 77] {
+        let ports = 16u32;
+        let mut cfg = TreeNetworkConfig::new(binary(ports as usize)).with_seed(seed);
+        for p in 0..ports {
+            // Port p talks only to its mirror image on the far side of
+            // the root: ports 0..8 and 8..16 are different root subtrees.
+            cfg = cfg.with_port_pattern(
+                PortId(p),
+                TrafficPattern::Hotspot {
+                    rate: 0.3,
+                    target: PortId(ports - 1 - p),
+                    fraction: 1.0,
+                },
+            );
+        }
+        let event = run_one(&cfg, SimKernel::EventDriven, 400);
+        assert!(event.report().delivered > 0, "mirror traffic must flow");
+        for workers in PARALLEL_WORKERS {
+            let par = run_one(&cfg, SimKernel::Parallel { workers }, 400);
+            assert_eq!(
+                par.active_workers(),
+                Some(workers as usize),
+                "the parallel kernel must actually shard at workers={workers}"
+            );
+            assert_eq!(
+                event.report(),
+                par.report(),
+                "root-crossing traffic diverged at workers={workers}"
+            );
+            assert_eq!(event.element_steps(), par.element_steps());
+        }
+    }
+}
+
+/// Order-dependent shared state — the fault RNG and attached trace sinks —
+/// forces the parallel kernel onto its sequential fallback, and the
+/// fallback must actually engage (`active_workers` stays `None`).
+#[test]
+fn parallel_kernel_falls_back_on_shared_order_dependent_state() {
+    let faulted = run_one(
+        &TreeNetworkConfig::new(binary(8))
+            .with_pattern(TrafficPattern::Uniform { rate: 0.3 })
+            .with_faults(FaultPlan::soak(3))
+            .with_seed(3),
+        SimKernel::Parallel { workers: 4 },
+        200,
+    );
+    assert_eq!(faulted.active_workers(), None, "fault plans are sequential");
+    let traced = run_one(
+        &TreeNetworkConfig::new(binary(8))
+            .with_pattern(TrafficPattern::Uniform { rate: 0.3 })
+            .with_event_buffer(1 << 10)
+            .with_seed(3),
+        SimKernel::Parallel { workers: 4 },
+        200,
+    );
+    assert_eq!(traced.active_workers(), None, "trace sinks are sequential");
+    // A plain network with no shared state does shard.
+    let plain = run_one(
+        &TreeNetworkConfig::new(binary(8))
+            .with_pattern(TrafficPattern::Uniform { rate: 0.3 })
+            .with_seed(3),
+        SimKernel::Parallel { workers: 4 },
+        200,
+    );
+    assert_eq!(plain.active_workers(), Some(4));
 }
 
 /// Event streams must match event-by-event, not just in aggregate, when a
