@@ -97,6 +97,33 @@ pub enum Command {
         faults: Option<FaultSpec>,
         /// Stepping kernel (`event` default; `dense` is the oracle).
         kernel: SimKernel,
+        /// Attach the kernel profiler and print the per-shard summary
+        /// table after the report.
+        profile: bool,
+        /// Write a Chrome trace-event JSON timeline here (implies
+        /// profiling).
+        chrome_trace: Option<String>,
+    },
+    /// Profile a simulation: run with the kernel profiler attached and
+    /// print the per-shard breakdown (a focussed alias for
+    /// `sim --profile`).
+    Profile {
+        /// Build options.
+        build: BuildOpts,
+        /// Per-port traffic pattern.
+        pattern: TrafficPattern,
+        /// Cycles to simulate before draining.
+        cycles: u64,
+        /// Master seed.
+        seed: u64,
+        /// Flits per packet.
+        packet_len: u32,
+        /// Closed-loop tiles as `(max_outstanding, service_cycles)`.
+        tiles: Option<(usize, u64)>,
+        /// Stepping kernel (`event` default; `dense` is the oracle).
+        kernel: SimKernel,
+        /// Write a Chrome trace-event JSON timeline here.
+        chrome_trace: Option<String>,
     },
     /// Run a counter-traced simulation and export per-element utilisation
     /// and per-flow latency percentiles.
@@ -182,6 +209,9 @@ pub enum Command {
         out: String,
         /// Suppress the live progress line.
         quiet: bool,
+        /// Attach the kernel profiler to every executed job, adding
+        /// `perf` telemetry to the sweep output.
+        profile: bool,
     },
     /// Run a fault-injection soak and print the
     /// injected-vs-detected-vs-recovered accounting.
@@ -259,6 +289,21 @@ impl Cli {
                     None => None,
                 },
                 kernel: flags.take_kernel()?,
+                profile: flags.take_bool("profile")?,
+                chrome_trace: flags.take_opt_string("chrome-trace"),
+            },
+            "profile" => Command::Profile {
+                build: flags.build_opts()?,
+                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                cycles: flags.take_u64("cycles", 2_000)?,
+                seed: flags.take_u64("seed", 42)?,
+                packet_len: flags.take_usize("packet-len", 1)? as u32,
+                tiles: match flags.take_opt_string("tiles") {
+                    Some(spec) => Some(parse_tiles(&spec)?),
+                    None => None,
+                },
+                kernel: flags.take_kernel()?,
+                chrome_trace: flags.take_opt_string("chrome-trace"),
             },
             "stats" => Command::Stats {
                 build: flags.build_opts()?,
@@ -328,6 +373,7 @@ impl Cli {
                     resume: flags.take_bool("resume")?,
                     out: flags.take_string("out", "BENCH_explore.json"),
                     quiet: flags.take_bool("quiet")?,
+                    profile: flags.take_bool("profile")?,
                 }
             }
             "faults" => Command::Faults {
@@ -689,6 +735,76 @@ mod tests {
     }
 
     #[test]
+    fn sim_profile_flags_parse() {
+        let cli = Cli::parse(["sim", "--profile", "--chrome-trace", "trace.json"]).expect("parses");
+        let Command::Sim {
+            profile,
+            chrome_trace,
+            ..
+        } = cli.command
+        else {
+            panic!("expected sim");
+        };
+        assert!(profile);
+        assert_eq!(chrome_trace.as_deref(), Some("trace.json"));
+        // Both default off.
+        let cli = Cli::parse(["sim"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Sim {
+                profile: false,
+                chrome_trace: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn profile_subcommand_parses_with_defaults() {
+        let cli = Cli::parse([
+            "profile",
+            "--ports",
+            "64",
+            "--kernel",
+            "parallel",
+            "--workers",
+            "4",
+            "--chrome-trace",
+            "out.json",
+        ])
+        .expect("parses");
+        let Command::Profile {
+            build,
+            cycles,
+            seed,
+            kernel,
+            chrome_trace,
+            ..
+        } = cli.command
+        else {
+            panic!("expected profile");
+        };
+        assert_eq!(build.ports, 64);
+        assert_eq!(cycles, 2_000);
+        assert_eq!(seed, 42);
+        assert_eq!(kernel, SimKernel::Parallel { workers: 4 });
+        assert_eq!(chrome_trace.as_deref(), Some("out.json"));
+        // Defaults mirror `sim`: event kernel, no trace file.
+        let cli = Cli::parse(["profile"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Profile {
+                kernel: SimKernel::EventDriven,
+                chrome_trace: None,
+                ..
+            }
+        ));
+        // `profile` has no fault or VCD surface.
+        assert!(Cli::parse(["profile", "--faults", "soak"]).is_err());
+        assert!(Cli::parse(["profile", "--vcd", "x.vcd"]).is_err());
+    }
+
+    #[test]
     fn stats_parses_format_and_output() {
         let cli = Cli::parse([
             "stats", "--ports", "16", "--format", "csv", "--out", "x.csv",
@@ -802,6 +918,7 @@ mod tests {
             resume,
             out,
             quiet,
+            profile,
         } = cli.command
         else {
             panic!("expected explore");
@@ -813,6 +930,13 @@ mod tests {
         assert!(!resume);
         assert_eq!(out, "BENCH_explore.json");
         assert!(quiet);
+        assert!(!profile);
+        // `--profile` attaches per-job perf telemetry to the sweep.
+        let cli = Cli::parse(["explore", "--profile"]).expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Explore { profile: true, .. }
+        ));
         // `--workers` selects the parallel simulation kernel per job.
         let cli = Cli::parse(["explore", "--workers", "2"]).expect("parses");
         assert!(matches!(

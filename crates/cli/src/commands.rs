@@ -20,6 +20,10 @@ USAGE:
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
                [--diagnose] [--faults SPEC] [--kernel event|dense|parallel] [--workers N]
+               [--profile] [--chrome-trace trace.json]
+  icnoc profile [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
+               [--packet-len 1] [--tiles OUTSTANDING:SERVICE]
+               [--kernel event|dense|parallel] [--workers N] [--chrome-trace trace.json]
   icnoc stats  [build opts] [sim opts] [--format json|csv] [--out stats.json]
   icnoc trace  [build opts] [sim opts] [--capacity 4096] [--limit 40] [--vcd out.vcd]
   icnoc faults [build opts] [--pattern uniform:0.2] [--cycles 10000] [--seed 42]
@@ -27,7 +31,7 @@ USAGE:
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
   icnoc explore [--grid SPEC] [--jobs 1] [--workers N] [--cache-dir DIR] [--resume]
-               [--out BENCH_explore.json] [--quiet]
+               [--out BENCH_explore.json] [--quiet] [--profile]
 
 PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent
 FAULTS:   soak  soak*F  key=rate[,key=rate...] over jitter, spike, corrupt, drop,
@@ -39,7 +43,12 @@ KERNEL:   event (default, activity-list stepping), dense (full scan, the
           differential-testing oracle) or parallel (subtree-sharded worker
           threads; --workers N, 0 = one per core) — all bit-identical per
           seed. explore --workers N simulates each job with the parallel
-          kernel at N workers without changing results or cache keys";
+          kernel at N workers without changing results or cache keys
+PROFILE:  sim --profile (or the profile subcommand) attaches the kernel
+          profiler: per-shard step/wake counters, a load-imbalance ratio
+          and the barrier-overhead fraction. --chrome-trace FILE writes a
+          trace-event timeline loadable at ui.perfetto.dev. explore
+          --profile adds per-job perf telemetry to the sweep JSON";
 
 /// Executes `cli`, returning the text to print.
 ///
@@ -85,12 +94,18 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             diagnose,
             faults,
             kernel,
+            profile,
+            chrome_trace,
         } => {
             let sys = build_system(build)?;
             let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len, *kernel);
             if let Some(spec) = faults {
                 net.enable_faults(fault_plan(&sys, spec, *seed));
             }
+            if *profile || chrome_trace.is_some() {
+                net.enable_profiling();
+            }
+            warn_fallback(&net);
 
             let mut trace = vcd.as_ref().map(|_| VcdTrace::new(&net));
             if let Some(trace) = &mut trace {
@@ -155,6 +170,43 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 std::fs::write(path, trace.render(half_period_ps(build)))
                     .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
                 let _ = write!(out, "\nwaveform written to {path}");
+            }
+            if let Some(perf) = &report.perf {
+                let _ = write!(out, "\n{}", perf.summary());
+                if let Some(path) = chrome_trace {
+                    std::fs::write(path, perf.chrome_trace_json())
+                        .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+                    let _ = write!(out, "\nchrome trace written to {path}");
+                }
+            }
+            Ok(out)
+        }
+        Command::Profile {
+            build,
+            pattern,
+            cycles,
+            seed,
+            packet_len,
+            tiles,
+            kernel,
+            chrome_trace,
+        } => {
+            let sys = build_system(build)?;
+            let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len, *kernel);
+            net.enable_profiling();
+            warn_fallback(&net);
+            net.run_cycles(*cycles);
+            net.drain((*cycles).max(1_000));
+            let report = net.report();
+            let perf = report.perf.as_ref().expect("profiling was enabled");
+
+            let mut out = String::new();
+            let _ = writeln!(out, "{report}");
+            let _ = write!(out, "{}", perf.summary());
+            if let Some(path) = chrome_trace {
+                std::fs::write(path, perf.chrome_trace_json())
+                    .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+                let _ = write!(out, "\nchrome trace written to {path}");
             }
             Ok(out)
         }
@@ -302,6 +354,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             let sys = build_system(build)?;
             let mut net = build_network(&sys, pattern, None, *seed, *packet_len, *kernel);
             net.enable_faults(fault_plan(&sys, spec, *seed));
+            warn_fallback(&net);
             net.run_cycles(*cycles);
             let drained = net.drain_or_diagnose((*cycles).max(1_000).saturating_mul(4));
             let report = net.report();
@@ -345,8 +398,18 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             resume,
             out,
             quiet,
+            profile,
         } => {
             let spec = GridSpec::parse(grid).map_err(|e| CliError(e.to_string()))?;
+            // The parallel kernel cannot host per-job fault injection;
+            // those grid points silently run the sequential fallback, so
+            // name the cause up front (mirrors `sim`/`faults`).
+            if workers.is_some() && spec.resolve().iter().any(|j| j.soak > 0.0) {
+                eprintln!(
+                    "warning: parallel kernel running the sequential fallback \
+                     for soak > 0 grid points: fault-plan"
+                );
+            }
             // `--resume` without an explicit directory caches in the
             // default location, so a rerun picks up where it left off.
             let cache_path = cache_dir
@@ -367,6 +430,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 jobs: *jobs,
                 cache,
                 kernel,
+                profile: *profile,
             };
             let quiet = *quiet;
             let (analysis, stats) = run_sweep(&spec, &opts, |done, total| {
@@ -447,6 +511,20 @@ fn describe_kind(kind: TraceEventKind) -> String {
         TraceEventKind::TimingViolation => "timing-violation".to_owned(),
         TraceEventKind::Retransmitted => "retransmitted".to_owned(),
         TraceEventKind::FrequencyBackoff => "freq-backoff".to_owned(),
+    }
+}
+
+/// Names the sequential-fallback cause on stderr when the requested
+/// parallel kernel cannot actually run in parallel (fault injection or
+/// trace sinks are attached). Stderr keeps stdout byte-stable for
+/// kernel-differential comparisons; silent on genuinely parallel runs
+/// and on the sequential kernels.
+fn warn_fallback(net: &Network) {
+    if let Some(cause) = net.fallback_cause() {
+        eprintln!(
+            "warning: parallel kernel running the sequential fallback: {} — {cause}",
+            cause.label()
+        );
     }
 }
 
@@ -551,6 +629,64 @@ mod tests {
         ])
         .expect("runs");
         assert!(out.contains("diagnose: drained clean"), "{out}");
+    }
+
+    #[test]
+    fn sim_profile_prints_the_shard_table() {
+        let out = run_line(&[
+            "sim",
+            "--ports",
+            "16",
+            "--pattern",
+            "uniform:0.3",
+            "--cycles",
+            "300",
+            "--kernel",
+            "parallel",
+            "--workers",
+            "2",
+            "--profile",
+        ])
+        .expect("runs");
+        assert!(out.contains("correct: true"), "{out}");
+        assert!(out.contains("load imbalance:"), "{out}");
+        assert!(out.contains("barrier overhead:"), "{out}");
+    }
+
+    #[test]
+    fn profile_subcommand_writes_a_chrome_trace() {
+        let dir = std::env::temp_dir().join("icnoc_cli_test_profile");
+        let path = dir.join("trace.json");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_line(&[
+            "profile",
+            "--ports",
+            "16",
+            "--pattern",
+            "uniform:0.3",
+            "--cycles",
+            "300",
+            "--kernel",
+            "parallel",
+            "--workers",
+            "2",
+            "--chrome-trace",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .expect("runs");
+        assert!(out.contains("load imbalance:"), "{out}");
+        assert!(out.contains("chrome trace written"), "{out}");
+        let json = std::fs::read_to_string(&path).expect("file exists");
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_covers_the_sequential_kernels_too() {
+        let out = run_line(&["profile", "--ports", "16", "--cycles", "200"]).expect("runs");
+        assert!(out.contains("event kernel"), "{out}");
+        assert!(out.contains("load imbalance:"), "{out}");
     }
 
     #[test]

@@ -166,10 +166,14 @@ mod tests {
 
     #[test]
     fn salt_embeds_the_current_schema_versions() {
-        // The event-kernel PR bumped the sim schema to 3; the salt must
-        // carry it so every pre-bump cache entry misses.
+        // Schema bumps (most recently for the report's perf section)
+        // must flow into the salt so every pre-bump cache entry misses.
         let salt = version_salt();
-        assert!(salt.contains("sim_schema=3"), "{salt}");
+        assert!(
+            salt.contains(&format!("sim_schema={}", SimReport::SCHEMA_VERSION)),
+            "{salt}"
+        );
+        assert!(salt.contains("sim_schema=4"), "{salt}");
         assert!(
             salt.contains(&format!(
                 "recovery_schema={}",

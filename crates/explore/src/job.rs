@@ -33,9 +33,33 @@ pub struct JobOutcome {
     pub max_segment_mm: f64,
     /// Simulation headline numbers; `None` when the system did not build.
     pub digest: Option<ReportDigest>,
+    /// Kernel-introspection summary, present only when the sweep ran
+    /// with profiling enabled. Nondeterministic (wall-derived ratios),
+    /// so it is emitted next to `wall_ms`, stripped before caching, and
+    /// never read back from JSON.
+    pub perf: Option<JobPerf>,
     /// Wall-clock milliseconds the job took (excluded from comparisons:
-    /// the only non-deterministic field).
+    /// the only non-deterministic field besides `perf`).
     pub wall_ms: u64,
+}
+
+/// The per-job slice of the simulator's `perf` section a sweep records:
+/// just the headline ratios, not the per-epoch timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobPerf {
+    /// Stable kernel label (`dense` / `event` / `parallel`).
+    pub kernel: String,
+    /// Resolved worker count (1 on sequential kernels and the fallback).
+    pub workers: u32,
+    /// Barrier epochs (half-cycle ticks) executed.
+    pub epochs: u64,
+    /// Sequential-fallback cause label, if the parallel kernel fell back.
+    pub fallback: Option<String>,
+    /// Max/mean shard steps (1.0 = perfectly balanced).
+    pub load_imbalance: f64,
+    /// Fraction of worker wall time spent at barriers (0.0 when
+    /// unavailable).
+    pub barrier_fraction: f64,
 }
 
 /// Builds, verifies and simulates one grid point.
@@ -64,6 +88,22 @@ pub fn run_job(config: &JobConfig) -> Result<JobOutcome, GridError> {
 ///
 /// See [`run_job`].
 pub fn run_job_with_kernel(config: &JobConfig, kernel: SimKernel) -> Result<JobOutcome, GridError> {
+    run_job_with_options(config, kernel, false)
+}
+
+/// Like [`run_job_with_kernel`], with per-job kernel profiling as an
+/// opt-in. Profiling never changes simulation results — the outcome
+/// merely gains a [`JobPerf`] summary (which cache writers strip, keeping
+/// cache contents kernel- and profiling-invariant).
+///
+/// # Errors
+///
+/// See [`run_job`].
+pub fn run_job_with_options(
+    config: &JobConfig,
+    kernel: SimKernel,
+    profile: bool,
+) -> Result<JobOutcome, GridError> {
     let corner = config
         .system
         .resolve_corner()
@@ -91,6 +131,7 @@ pub fn run_job_with_kernel(config: &JobConfig, kernel: SimKernel) -> Result<JobO
                 safe_freq_ghz,
                 max_segment_mm: 0.0,
                 digest: None,
+                perf: None,
                 wall_ms: 0,
             }
         }
@@ -102,6 +143,9 @@ pub fn run_job_with_kernel(config: &JobConfig, kernel: SimKernel) -> Result<JobO
             let report: SimReport = {
                 let patterns = vec![pattern; system.tree().num_ports()];
                 let mut net = system.network_with_kernel(&patterns, hash, kernel);
+                if profile {
+                    net.enable_profiling();
+                }
                 if config.soak > 0.0 {
                     let plan = system
                         .fault_plan(hash)
@@ -123,6 +167,14 @@ pub fn run_job_with_kernel(config: &JobConfig, kernel: SimKernel) -> Result<JobO
                 safe_freq_ghz: safe_frequency(&system, corner.variation()),
                 max_segment_mm: system.max_segment().value(),
                 digest: Some(report.digest()),
+                perf: report.perf.as_ref().map(|p| JobPerf {
+                    kernel: p.kernel.clone(),
+                    workers: p.workers,
+                    epochs: p.epochs,
+                    fallback: p.fallback.map(|c| c.label().to_owned()),
+                    load_imbalance: p.load_imbalance(),
+                    barrier_fraction: p.barrier_fraction().unwrap_or(0.0),
+                }),
                 wall_ms: 0,
             }
         }
@@ -147,9 +199,9 @@ fn safe_frequency(system: &icnoc::System, variation: ProcessVariation) -> f64 {
 }
 
 impl JobOutcome {
-    /// Serialises to a JSON object. `wall_ms` is emitted **last** so
-    /// consumers comparing runs can strip the single non-deterministic
-    /// line.
+    /// Serialises to a JSON object. The nondeterministic fields come
+    /// last: `perf` (present only on profiled sweeps) just before
+    /// `wall_ms`, so consumers comparing runs can strip them.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         let mut pairs = vec![
@@ -173,6 +225,28 @@ impl JobOutcome {
                 },
             ),
         ];
+        if let Some(p) = &self.perf {
+            pairs.push((
+                "perf".into(),
+                JsonValue::Obj(vec![
+                    ("kernel".into(), JsonValue::Str(p.kernel.clone())),
+                    ("workers".into(), JsonValue::Num(f64::from(p.workers))),
+                    ("epochs".into(), JsonValue::Num(p.epochs as f64)),
+                    (
+                        "fallback".into(),
+                        match &p.fallback {
+                            Some(cause) => JsonValue::Str(cause.clone()),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    ("load_imbalance".into(), JsonValue::Num(p.load_imbalance)),
+                    (
+                        "barrier_fraction".into(),
+                        JsonValue::Num(p.barrier_fraction),
+                    ),
+                ]),
+            ));
+        }
         pairs.push(("wall_ms".into(), JsonValue::Num(self.wall_ms as f64)));
         JsonValue::Obj(pairs)
     }
@@ -215,6 +289,9 @@ impl JobOutcome {
                 Some(JsonValue::Null) | None => None,
                 Some(d) => Some(digest_from_json(d)?),
             },
+            // Perf telemetry is output-only: it is nondeterministic, so a
+            // reloaded outcome (the cache path) deliberately drops it.
+            perf: None,
             wall_ms: num("wall_ms")? as u64,
         })
     }

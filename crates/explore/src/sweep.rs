@@ -4,7 +4,7 @@
 use crate::cache::ResultCache;
 use crate::executor::run_indexed;
 use crate::grid::GridSpec;
-use crate::job::{run_job_with_kernel, JobOutcome};
+use crate::job::{run_job_with_options, JobOutcome};
 use crate::pareto::Analysis;
 use icnoc_sim::SimKernel;
 
@@ -18,6 +18,11 @@ pub struct SweepOptions {
     /// Stepping kernel each job simulates with. Purely an execution
     /// option: outcomes (and cache keys) are kernel-invariant.
     pub kernel: SimKernel,
+    /// Attach the kernel profiler to every executed job, adding a `perf`
+    /// telemetry object to its sweep-output JSON. Also an execution
+    /// option: the telemetry is stripped before caching, so cache
+    /// contents stay profiling-invariant.
+    pub profile: bool,
 }
 
 /// Where a sweep's outcomes came from.
@@ -62,7 +67,10 @@ where
     let results = run_indexed(
         pending.len(),
         opts.jobs,
-        |k| run_job_with_kernel(&jobs[pending[k]], opts.kernel).map_err(|e| e.to_string()),
+        |k| {
+            run_job_with_options(&jobs[pending[k]], opts.kernel, opts.profile)
+                .map_err(|e| e.to_string())
+        },
         |done, _| progress(cached + done, total),
     );
 
@@ -75,8 +83,14 @@ where
             Ok(Ok(outcome)) => {
                 if let Some(cache) = &opts.cache {
                     // A failed store degrades to "uncached", not an error:
-                    // the sweep's results do not depend on the cache.
-                    let _ = cache.store(&outcome);
+                    // the sweep's results do not depend on the cache. The
+                    // nondeterministic perf telemetry never enters the
+                    // cache, keeping stored bytes profiling-invariant.
+                    let stored = JobOutcome {
+                        perf: None,
+                        ..outcome.clone()
+                    };
+                    let _ = cache.store(&stored);
                 }
                 outcome
             }
@@ -114,6 +128,7 @@ fn failed_outcome(config: &crate::grid::JobConfig, msg: &str) -> JobOutcome {
         safe_freq_ghz: 0.0,
         max_segment_mm: 0.0,
         digest: None,
+        perf: None,
         wall_ms: 0,
     }
 }
@@ -139,6 +154,7 @@ mod tests {
                 jobs: 1,
                 cache: None,
                 kernel: SimKernel::default(),
+                profile: false,
             },
             |_, _| {},
         );
@@ -148,6 +164,7 @@ mod tests {
                 jobs: 8,
                 cache: None,
                 kernel: SimKernel::default(),
+                profile: false,
             },
             |_, _| {},
         );
@@ -169,6 +186,7 @@ mod tests {
                 jobs: 1,
                 cache: None,
                 kernel: SimKernel::default(),
+                profile: false,
             },
             |_, _| {},
         );
@@ -178,6 +196,7 @@ mod tests {
                 jobs: 2,
                 cache: None,
                 kernel: SimKernel::Parallel { workers: 2 },
+                profile: false,
             },
             |_, _| {},
         );
@@ -200,6 +219,7 @@ mod tests {
                 jobs: 2,
                 cache: Some(open()),
                 kernel: SimKernel::default(),
+                profile: false,
             },
             |_, _| {},
         );
@@ -211,6 +231,7 @@ mod tests {
                 jobs: 2,
                 cache: Some(open()),
                 kernel: SimKernel::default(),
+                profile: false,
             },
             |_, _| {},
         );
@@ -219,6 +240,71 @@ mod tests {
         // Cached results are the executed results, wall clock and all.
         assert_eq!(first.to_json().to_pretty(), second.to_json().to_pretty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profiling_is_additive_telemetry_only() {
+        // A profiled sweep must produce the same analysis as an
+        // unprofiled one once the nondeterministic lines (wall_ms and
+        // the perf object) are stripped — and the perf object must
+        // actually appear on buildable points.
+        let strip_perf = |text: &str| -> String {
+            // The perf object spans several pretty-printed lines; drop
+            // everything from its opening key to its closing brace.
+            let mut out = Vec::new();
+            let mut in_perf = false;
+            for line in text.lines() {
+                if line.trim_start().starts_with("\"perf\":") {
+                    in_perf = true;
+                    continue;
+                }
+                if in_perf {
+                    if line.trim() == "}," || line.trim() == "}" {
+                        in_perf = false;
+                    }
+                    continue;
+                }
+                if !line.contains("wall_ms") {
+                    out.push(line);
+                }
+            }
+            out.join("\n")
+        };
+        let grid = GridSpec::parse("ports=16;cycles=150;freq=0.9,1.0").expect("parses");
+        let (plain, _) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: None,
+                kernel: SimKernel::default(),
+                profile: false,
+            },
+            |_, _| {},
+        );
+        let (profiled, _) = run_sweep(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: None,
+                kernel: SimKernel::default(),
+                profile: true,
+            },
+            |_, _| {},
+        );
+        let profiled_text = profiled.to_json().to_pretty();
+        assert!(
+            profiled_text.contains("\"perf\":"),
+            "profiled sweeps must carry perf telemetry"
+        );
+        assert!(
+            profiled_text.contains("\"epochs\":"),
+            "perf telemetry must include epoch counts"
+        );
+        assert_eq!(
+            strip_perf(&plain.to_json().to_pretty()),
+            strip_perf(&profiled_text),
+            "profiling must not change the analysis"
+        );
     }
 
     #[test]
@@ -231,6 +317,7 @@ mod tests {
                 jobs: 2,
                 cache: None,
                 kernel: SimKernel::default(),
+                profile: false,
             },
             |done, total| {
                 assert_eq!(total, 2);

@@ -4,6 +4,7 @@ use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState}
 use crate::fault::{ArrivalVerdict, CaptureEffect, FaultState};
 use crate::label::LabelTable;
 use crate::parallel::{self, ParState};
+use crate::profile::{FallbackCause, KernelProfiler, PerfReport, PerfWall, ShardCounters};
 use crate::report::Scoreboard;
 use crate::trace::{
     CountersSink, DropCause, RingBufferSink, TraceEvent, TraceEventKind, TraceSink,
@@ -165,6 +166,10 @@ pub struct Network {
     /// Deliberately *not* part of [`SimReport`]: the kernels visit
     /// different element counts while producing identical reports.
     element_steps: u64,
+    /// Kernel profiler, if [`enable_profiling`](Self::enable_profiling)
+    /// was called. Boxed like `faults`: the unprofiled hot path pays one
+    /// pointer of state and one branch per tick.
+    prof: Option<Box<KernelProfiler>>,
 }
 
 impl Network {
@@ -199,6 +204,7 @@ impl Network {
             par: None,
             shard_hints: None,
             element_steps: 0,
+            prof: None,
         }
     }
 
@@ -236,6 +242,42 @@ impl Network {
     #[must_use]
     pub fn element_steps(&self) -> u64 {
         self.element_steps
+    }
+
+    /// Switches on the kernel profiler. Must be called before the first
+    /// [`step`](Self::step), so every barrier epoch is covered; the
+    /// collected data lands in the `perf` section of
+    /// [`report`](Self::report) (see [`PerfReport`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has already been stepped.
+    #[track_caller]
+    pub fn enable_profiling(&mut self) {
+        assert_eq!(self.tick, 0, "enable profiling before stepping");
+        self.prof = Some(Box::new(KernelProfiler::default()));
+    }
+
+    /// Whether the kernel profiler is attached.
+    #[must_use]
+    pub fn profiling_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Why a [`SimKernel::Parallel`] network is (or would be) running the
+    /// sequential fallback, or `None` when the parallel path is clear.
+    /// Always `None` on the sequential kernels.
+    #[must_use]
+    pub fn fallback_cause(&self) -> Option<FallbackCause> {
+        if !matches!(self.kernel, SimKernel::Parallel { .. }) {
+            return None;
+        }
+        match (self.faults.is_some(), !self.sinks.is_empty()) {
+            (false, false) => None,
+            (true, false) => Some(FallbackCause::FaultPlan),
+            (false, true) => Some(FallbackCause::TraceSinks),
+            (true, true) => Some(FallbackCause::FaultPlanAndTraceSinks),
+        }
     }
 
     /// Attaches a fault-injection and recovery plan. Call after
@@ -617,12 +659,17 @@ impl Network {
             } else {
                 workers as usize
             };
-            self.par = Some(ParState::build(
+            let mut par = ParState::build(
                 &self.elements,
                 requested,
                 &self.armed,
                 self.shard_hints.as_deref(),
-            ));
+            );
+            if let Some(prof) = &mut self.prof {
+                par.enable_profiling();
+                prof.bind_shards(par.workers());
+            }
+            self.par = Some(par);
         }
         true
     }
@@ -631,6 +678,17 @@ impl Network {
     /// called when [`parallel_ready`](Self::parallel_ready) returned true.
     fn par_step_batch(&mut self, ticks: u64, stop_when_drained: bool) {
         let par = self.par.as_mut().expect("parallel state active");
+        if let Some(prof) = &self.prof {
+            // Anchor each core's sample timestamps at the profiler's
+            // cumulative elapsed time, so epochs of successive batches
+            // form one continuous timeline.
+            for core in par.cores_mut() {
+                if let Some(p) = &mut core.prof {
+                    p.begin_batch(prof.elapsed_ns);
+                }
+            }
+        }
+        let batch_start = self.prof.as_ref().map(|_| std::time::Instant::now());
         let executed = parallel::par_run(
             parallel::ParRunCtx {
                 elements: &mut self.elements,
@@ -644,9 +702,22 @@ impl Network {
             stop_when_drained,
         );
         self.tick += executed;
-        for core in par.cores_mut() {
+        if let Some(prof) = &mut self.prof {
+            prof.epochs += executed;
+            if let Some(t) = batch_start {
+                prof.elapsed_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+        for (w, core) in par.cores_mut().iter_mut().enumerate() {
             self.element_steps += core.steps;
+            if let Some(prof) = &mut self.prof {
+                prof.shard_steps[w] += core.steps;
+                prof.shard_wakes_sent[w] += core.wakes_sent;
+                prof.shard_wakes_received[w] += core.wakes_received;
+            }
             core.steps = 0;
+            core.wakes_sent = 0;
+            core.wakes_received = 0;
         }
     }
 
@@ -817,6 +888,10 @@ impl Network {
             self.par_step_batch(1, false);
             return;
         }
+        let seq_start = self
+            .prof
+            .as_ref()
+            .map(|_| (std::time::Instant::now(), self.element_steps));
         if let Some(f) = &mut self.faults {
             // Per-edge recovery machinery: DFS creep-up, ack timeouts,
             // retransmission scheduling. Ports with a freshly queued
@@ -872,6 +947,14 @@ impl Network {
                     }
                 }
             }
+        }
+        if let Some((t0, steps0)) = seq_start {
+            let step_ns = t0.elapsed().as_nanos() as u64;
+            let steps = self.element_steps - steps0;
+            self.prof
+                .as_mut()
+                .expect("profiling enabled")
+                .record_sequential_tick(self.tick, steps, step_ns);
         }
         self.tick += 1;
     }
@@ -1635,6 +1718,57 @@ impl Network {
             .iter()
             .find_map(|s| s.as_any().downcast_ref::<CountersSink>())
             .map(|c| c.report(self.tick / 2, &self.element_labels()));
+        let perf = self.prof.as_ref().map(|prof| match &self.par {
+            Some(par) => PerfReport {
+                kernel: self.kernel.label().to_owned(),
+                workers: par.workers() as u32,
+                epochs: prof.epochs,
+                fallback: self.fallback_cause(),
+                shards: par
+                    .shard_elements()
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &elements)| ShardCounters {
+                        worker: w as u32,
+                        elements,
+                        steps: prof.shard_steps[w],
+                        wakes_sent: prof.shard_wakes_sent[w],
+                        wakes_received: prof.shard_wakes_received[w],
+                    })
+                    .collect(),
+                wall: Some(PerfWall {
+                    workers: par
+                        .cores()
+                        .iter()
+                        .enumerate()
+                        .map(|(w, core)| {
+                            core.prof
+                                .as_ref()
+                                .expect("profiling enabled on parallel cores")
+                                .snapshot(w as u32)
+                        })
+                        .collect(),
+                }),
+            },
+            // Sequential kernels (and the sequential fallback): one
+            // logical worker covering the whole graph.
+            None => PerfReport {
+                kernel: self.kernel.label().to_owned(),
+                workers: 1,
+                epochs: prof.epochs,
+                fallback: self.fallback_cause(),
+                shards: vec![ShardCounters {
+                    worker: 0,
+                    elements: self.elements.len() as u64,
+                    steps: self.element_steps,
+                    wakes_sent: 0,
+                    wakes_received: 0,
+                }],
+                wall: Some(PerfWall {
+                    workers: vec![prof.seq.snapshot(0)],
+                }),
+            },
+        });
         SimReport {
             schema_version: SimReport::SCHEMA_VERSION,
             cycles: self.tick / 2,
@@ -1656,6 +1790,7 @@ impl Network {
             observability,
             integrity_failures: self.scoreboard.integrity_failures,
             recovery: self.faults.as_ref().map(|f| f.report()),
+            perf,
         }
     }
 

@@ -35,11 +35,13 @@
 
 use crate::element::{Element, Kind, TileRole};
 use crate::network::ReadySet;
+use crate::profile::{CoreProf, EpochSample};
 use crate::report::Scoreboard;
 use crate::{ElementId, Flit, TrafficPhase};
 use icnoc_topology::PortId;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A deferred sink/tile delivery: `(element index, flit, consuming port)`.
 type Arrival = (u32, Flit, PortId);
@@ -75,6 +77,14 @@ pub(crate) struct ShardCore {
     /// Element visits executed by this worker, drained into the
     /// network-wide counter after each batch.
     pub(crate) steps: u64,
+    /// Cross-shard wakes pushed into mailboxes, drained like `steps`.
+    pub(crate) wakes_sent: u64,
+    /// Cross-shard wakes folded out of this worker's mailbox column,
+    /// drained like `steps`.
+    pub(crate) wakes_received: u64,
+    /// Per-epoch wall profiling, worker-owned during batches. `None`
+    /// unless [`Network::enable_profiling`](crate::Network) was called.
+    pub(crate) prof: Option<CoreProf>,
 }
 
 impl ParState {
@@ -97,6 +107,9 @@ impl ParState {
                 ],
                 scratch: vec![0; n.div_ceil(64)],
                 steps: 0,
+                wakes_sent: 0,
+                wakes_received: 0,
+                prof: None,
             };
             workers
         ];
@@ -135,6 +148,27 @@ impl ParState {
     /// Per-worker step counters, for draining into the network total.
     pub(crate) fn cores_mut(&mut self) -> &mut [ShardCore] {
         &mut self.cores
+    }
+
+    /// Read access to the per-worker cores, for profile snapshots.
+    pub(crate) fn cores(&self) -> &[ShardCore] {
+        &self.cores
+    }
+
+    /// Switches on per-worker wall profiling for every shard.
+    pub(crate) fn enable_profiling(&mut self) {
+        for core in &mut self.cores {
+            core.prof = Some(CoreProf::default());
+        }
+    }
+
+    /// Elements assigned to each shard under the current plan.
+    pub(crate) fn shard_elements(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.workers];
+        for &s in &self.shard_of {
+            counts[s as usize] += 1;
+        }
+        counts
     }
 }
 
@@ -337,6 +371,12 @@ pub(crate) fn par_run(ctx: ParRunCtx<'_>, max_ticks: u64, stop_when_drained: boo
     let barrier = SpinBarrier::new(workers);
     let mut executed = 0u64;
 
+    // Wall-clock origin of this batch; per-epoch samples are offset from
+    // it (plus the profiler's cumulative base) so timelines stay
+    // continuous across batches. One clock read per batch — the only one
+    // when profiling is disabled.
+    let batch_base = Instant::now();
+
     let mut core_iter = par.cores.iter_mut();
     let coordinator_core = core_iter.next().expect("at least one worker");
 
@@ -346,20 +386,29 @@ pub(crate) fn par_run(ctx: ParRunCtx<'_>, max_ticks: u64, stop_when_drained: boo
             let barrier = &barrier;
             let stop = &stop;
             scope.spawn(move || {
+                let profiling = core.prof.is_some();
                 let mut k = 0u64;
                 loop {
+                    let t0 = profiling.then(Instant::now);
                     barrier.wait();
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
+                    let t1 = profiling.then(Instant::now);
                     let tick = base_tick + k;
                     let p = (tick % 2) as usize;
+                    let counters0 = (core.steps, core.wakes_sent, core.wakes_received);
                     visit_shard(
                         shared, tick, p, w, workers, core, mail, arrivals, shard_of, pinned,
                         num_ports,
                     );
+                    let t2 = profiling.then(Instant::now);
                     barrier.wait();
+                    let t3 = profiling.then(Instant::now);
                     merge_shard(mail, w, workers, p, core);
+                    if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
+                        record_epoch(core, counters0, tick, batch_base, t0, t1, t2, t3);
+                    }
                     k += 1;
                 }
             });
@@ -367,14 +416,22 @@ pub(crate) fn par_run(ctx: ParRunCtx<'_>, max_ticks: u64, stop_when_drained: boo
         // The coordinating thread is worker 0; after each merge it also
         // folds deferred arrivals into the scoreboard and evaluates the
         // stop condition for the next tick.
+        let profiling = coordinator_core.prof.is_some();
         let mut k = 0u64;
         loop {
+            let t0 = profiling.then(Instant::now);
             barrier.wait();
             if stop.load(Ordering::Acquire) {
                 break;
             }
+            let t1 = profiling.then(Instant::now);
             let tick = base_tick + k;
             let p = (tick % 2) as usize;
+            let counters0 = (
+                coordinator_core.steps,
+                coordinator_core.wakes_sent,
+                coordinator_core.wakes_received,
+            );
             visit_shard(
                 shared,
                 tick,
@@ -388,7 +445,9 @@ pub(crate) fn par_run(ctx: ParRunCtx<'_>, max_ticks: u64, stop_when_drained: boo
                 pinned,
                 num_ports,
             );
+            let t2 = profiling.then(Instant::now);
             barrier.wait();
+            let t3 = profiling.then(Instant::now);
             merge_shard(mail, 0, workers, p, coordinator_core);
             // Merge phase: no worker mutates elements, so the coordinator
             // may read all of them and own every arrival buffer.
@@ -411,9 +470,62 @@ pub(crate) fn par_run(ctx: ParRunCtx<'_>, max_ticks: u64, stop_when_drained: boo
             if k >= max_ticks || (stop_when_drained && nothing_in_flight(shared)) {
                 stop.store(true, Ordering::Release);
             }
+            // The coordinator's flush phase includes the arrival fold and
+            // stop evaluation above, so its sample is recorded last.
+            if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
+                record_epoch(
+                    coordinator_core,
+                    counters0,
+                    tick,
+                    batch_base,
+                    t0,
+                    t1,
+                    t2,
+                    t3,
+                );
+            }
         }
     });
     executed
+}
+
+/// Nanoseconds from `a` to `b` (saturating to zero if reordered).
+#[inline]
+fn dur_ns(a: Instant, b: Instant) -> u64 {
+    b.duration_since(a).as_nanos() as u64
+}
+
+/// Folds one profiled epoch into a worker's [`CoreProf`]: counter deltas
+/// since `counters0` plus the phase times cut at `t0..t3` and now.
+#[allow(clippy::too_many_arguments)]
+fn record_epoch(
+    core: &mut ShardCore,
+    counters0: (u64, u64, u64),
+    tick: u64,
+    batch_base: Instant,
+    t0: Instant,
+    t1: Instant,
+    t2: Instant,
+    t3: Instant,
+) {
+    let t4 = Instant::now();
+    let (steps0, sent0, recv0) = counters0;
+    let steps = core.steps - steps0;
+    let wakes_sent = core.wakes_sent - sent0;
+    let wakes_received = core.wakes_received - recv0;
+    let prof = core.prof.as_mut().expect("profiling enabled");
+    let start_ns = prof.base_ns + dur_ns(batch_base, t0);
+    prof.record(EpochSample {
+        tick,
+        ticks: 1,
+        steps,
+        wakes_sent,
+        wakes_received,
+        start_ns,
+        step_ns: dur_ns(t1, t2),
+        flush_ns: dur_ns(t3, t4),
+        barrier_ns: dur_ns(t0, t1) + dur_ns(t2, t3),
+    });
 }
 
 /// Whether no element holds a flit and no tile queues a response — the
@@ -500,6 +612,7 @@ fn merge_shard(
         // SAFETY: mailbox column `w` belongs to this worker during the
         // merge phase.
         let inbox = unsafe { mail.get_mut(from * workers + w) };
+        core.wakes_received += inbox.len() as u64;
         for &idx in inbox.iter() {
             core.ready[p ^ 1].insert(idx as usize);
         }
@@ -545,6 +658,7 @@ fn par_rearm(
         if target == w {
             core.ready[p ^ 1].insert(idx);
         } else {
+            core.wakes_sent += 1;
             // SAFETY: mailbox row `w` belongs to this worker during the
             // visit phase.
             unsafe { mail.get_mut(w * workers + target) }.push(idx as u32);

@@ -331,6 +331,14 @@ pub struct SimReport {
     /// The fault-injection/recovery ledger, present when a
     /// [`FaultPlan`](crate::FaultPlan) was attached.
     pub recovery: Option<crate::RecoveryReport>,
+    /// Kernel-introspection data, present when profiling was enabled
+    /// ([`Network::enable_profiling`](crate::Network)). Its wall-clock
+    /// section is nondeterministic and excluded from every bit-identity
+    /// guarantee — strip it (or use
+    /// [`PerfReport::without_wall`](crate::PerfReport::without_wall))
+    /// before comparing or caching reports, as the explore crate does
+    /// with `wall_ms`.
+    pub perf: Option<crate::PerfReport>,
 }
 
 impl SimReport {
@@ -338,7 +346,7 @@ impl SimReport {
     /// added, removed or changes meaning, so externally persisted reports
     /// (result caches, artefact files) invalidate instead of being read
     /// back under the wrong layout.
-    pub const SCHEMA_VERSION: u32 = 3;
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// Folds the full report into the compact [`ReportDigest`] that batch
     /// sweeps persist per job: the headline scalars, without the
@@ -560,6 +568,7 @@ mod tests {
             observability: None,
             integrity_failures: 0,
             recovery: None,
+            perf: None,
         };
         assert_eq!(report.lost(), 0);
         assert!(report.is_correct());
@@ -602,6 +611,7 @@ mod tests {
             observability: None,
             integrity_failures: 0,
             recovery: None,
+            perf: None,
         };
         let d = report.digest();
         assert_eq!(d.cycles, 200);

@@ -46,6 +46,7 @@ pub struct TreeNetworkConfig {
     event_buffer: Option<usize>,
     faults: Option<FaultPlan>,
     kernel: SimKernel,
+    profiling: bool,
 }
 
 /// Closed-loop tile configuration: processors (even ports) issue requests
@@ -81,6 +82,7 @@ impl TreeNetworkConfig {
             event_buffer: None,
             faults: None,
             kernel: SimKernel::default(),
+            profiling: false,
         }
     }
 
@@ -221,6 +223,15 @@ impl TreeNetworkConfig {
         self
     }
 
+    /// Attaches the kernel profiler to the built network (see
+    /// [`Network::enable_profiling`]): its report gains a `perf` section
+    /// with per-shard counters and per-epoch phase timings.
+    #[must_use]
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
     /// Builds the runnable [`Network`].
     #[must_use]
     pub fn build(self) -> Network {
@@ -229,9 +240,13 @@ impl TreeNetworkConfig {
         let event_buffer = self.event_buffer;
         let faults = self.faults.clone();
         let kernel = self.kernel;
+        let profiling = self.profiling;
         let mut net = Builder::new(self).build();
         net.set_kernel(kernel);
         net.set_packet_length(packet_len);
+        if profiling {
+            net.enable_profiling();
+        }
         if counters {
             net.enable_counters();
         }
