@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use icnoc_baseline::{SchemeComparison, SyncScheme};
-use icnoc_clock::{ClockDistribution, GlobalClockTree, LeafStagger, SurgeProfile};
+use icnoc_clock::{ClockScheme, GlobalClockTree, LeafStagger, SurgeProfile};
 use icnoc_timing::WireModel;
 use icnoc_topology::{Floorplan, PortId, RingAugmentedTree, TreeTopology};
 use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
@@ -28,7 +28,7 @@ fn bench_ablations(c: &mut Criterion) {
     let tree = TreeTopology::binary(64).expect("valid");
     let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
     let clocks =
-        ClockDistribution::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
+        ClockScheme::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
     c.bench_function("e13c_surge_profile_64_leaves", |b| {
         b.iter(|| {
             let stagger = LeafStagger::uniform(64, Picoseconds::new(500.0));

@@ -45,7 +45,7 @@
 //!   different hardware the ratio legitimately differs.
 
 use icnoc_explore::JsonValue;
-use icnoc_sim::{SimKernel, TrafficPattern, TreeNetworkConfig};
+use icnoc_sim::{FaultPlan, FaultRates, SimKernel, TrafficPattern, TreeNetworkConfig};
 use icnoc_topology::{PortId, TreeTopology};
 use std::time::Instant;
 
@@ -83,6 +83,10 @@ struct Workload {
     pattern: TrafficPattern,
     cycles: u64,
     seed: u64,
+    /// Fault plan attached to every run of this workload (forces the
+    /// parallel kernel onto its sequential fallback — the bit-identity
+    /// and zero-overhead gates must hold there too).
+    faults: Option<FaultPlan>,
 }
 
 fn workloads() -> Vec<Workload> {
@@ -100,6 +104,7 @@ fn workloads() -> Vec<Workload> {
         // idle speedups far too noisy to gate on.
         cycles: 20_000,
         seed: 7,
+        faults: None,
     };
     let uniform = |ports| Workload {
         name: if ports == 16 {
@@ -113,6 +118,7 @@ fn workloads() -> Vec<Workload> {
         pattern: TrafficPattern::Uniform { rate: 1.0 },
         cycles: 4_000,
         seed: 11,
+        faults: None,
     };
     let hotspot = |ports: usize| Workload {
         name: if ports == 16 {
@@ -128,6 +134,7 @@ fn workloads() -> Vec<Workload> {
         },
         cycles: 4_000,
         seed: 13,
+        faults: None,
     };
     let soak = Workload {
         name: "soak256",
@@ -138,6 +145,18 @@ fn workloads() -> Vec<Workload> {
         pattern: TrafficPattern::Uniform { rate: 0.3 },
         cycles: 1_500,
         seed: 17,
+        faults: None,
+    };
+    let clockfault = Workload {
+        name: "clockfault64",
+        ports: 64,
+        // Mid-rate load with every fault kind armed, clock-domain kinds
+        // included: the recovery layer, the per-tick clock state machine
+        // and the conservative (dense-identical) event mode all run hot.
+        pattern: TrafficPattern::Uniform { rate: 0.3 },
+        cycles: 2_000,
+        seed: 19,
+        faults: Some(FaultPlan::new(19).with_rates(FaultRates::clock_soak())),
     };
     vec![
         idle(16),
@@ -147,6 +166,7 @@ fn workloads() -> Vec<Workload> {
         hotspot(16),
         hotspot(64),
         soak,
+        clockfault,
     ]
 }
 
@@ -193,16 +213,26 @@ impl Measurement {
 /// final report (after drain) for the differential check.
 fn run_once(w: &Workload, kernel: SimKernel, profile: bool) -> (f64, u64, icnoc_sim::SimReport) {
     let tree = TreeTopology::binary(w.ports).expect("power-of-two port count");
-    let mut net = TreeNetworkConfig::new(tree)
+    let mut cfg = TreeNetworkConfig::new(tree)
         .with_pattern(w.pattern.clone())
         .with_seed(w.seed)
         .with_kernel(kernel)
-        .with_profiling(profile)
-        .build();
+        .with_profiling(profile);
+    if let Some(plan) = &w.faults {
+        cfg = cfg.with_faults(plan.clone());
+    }
+    let mut net = cfg.build();
     let start = Instant::now();
     net.run_cycles(w.cycles);
     let secs = start.elapsed().as_secs_f64();
-    net.drain(w.cycles);
+    // Recovery chains (timeout plus bounded backoff per retry) outlive
+    // the traffic phase by a wide margin on the faulted workloads.
+    let drain = if w.faults.is_some() {
+        w.cycles.saturating_mul(4)
+    } else {
+        w.cycles
+    };
+    net.drain(drain);
     (secs, net.element_steps(), net.report())
 }
 

@@ -11,7 +11,8 @@
 //! is byte-identical to the serial run.
 
 use icnoc_bench::{
-    e1, e10, e11, e12, e13, e14, e15, e2, e3, e4, e5, e6, e7, e8, e9, run_all_jobs, EXPERIMENT_IDS,
+    e1, e10, e11, e12, e13, e14, e15, e16, e2, e3, e4, e5, e6, e7, e8, e9, run_all_jobs,
+    EXPERIMENT_IDS,
 };
 
 fn run(id: &str) -> Option<String> {
@@ -31,6 +32,7 @@ fn run(id: &str) -> Option<String> {
         "e13" => e13(),
         "e14" => e14(),
         "e15" => e15(),
+        "e16" => e16(),
         _ => return None,
     })
 }
@@ -59,7 +61,7 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: tables [--list | --exp <e1..e15> | --jobs <N>]");
+            eprintln!("usage: tables [--list | --exp <e1..e16> | --jobs <N>]");
             std::process::exit(2);
         }
     }

@@ -1,23 +1,24 @@
-//! The fifteen experiments. Each function regenerates one paper artefact
+//! The sixteen experiments. Each function regenerates one paper artefact
 //! (or one extension check) and returns its rendered table(s).
 
 use crate::Table;
 use icnoc::{demonstrator_patterns, SystemBuilder, TilePreset};
 use icnoc_baseline::{LatchAblation, SchemeComparison, SyncScheme, SynchronousMesh};
-use icnoc_clock::{ClockDistribution, GlobalClockTree, LeafStagger, SurgeProfile};
-use icnoc_sim::{FaultRates, LatencyStats, Network, SinkMode, TrafficPattern};
+use icnoc_clock::{ClockBackend, ClockScheme, GlobalClockTree, LeafStagger, SurgeProfile};
+use icnoc_sim::{FaultRates, LatencyStats, Network, SimKernel, SinkMode, TrafficPattern};
 use icnoc_timing::{FlipFlopTiming, LinkTiming, PipelineTimingModel, ProcessVariation, WireModel};
 use icnoc_topology::{analysis, Floorplan, PortId, RouterClass, TreeKind, TreeTopology};
 use icnoc_units::{Gigahertz, Millimeters, Picojoules, Picoseconds};
 
 /// The identifiers accepted by the `tables` binary.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// The experiment functions, in [`EXPERIMENT_IDS`] order.
-const EXPERIMENTS: [fn() -> String; 15] = [
-    e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15,
+const EXPERIMENTS: [fn() -> String; 16] = [
+    e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15, e16,
 ];
 
 /// Formats a mean latency for a table cell, distinguishing "no samples"
@@ -798,7 +799,7 @@ pub fn e13() -> String {
     let tree = TreeTopology::binary(64).expect("valid");
     let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
     let clocks =
-        ClockDistribution::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
+        ClockScheme::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
     let period = Picoseconds::new(1_000.0);
     let mut tc = Table::new(
         "E13c: weighted-skew leaf staggering (Section 7): peak supply current",
@@ -1001,6 +1002,102 @@ pub fn e15() -> String {
     t.render()
 }
 
+/// E16 — clock-fault survival, head to head (extension; `EXPERIMENTS.md`
+/// §E20): a scheduled single-clock-node outage (ticks 400..1200, clock
+/// domain 0) under both clock-distribution backends. The forwarded
+/// baseline loses the subtree to the watchdog (ClockLoss + quarantine)
+/// and stalls its traffic until re-sync; the TRIX-style redundant-pulse
+/// backend votes the same outage away and keeps delivering. Every run is
+/// executed at 1 and at 8 parallel workers and must be bit-identical.
+#[must_use]
+pub fn e16() -> String {
+    let mut t = Table::new(
+        "E16: clock-outage survival (extension): 16 ports, uniform 0.2, 2000 cycles, \
+         outage on domain 0 ticks 400..1200",
+        &[
+            "backend",
+            "seed",
+            "delivered",
+            "ClockLoss",
+            "masked",
+            "resyncs",
+            "conserves",
+        ],
+    );
+    let soak = |backend: ClockBackend, seed: u64| {
+        let sys = SystemBuilder::new(TreeKind::Binary, 16)
+            .clock_backend(backend)
+            .build()
+            .expect("valid");
+        let plan = sys.fault_plan(seed).with_clock_outage_window(0, 400, 1_200);
+        let patterns = vec![TrafficPattern::uniform(0.2); 16];
+        let run = |workers: u32| {
+            let mut net = sys.network_with_kernel(&patterns, seed, SimKernel::Parallel { workers });
+            net.enable_faults(plan.clone());
+            net.run_cycles(2_000);
+            net.drain(16_000);
+            net.report()
+        };
+        let report = run(1);
+        assert_eq!(
+            report,
+            run(8),
+            "{} seed {seed}: worker count changed the report",
+            backend.label()
+        );
+        report
+    };
+    for backend in ClockBackend::ALL {
+        for seed in [7, 23, 91] {
+            let report = soak(backend, seed);
+            let recovery = report.recovery.as_ref().expect("faults were enabled");
+            assert!(
+                recovery.conserves() && recovery.pending == 0,
+                "{} seed {seed}: ledger must balance: {recovery}",
+                backend.label()
+            );
+            match backend {
+                ClockBackend::Forwarded => assert!(
+                    recovery.clock_loss_events >= 1,
+                    "seed {seed}: forwarded watchdog never fired: {recovery}"
+                ),
+                ClockBackend::Redundant => {
+                    assert_eq!(
+                        recovery.clock_loss_events, 0,
+                        "seed {seed}: redundant clocking lost a subtree: {recovery}"
+                    );
+                    assert!(
+                        recovery.clock_faults_masked >= 1,
+                        "seed {seed}: nothing was masked: {recovery}"
+                    );
+                    // The survival claim: the masked outage never stops
+                    // the affected subtree, so the redundant run delivers
+                    // strictly more over the same horizon.
+                    let baseline = soak(ClockBackend::Forwarded, seed);
+                    assert!(
+                        report.delivered > baseline.delivered,
+                        "seed {seed}: redundant {} <= forwarded {}",
+                        report.delivered,
+                        baseline.delivered
+                    );
+                }
+            }
+            t.row_owned(vec![
+                backend.label().to_owned(),
+                seed.to_string(),
+                report.delivered.to_string(),
+                recovery.clock_loss_events.to_string(),
+                recovery.clock_faults_masked.to_string(),
+                recovery.resyncs.to_string(),
+                recovery.conserves().to_string(),
+            ]);
+        }
+    }
+    t.note("identical outage, identical seeds: only the clock backend differs");
+    t.note("every run bit-identical at 1 and 8 parallel workers (sequential fault fallback)");
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1084,8 +1181,18 @@ mod tests {
     }
 
     #[test]
+    fn e16_redundant_survives_the_outage() {
+        let out = e16();
+        // Three seeds per backend, all conserving.
+        assert_eq!(out.matches("true").count(), 6, "{out}");
+        // The forwarded rows report losses; the redundant rows none.
+        assert!(out.contains("forwarded"), "{out}");
+        assert!(out.contains("redundant"), "{out}");
+    }
+
+    #[test]
     fn experiment_ids_cover_all_functions() {
-        assert_eq!(EXPERIMENT_IDS.len(), 15);
+        assert_eq!(EXPERIMENT_IDS.len(), 16);
         assert_eq!(EXPERIMENTS.len(), EXPERIMENT_IDS.len());
     }
 

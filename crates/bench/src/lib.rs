@@ -22,6 +22,7 @@
 //! | [`e13`] | §7 future-work ablations |
 //! | [`e14`] | observability conservation checks (extension) |
 //! | [`e15`] | fault-soak recovery sweep (extension) |
+//! | [`e16`] | clock-outage survival: forwarded vs redundant (extension) |
 //!
 //! [`run_all_jobs`] runs the whole suite across worker threads via the
 //! explore crate's deterministic executor; its output is byte-identical
@@ -33,7 +34,7 @@ mod experiments;
 mod table;
 
 pub use experiments::{
-    e1, e10, e11, e12, e13, e14, e15, e2, e3, e4, e5, e6, e7, e8, e9, run_all, run_all_jobs,
+    e1, e10, e11, e12, e13, e14, e15, e16, e2, e3, e4, e5, e6, e7, e8, e9, run_all, run_all_jobs,
     EXPERIMENT_IDS,
 };
 pub use table::Table;

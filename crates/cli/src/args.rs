@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies needed for a
 //! handful of subcommands of `--key value` flags).
 
+use icnoc_clock::ClockBackend;
 use icnoc_sim::{FaultRates, SimKernel, TrafficPattern};
 use icnoc_topology::{PortId, TreeKind};
 
@@ -29,6 +30,8 @@ pub struct BuildOpts {
     pub die: f64,
     /// Data-path width in bits.
     pub width: u32,
+    /// Clock-distribution backend.
+    pub clock: ClockBackend,
 }
 
 impl Default for BuildOpts {
@@ -39,6 +42,7 @@ impl Default for BuildOpts {
             freq: 1.0,
             die: 10.0,
             width: 32,
+            clock: ClockBackend::Forwarded,
         }
     }
 }
@@ -429,36 +433,44 @@ pub fn parse_pattern(spec: &str) -> Result<TrafficPattern, CliError> {
 }
 
 /// Parses a fault spec:
-/// * `soak` — the default all-kinds profile;
-/// * `soak*F` — the soak profile with every rate scaled by `F`;
+/// * `soak` — the default all-kinds profile (link/data kinds);
+/// * `clock-soak` — the soak profile plus every clock-domain kind;
+/// * `soak*F` / `clock-soak*F` — either profile with every rate scaled
+///   by `F`;
 /// * a comma list of `key=rate` pairs over `jitter`, `spike`, `corrupt`,
-///   `drop`, `stuck`, `lost`, `outage` (unset keys stay zero), optionally
-///   with `window=START:END` restricting injection to those ticks.
+///   `drop`, `stuck`, `lost`, `outage`, `clock-outage`, `pulse-drop`,
+///   `skew-drift` (unset keys stay zero), optionally with
+///   `window=START:END` restricting injection to those ticks.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] for unknown keys, malformed numbers, rates
-/// outside `[0, 1]` or an empty window.
+/// Returns a [`CliError`] naming the valid keys for unknown keys, and one
+/// for malformed numbers, rates outside `[0, 1]` or an empty window.
 pub fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
     let num = |s: &str| -> Result<f64, CliError> {
         s.parse()
             .map_err(|_| CliError(format!("bad number {s:?} in fault spec {spec:?}")))
     };
-    if spec == "soak" {
-        return Ok(FaultSpec {
-            rates: FaultRates::soak(),
-            window: None,
-        });
-    }
-    if let Some(factor) = spec.strip_prefix("soak*") {
-        let f = num(factor)?;
-        if f < 0.0 {
-            return Err(CliError(format!("soak scale {f} must be >= 0")));
+    for (profile, rates) in [
+        ("soak", FaultRates::soak as fn() -> FaultRates),
+        ("clock-soak", FaultRates::clock_soak),
+    ] {
+        if spec == profile {
+            return Ok(FaultSpec {
+                rates: rates(),
+                window: None,
+            });
         }
-        return Ok(FaultSpec {
-            rates: FaultRates::soak().scaled(f),
-            window: None,
-        });
+        if let Some(factor) = spec.strip_prefix(profile).and_then(|r| r.strip_prefix('*')) {
+            let f = num(factor)?;
+            if f < 0.0 {
+                return Err(CliError(format!("{profile} scale {f} must be >= 0")));
+            }
+            return Ok(FaultSpec {
+                rates: rates().scaled(f),
+                window: None,
+            });
+        }
     }
     let mut rates = FaultRates::ZERO;
     let mut window = None;
@@ -497,10 +509,14 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
             "stuck" => rates.stuck_valid = rate,
             "lost" => rates.lost_valid = rate,
             "outage" => rates.outage = rate,
+            "clock-outage" | "clock_outage" => rates.clock_outage = rate,
+            "pulse-drop" | "pulse_drop" => rates.pulse_drop = rate,
+            "skew-drift" | "skew_drift" => rates.skew_drift = rate,
             other => {
                 return Err(CliError(format!(
                     "unknown fault key {other:?}; try jitter, spike, corrupt, drop, \
-                     stuck, lost, outage or window"
+                     stuck, lost, outage, clock-outage, pulse-drop, skew-drift or \
+                     window"
                 )))
             }
         }
@@ -618,12 +634,17 @@ impl Flags {
                 )))
             }
         };
+        let clock = match self.take_opt_string("clock-backend") {
+            None => defaults.clock,
+            Some(v) => ClockBackend::parse(&v).map_err(CliError)?,
+        };
         Ok(BuildOpts {
             ports: self.take_usize("ports", defaults.ports)?,
             kind,
             freq: self.take_f64("freq", defaults.freq)?,
             die: self.take_f64("die", defaults.die)?,
             width: self.take_usize("width", defaults.width as usize)? as u32,
+            clock,
         })
     }
 
@@ -869,6 +890,51 @@ mod tests {
         assert!(parse_fault_spec("jitter=1.5").is_err());
         assert!(parse_fault_spec("window=9:9").is_err());
         assert!(parse_fault_spec("soak*-1").is_err());
+    }
+
+    #[test]
+    fn clock_fault_specs_parse_and_unknown_keys_name_the_valid_set() {
+        let clock = parse_fault_spec("clock-soak").expect("parses");
+        assert_eq!(clock.rates, FaultRates::clock_soak());
+        let scaled = parse_fault_spec("clock-soak*0.5").expect("parses");
+        assert_eq!(scaled.rates, FaultRates::clock_soak().scaled(0.5));
+        let explicit = parse_fault_spec("clock-outage=0.001,pulse-drop=0.002,skew-drift=0.003")
+            .expect("parses");
+        assert!((explicit.rates.clock_outage - 0.001).abs() < 1e-12);
+        assert!((explicit.rates.pulse_drop - 0.002).abs() < 1e-12);
+        assert!((explicit.rates.skew_drift - 0.003).abs() < 1e-12);
+        // Underscore spellings are accepted too.
+        let underscored = parse_fault_spec("clock_outage=0.01").expect("parses");
+        assert!((underscored.rates.clock_outage - 0.01).abs() < 1e-12);
+        // An unknown key fails with an error naming every valid kind.
+        let err = parse_fault_spec("clock=0.1").expect_err("unknown key");
+        for key in [
+            "jitter",
+            "spike",
+            "corrupt",
+            "drop",
+            "stuck",
+            "lost",
+            "outage",
+            "clock-outage",
+            "pulse-drop",
+            "skew-drift",
+            "window",
+        ] {
+            assert!(err.0.contains(key), "error must name {key:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn clock_backend_flag_parses_and_rejects_unknowns() {
+        let cli = Cli::parse(["info", "--clock-backend", "redundant"]).expect("parses");
+        let Command::Info(build) = cli.command else {
+            panic!("expected info");
+        };
+        assert_eq!(build.clock, ClockBackend::Redundant);
+        let err = Cli::parse(["info", "--clock-backend", "mesh"]).expect_err("unknown");
+        assert!(err.0.contains("forwarded"), "{err}");
+        assert!(err.0.contains("redundant"), "{err}");
     }
 
     #[test]

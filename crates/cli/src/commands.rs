@@ -16,6 +16,7 @@ icnoc — build, verify and simulate IC-NoC systems (DATE 2007 reproduction)
 
 USAGE:
   icnoc info   [--ports 64] [--kind binary|quad] [--freq 1.0] [--die 10] [--width 32]
+               [--clock-backend forwarded|redundant]
   icnoc verify [build opts] [--variation 0.3] [--sigma 0.05] [--top 10]
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
@@ -34,11 +35,13 @@ USAGE:
                [--out BENCH_explore.json] [--quiet] [--profile]
 
 PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent
-FAULTS:   soak  soak*F  key=rate[,key=rate...] over jitter, spike, corrupt, drop,
-          stuck, lost, outage, plus window=START:END (ticks)
+FAULTS:   soak  clock-soak  soak*F  clock-soak*F  key=rate[,key=rate...] over
+          jitter, spike, corrupt, drop, stuck, lost, outage, clock-outage,
+          pulse-drop, skew-drift, plus window=START:END (ticks)
 GRID:     `;`-separated axes of `name=v1,v2,...` (ranges `lo..hi/n`) over kind,
           ports, die, width, freq (GHz), thalf (ps), corner, pattern, cycles,
-          soak, seed — e.g. \"freq=0.8..1.2/5;corner=nominal,slow30;soak=1\"
+          soak, seed, clock (forwarded|redundant) —
+          e.g. \"freq=0.8..1.2/5;corner=nominal,slow30;soak=1\"
 KERNEL:   event (default, activity-list stepping), dense (full scan, the
           differential-testing oracle) or parallel (subtree-sharded worker
           threads; --workers N, 0 = one per core) — all bit-identical per
@@ -542,6 +545,7 @@ fn build_system(build: &BuildOpts) -> Result<System, CliError> {
         .frequency(Gigahertz::new(build.freq))
         .die(Millimeters::new(build.die), Millimeters::new(build.die))
         .width_bits(build.width)
+        .clock_backend(build.clock)
         .build()
         .map_err(|e| CliError(e.to_string()))
 }

@@ -1,5 +1,13 @@
-//! Forwarded-clock distribution along the tree branches.
+//! Clock-distribution backends behind the [`ClockDistribution`] trait.
+//!
+//! The paper's forwarded clock ([`ForwardedClock`]) is the default backend;
+//! a TRIX-style redundant-pulse scheme ([`RedundantPulseClock`]) is the
+//! fault-tolerant alternative. [`ClockScheme`] is the concrete sum type the
+//! rest of the system stores.
+//!
+//! [`RedundantPulseClock`]: crate::RedundantPulseClock
 
+use crate::redundant::RedundantPulseClock;
 use icnoc_timing::WireModel;
 use icnoc_topology::{Floorplan, LinkId, NodeId, TreeTopology};
 use icnoc_units::{Gigahertz, Picoseconds};
@@ -38,6 +46,137 @@ impl core::fmt::Display for ClockPolarity {
     }
 }
 
+/// Which clock-distribution backend a system is built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ClockBackend {
+    /// The paper's forwarded clock: one pulse path per node, along the
+    /// data branches, inverted per link.
+    #[default]
+    Forwarded,
+    /// TRIX-style redundant pulses: each node takes the median of 3
+    /// upstream arrivals and survives a single upstream outage.
+    Redundant,
+}
+
+impl ClockBackend {
+    /// Every backend, in canonical (CLI / cache-key) order.
+    pub const ALL: [ClockBackend; 2] = [ClockBackend::Forwarded, ClockBackend::Redundant];
+
+    /// Stable lower-case label, used in CLI flags and cache keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockBackend::Forwarded => "forwarded",
+            ClockBackend::Redundant => "redundant",
+        }
+    }
+
+    /// Parses a CLI/grid label; the error names every valid backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known backends when `label` matches
+    /// none of them.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|b| b.label() == label)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Self::ALL.iter().map(|b| b.label()).collect();
+                format!(
+                    "unknown clock backend {label:?}; known: {}",
+                    known.join(", ")
+                )
+            })
+    }
+}
+
+impl core::fmt::Display for ClockBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A placed clock distribution: per-node arrival times and polarities.
+///
+/// Implemented by every backend ([`ForwardedClock`], [`RedundantPulseClock`]
+/// and the [`ClockScheme`] sum type). The skew/polarity queries are provided
+/// methods over the two dense per-node tables, so the timing analysis is
+/// backend-agnostic.
+///
+/// [`RedundantPulseClock`]: crate::RedundantPulseClock
+pub trait ClockDistribution {
+    /// Which backend produced this distribution.
+    fn backend(&self) -> ClockBackend;
+
+    /// The distributed clock frequency.
+    fn frequency(&self) -> Gigahertz;
+
+    /// Clock arrival time per node index, measured from the root's edge.
+    fn arrivals(&self) -> &[Picoseconds];
+
+    /// Triggering edge per node index.
+    fn polarities(&self) -> &[ClockPolarity];
+
+    /// Clock arrival time at `node`, measured from the root's edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn arrival(&self, node: NodeId) -> Picoseconds {
+        self.arrivals()[node.index()]
+    }
+
+    /// Triggering edge of `node`'s registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn polarity(&self, node: NodeId) -> ClockPolarity {
+        self.polarities()[node.index()]
+    }
+
+    /// Local skew across a link: the clock delay between its endpoints
+    /// (always ≥ 0: the child's clock lags the parent's on every backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    fn link_skew(&self, tree: &TreeTopology, link: LinkId) -> Picoseconds {
+        let (child, parent) = tree.link_endpoints(link);
+        self.arrivals()[child.index()] - self.arrivals()[parent.index()]
+    }
+
+    /// Largest local (link) skew in the network — the quantity the timing
+    /// analysis must absorb.
+    fn max_link_skew(&self, tree: &TreeTopology) -> Picoseconds {
+        tree.links()
+            .map(|l| self.link_skew(tree, l))
+            .fold(Picoseconds::ZERO, Picoseconds::max)
+    }
+
+    /// Largest *global* skew — between the root and the latest leaf. Grows
+    /// with the die; harmless because the IC-NoC never compares clocks of
+    /// non-adjacent nodes.
+    fn max_global_skew(&self) -> Picoseconds {
+        self.arrivals()
+            .iter()
+            .copied()
+            .fold(Picoseconds::ZERO, Picoseconds::max)
+    }
+
+    /// Checks the alternating-edge invariant: every link joins nodes of
+    /// opposite polarity. Both backends keep depth-parity polarity, so this
+    /// holds by construction; exposed so system-level verification can
+    /// assert it.
+    fn alternation_holds(&self, tree: &TreeTopology) -> bool {
+        tree.links().all(|l| {
+            let (child, parent) = tree.link_endpoints(l);
+            self.polarities()[child.index()] == self.polarities()[parent.index()].inverted()
+        })
+    }
+}
+
 /// Per-node clock arrival times and polarities for a placed tree, under the
 /// paper's forwarded-clock scheme.
 ///
@@ -51,13 +190,13 @@ impl core::fmt::Display for ClockPolarity {
 ///   the scalability argument — never needs to be controlled, because no
 ///   two nodes communicate except along branches.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ClockDistribution {
+pub struct ForwardedClock {
     frequency: Gigahertz,
     arrival: Vec<Picoseconds>,
     polarity: Vec<ClockPolarity>,
 }
 
-impl ClockDistribution {
+impl ForwardedClock {
     /// Propagates the clock from the root along every branch of `tree`,
     /// accumulating `wire` delay over the floorplanned link lengths and
     /// inverting polarity per link.
@@ -67,7 +206,7 @@ impl ClockDistribution {
     /// Panics if `frequency` is not strictly positive.
     #[must_use]
     #[track_caller]
-    pub fn forwarded(
+    pub fn new(
         tree: &TreeTopology,
         plan: &Floorplan,
         wire: WireModel,
@@ -94,76 +233,117 @@ impl ClockDistribution {
             polarity,
         }
     }
+}
 
-    /// The distributed clock frequency.
-    #[must_use]
-    pub fn frequency(&self) -> Gigahertz {
+impl ClockDistribution for ForwardedClock {
+    fn backend(&self) -> ClockBackend {
+        ClockBackend::Forwarded
+    }
+
+    fn frequency(&self) -> Gigahertz {
         self.frequency
     }
 
-    /// Clock arrival time at `node`, measured from the root's edge.
+    fn arrivals(&self) -> &[Picoseconds] {
+        &self.arrival
+    }
+
+    fn polarities(&self) -> &[ClockPolarity] {
+        &self.polarity
+    }
+}
+
+/// The concrete clock distribution a built system stores: one of the
+/// [`ClockBackend`]s, dispatching the [`ClockDistribution`] queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClockScheme {
+    /// The paper's forwarded clock.
+    Forwarded(ForwardedClock),
+    /// TRIX-style redundant pulses.
+    Redundant(RedundantPulseClock),
+}
+
+impl ClockScheme {
+    /// Builds the requested backend over a placed tree.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `frequency` is not strictly positive.
     #[must_use]
-    pub fn arrival(&self, node: NodeId) -> Picoseconds {
-        self.arrival[node.index()]
+    #[track_caller]
+    pub fn build(
+        backend: ClockBackend,
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+    ) -> Self {
+        match backend {
+            ClockBackend::Forwarded => Self::forwarded(tree, plan, wire, frequency),
+            ClockBackend::Redundant => Self::redundant(tree, plan, wire, frequency),
+        }
     }
 
-    /// Triggering edge of `node`'s registers.
+    /// Shorthand for [`ClockScheme::build`] with [`ClockBackend::Forwarded`].
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `frequency` is not strictly positive.
     #[must_use]
-    pub fn polarity(&self, node: NodeId) -> ClockPolarity {
-        self.polarity[node.index()]
+    #[track_caller]
+    pub fn forwarded(
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+    ) -> Self {
+        ClockScheme::Forwarded(ForwardedClock::new(tree, plan, wire, frequency))
     }
 
-    /// Local skew across a link: the clock wire delay between its endpoints
-    /// (always ≥ 0: the child's clock lags the parent's).
+    /// Shorthand for [`ClockScheme::build`] with [`ClockBackend::Redundant`].
     ///
     /// # Panics
     ///
-    /// Panics if `link` is out of range.
+    /// Panics if `frequency` is not strictly positive.
     #[must_use]
-    pub fn link_skew(&self, tree: &TreeTopology, link: LinkId) -> Picoseconds {
-        let (child, parent) = tree.link_endpoints(link);
-        self.arrival[child.index()] - self.arrival[parent.index()]
+    #[track_caller]
+    pub fn redundant(
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+    ) -> Self {
+        ClockScheme::Redundant(RedundantPulseClock::new(tree, plan, wire, frequency))
+    }
+}
+
+impl ClockDistribution for ClockScheme {
+    fn backend(&self) -> ClockBackend {
+        match self {
+            ClockScheme::Forwarded(c) => c.backend(),
+            ClockScheme::Redundant(c) => c.backend(),
+        }
     }
 
-    /// Largest local (link) skew in the network — the quantity the timing
-    /// analysis must absorb.
-    #[must_use]
-    pub fn max_link_skew(&self, tree: &TreeTopology) -> Picoseconds {
-        tree.links()
-            .map(|l| self.link_skew(tree, l))
-            .fold(Picoseconds::ZERO, Picoseconds::max)
+    fn frequency(&self) -> Gigahertz {
+        match self {
+            ClockScheme::Forwarded(c) => c.frequency(),
+            ClockScheme::Redundant(c) => c.frequency(),
+        }
     }
 
-    /// Largest *global* skew — between the root and the latest leaf. Grows
-    /// with the die; harmless because the IC-NoC never compares clocks of
-    /// non-adjacent nodes.
-    #[must_use]
-    pub fn max_global_skew(&self) -> Picoseconds {
-        self.arrival
-            .iter()
-            .copied()
-            .fold(Picoseconds::ZERO, Picoseconds::max)
+    fn arrivals(&self) -> &[Picoseconds] {
+        match self {
+            ClockScheme::Forwarded(c) => c.arrivals(),
+            ClockScheme::Redundant(c) => c.arrivals(),
+        }
     }
 
-    /// Checks the alternating-edge invariant: every link joins nodes of
-    /// opposite polarity. Holds by construction for [`forwarded`]
-    /// distributions; exposed so system-level verification can assert it.
-    ///
-    /// [`forwarded`]: Self::forwarded
-    #[must_use]
-    pub fn alternation_holds(&self, tree: &TreeTopology) -> bool {
-        tree.links().all(|l| {
-            let (child, parent) = tree.link_endpoints(l);
-            self.polarity[child.index()] == self.polarity[parent.index()].inverted()
-        })
+    fn polarities(&self) -> &[ClockPolarity] {
+        match self {
+            ClockScheme::Forwarded(c) => c.polarities(),
+            ClockScheme::Redundant(c) => c.polarities(),
+        }
     }
 }
 
@@ -173,15 +353,11 @@ mod tests {
     use icnoc_units::Millimeters;
     use proptest::prelude::*;
 
-    fn demo() -> (TreeTopology, Floorplan, ClockDistribution) {
+    fn demo() -> (TreeTopology, Floorplan, ClockScheme) {
         let tree = TreeTopology::binary(64).expect("valid");
         let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
-        let dist = ClockDistribution::forwarded(
-            &tree,
-            &plan,
-            WireModel::nominal_90nm(),
-            Gigahertz::new(1.0),
-        );
+        let dist =
+            ClockScheme::forwarded(&tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0));
         (tree, plan, dist)
     }
 
@@ -190,6 +366,7 @@ mod tests {
         let (tree, _, dist) = demo();
         assert_eq!(dist.arrival(tree.root()), Picoseconds::ZERO);
         assert_eq!(dist.polarity(tree.root()), ClockPolarity::Rising);
+        assert_eq!(dist.backend(), ClockBackend::Forwarded);
     }
 
     #[test]
@@ -248,6 +425,34 @@ mod tests {
         assert_ne!(ClockPolarity::Rising, ClockPolarity::Falling);
     }
 
+    #[test]
+    fn backend_labels_round_trip_and_errors_name_the_valid_set() {
+        for backend in ClockBackend::ALL {
+            assert_eq!(ClockBackend::parse(backend.label()), Ok(backend));
+        }
+        assert_eq!(ClockBackend::default(), ClockBackend::Forwarded);
+        let err = ClockBackend::parse("gradient").expect_err("unknown backend");
+        assert!(err.contains("forwarded"), "{err}");
+        assert!(err.contains("redundant"), "{err}");
+    }
+
+    #[test]
+    fn build_dispatches_on_the_backend() {
+        let tree = TreeTopology::binary(16).expect("valid");
+        let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+        for backend in ClockBackend::ALL {
+            let dist = ClockScheme::build(
+                backend,
+                &tree,
+                &plan,
+                WireModel::nominal_90nm(),
+                Gigahertz::new(1.0),
+            );
+            assert_eq!(dist.backend(), backend);
+            assert!(dist.alternation_holds(&tree));
+        }
+    }
+
     proptest! {
         /// Scalability: growing the tree never changes the *local* skew
         /// profile of the shared upper levels, and alternation always holds.
@@ -256,7 +461,7 @@ mod tests {
             let tree = TreeTopology::binary(1usize << depth).expect("power of 2");
             let plan =
                 Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
-            let dist = ClockDistribution::forwarded(
+            let dist = ClockScheme::forwarded(
                 &tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0),
             );
             prop_assert!(dist.alternation_holds(&tree));

@@ -1,0 +1,355 @@
+//! TRIX-style redundant-pulse clock distribution.
+//!
+//! Instead of one forwarded pulse per branch, every non-root node listens
+//! to **three upstream pulse paths** — its parent plus relay copies through
+//! the parent's adjacent siblings — and fires on the *median* arrival after
+//! a small voter delay. A single dead upstream node therefore never silences
+//! a whole subtree: the orphaned children keep capturing off the surviving
+//! relay pulses, at the cost of one voter delay of extra skew per level.
+
+use crate::distribution::{ClockBackend, ClockDistribution, ClockPolarity};
+use icnoc_timing::WireModel;
+use icnoc_topology::{Floorplan, NodeId, TreeTopology};
+use icnoc_units::{Gigahertz, Picoseconds};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Extra latency of the 3-way median voter in front of every clock input,
+/// in picoseconds.
+///
+/// Charged once per tree level, it is the price of fault tolerance: the
+/// redundant backend's link skew is the forwarded backend's plus this
+/// constant, which the timing analysis absorbs like any other skew.
+pub const VOTER_DELAY_PS: f64 = 12.0;
+
+fn voter_delay() -> Picoseconds {
+    Picoseconds::new(VOTER_DELAY_PS)
+}
+
+/// Per-node clock arrivals under the redundant-pulse scheme.
+///
+/// Polarity still alternates with depth (the alternating-edge handshake of
+/// Section 5 is preserved), but each node's arrival is the median of three
+/// candidate pulses. On degenerate fan-ins the triplet repeats sources — a
+/// binary tree gives each node two *distinct* upstream sources (parent and
+/// one uncle), the quad tree gives three — and a node stays clocked as long
+/// as at least one distinct upstream source is alive and itself clocked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedundantPulseClock {
+    frequency: Gigahertz,
+    arrival: Vec<Picoseconds>,
+    polarity: Vec<ClockPolarity>,
+    /// Whether each node still receives a usable pulse (false only when the
+    /// distribution was built with outages that disconnect the node).
+    clocked: Vec<bool>,
+    /// Number of distinct upstream pulse sources per node (0 for the root).
+    redundancy: Vec<u8>,
+}
+
+impl RedundantPulseClock {
+    /// Builds the fault-free redundant distribution over a placed tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is not strictly positive.
+    #[must_use]
+    #[track_caller]
+    pub fn new(
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+    ) -> Self {
+        Self::degraded(tree, plan, wire, frequency, &[])
+    }
+
+    /// Builds the distribution with the given nodes dead: every pulse path
+    /// through a dead (or itself unclocked) relay is discarded and each
+    /// node takes the median of its surviving candidates. Nodes left with
+    /// no live upstream source — or dead themselves — are marked unclocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is not strictly positive.
+    #[must_use]
+    #[track_caller]
+    pub fn degraded(
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+        dead: &[NodeId],
+    ) -> Self {
+        assert!(frequency.value() > 0.0, "clock must run");
+        let n = tree.node_count();
+        let dead: BTreeSet<usize> = dead.iter().map(|d| d.index()).collect();
+        let mut arrival = vec![Picoseconds::ZERO; n];
+        let mut polarity = vec![ClockPolarity::Rising; n];
+        let mut clocked = vec![false; n];
+        let mut redundancy = vec![0u8; n];
+        clocked[tree.root().index()] = !dead.contains(&tree.root().index());
+        // BFS from the root; every relay of a node sits at the parent's
+        // level, so all candidate sources are resolved before the node.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(tree.root());
+        while let Some(node) = queue.pop_front() {
+            for &child in tree.children(node) {
+                let link = tree.uplink(child).expect("children are non-root");
+                let d_up = wire.delay(plan.link_length(link));
+                polarity[child.index()] = polarity[node.index()].inverted();
+                let sources = Self::pulse_sources(tree, child);
+                redundancy[child.index()] = {
+                    let distinct: BTreeSet<usize> = sources.iter().map(|s| s.index()).collect();
+                    u8::try_from(distinct.len()).expect("at most 3 sources")
+                };
+                let mut candidates: Vec<Picoseconds> = sources
+                    .iter()
+                    .filter(|s| clocked[s.index()])
+                    .map(|s| arrival[s.index()] + d_up)
+                    .collect();
+                if !dead.contains(&child.index()) && !candidates.is_empty() {
+                    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+                    arrival[child.index()] = candidates[candidates.len() / 2] + voter_delay();
+                    clocked[child.index()] = true;
+                }
+                queue.push_back(child);
+            }
+        }
+        Self {
+            frequency,
+            arrival,
+            polarity,
+            clocked,
+            redundancy,
+        }
+    }
+
+    /// The three candidate pulse sources of a non-root node: its parent,
+    /// plus the parent's previous and next siblings (wrapping around the
+    /// grandparent's child list). Repeats the parent where no distinct
+    /// sibling exists, so the triplet is always length 3.
+    fn pulse_sources(tree: &TreeTopology, node: NodeId) -> [NodeId; 3] {
+        let parent = tree.parent(node).expect("non-root");
+        match tree.parent(parent) {
+            None => [parent, parent, parent],
+            Some(grand) => {
+                let aunts = tree.children(grand);
+                let i = aunts
+                    .iter()
+                    .position(|&a| a == parent)
+                    .expect("parent is a child of its parent");
+                let prev = aunts[(i + aunts.len() - 1) % aunts.len()];
+                let next = aunts[(i + 1) % aunts.len()];
+                [parent, prev, next]
+            }
+        }
+    }
+
+    /// Whether `node` still receives a usable pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn is_clocked(&self, node: NodeId) -> bool {
+        self.clocked[node.index()]
+    }
+
+    /// Number of *distinct* upstream pulse sources feeding `node` (0 for
+    /// the root, 2 on a binary tree, 3 on wider fan-ins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn redundancy(&self, node: NodeId) -> usize {
+        usize::from(self.redundancy[node.index()])
+    }
+
+    /// Nodes left without a usable pulse (empty for a fault-free build).
+    #[must_use]
+    pub fn unclocked(&self, tree: &TreeTopology) -> Vec<NodeId> {
+        tree.routers()
+            .chain(tree.leaves())
+            .filter(|n| !self.clocked[n.index()])
+            .collect()
+    }
+
+    /// Whether a single `dead` node silences only itself: every *other*
+    /// node keeps capturing off the surviving relay pulses. This is the
+    /// TRIX claim the head-to-head experiment measures — under the
+    /// forwarded scheme the same outage freezes the node's whole subtree.
+    #[must_use]
+    pub fn survives_single_outage(
+        tree: &TreeTopology,
+        plan: &Floorplan,
+        wire: WireModel,
+        frequency: Gigahertz,
+        dead: NodeId,
+    ) -> bool {
+        let degraded = Self::degraded(tree, plan, wire, frequency, &[dead]);
+        degraded.unclocked(tree) == vec![dead]
+    }
+}
+
+impl ClockDistribution for RedundantPulseClock {
+    fn backend(&self) -> ClockBackend {
+        ClockBackend::Redundant
+    }
+
+    fn frequency(&self) -> Gigahertz {
+        self.frequency
+    }
+
+    fn arrivals(&self) -> &[Picoseconds] {
+        &self.arrival
+    }
+
+    fn polarities(&self) -> &[ClockPolarity] {
+        &self.polarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{ClockScheme, ForwardedClock};
+    use icnoc_units::Millimeters;
+    use proptest::prelude::*;
+
+    fn placed(ports: usize) -> (TreeTopology, Floorplan) {
+        let tree = TreeTopology::binary(ports).expect("valid");
+        let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+        (tree, plan)
+    }
+
+    fn wire() -> WireModel {
+        WireModel::nominal_90nm()
+    }
+
+    #[test]
+    fn fault_free_build_clocks_everyone_with_alternating_edges() {
+        let (tree, plan) = placed(64);
+        let dist = RedundantPulseClock::new(&tree, &plan, wire(), Gigahertz::new(1.0));
+        assert!(dist.unclocked(&tree).is_empty());
+        assert!(dist.alternation_holds(&tree));
+        assert_eq!(dist.backend(), ClockBackend::Redundant);
+        assert_eq!(dist.redundancy(tree.root()), 0);
+        for node in tree.routers().chain(tree.leaves()) {
+            if node != tree.root() {
+                assert!(dist.redundancy(node) >= 1, "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn voter_delay_is_the_only_extra_skew_per_level() {
+        // On the symmetric h-tree every relay arrives with its parent, so
+        // the median equals the forwarded arrival plus one voter delay per
+        // level below the root.
+        let (tree, plan) = placed(64);
+        let fwd = ForwardedClock::new(&tree, &plan, wire(), Gigahertz::new(1.0));
+        let red = RedundantPulseClock::new(&tree, &plan, wire(), Gigahertz::new(1.0));
+        for node in tree.routers().chain(tree.leaves()) {
+            let levels = f64::from(tree.node_depth(node));
+            let expected = fwd.arrival(node) + Picoseconds::new(levels * VOTER_DELAY_PS);
+            let got = red.arrival(node);
+            assert!(
+                (got.value() - expected.value()).abs() < 1e-9,
+                "node {node}: {got:?} vs {expected:?}"
+            );
+        }
+        assert_eq!(
+            red.max_link_skew(&tree),
+            fwd.max_link_skew(&tree) + voter_delay()
+        );
+    }
+
+    #[test]
+    fn single_outage_orphans_only_the_dead_node() {
+        let (tree, plan) = placed(64);
+        for node in tree.routers().chain(tree.leaves()) {
+            if node == tree.root() {
+                continue;
+            }
+            assert!(
+                RedundantPulseClock::survives_single_outage(
+                    &tree,
+                    &plan,
+                    wire(),
+                    Gigahertz::new(1.0),
+                    node
+                ),
+                "outage of {node} should be masked"
+            );
+        }
+    }
+
+    #[test]
+    fn forwarded_scheme_loses_the_whole_subtree_by_contrast() {
+        // The baseline has exactly one pulse path, so killing a router's
+        // clock (modeled here as discarding its subtree's arrivals) stalls
+        // every descendant — precisely what the sim-side quarantine models.
+        let (tree, plan) = placed(64);
+        let victim = tree.children(tree.root())[0];
+        let degraded =
+            RedundantPulseClock::degraded(&tree, &plan, wire(), Gigahertz::new(1.0), &[victim]);
+        // Redundant: only the victim is dark; its children ride the relays.
+        assert_eq!(degraded.unclocked(&tree), vec![victim]);
+        for &child in tree.children(victim) {
+            assert!(degraded.is_clocked(child));
+            assert!(degraded.arrival(child) > Picoseconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn killing_every_source_does_orphan_a_node() {
+        // Both distinct sources of a binary node dead -> the node (and by
+        // induction its subtree) has no pulse; the scheme is honest about
+        // where its redundancy ends.
+        let (tree, plan) = placed(64);
+        let parent = tree.children(tree.root())[0];
+        let uncle = tree.children(tree.root())[1];
+        let degraded = RedundantPulseClock::degraded(
+            &tree,
+            &plan,
+            wire(),
+            Gigahertz::new(1.0),
+            &[parent, uncle],
+        );
+        let dark = degraded.unclocked(&tree);
+        assert!(dark.len() > 2, "children below the cut must go dark too");
+        for &child in tree.children(parent) {
+            assert!(!degraded.is_clocked(child));
+        }
+    }
+
+    #[test]
+    fn scheme_dispatch_matches_direct_construction() {
+        let (tree, plan) = placed(16);
+        let via_scheme = ClockScheme::redundant(&tree, &plan, wire(), Gigahertz::new(1.0));
+        let direct = RedundantPulseClock::new(&tree, &plan, wire(), Gigahertz::new(1.0));
+        assert_eq!(via_scheme.arrivals(), direct.arrivals());
+        assert_eq!(via_scheme.backend(), ClockBackend::Redundant);
+    }
+
+    proptest! {
+        /// Alternation and monotone arrival hold at every size, and on the
+        /// quad tree each non-root-child node really has 3 distinct sources.
+        #[test]
+        fn redundancy_holds_at_any_size(depth in 1u32..8) {
+            let tree = TreeTopology::binary(1usize << depth).expect("power of 2");
+            let plan =
+                Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
+            let dist = RedundantPulseClock::new(
+                &tree, &plan, WireModel::nominal_90nm(), Gigahertz::new(1.0),
+            );
+            prop_assert!(dist.alternation_holds(&tree));
+            prop_assert!(dist.unclocked(&tree).is_empty());
+            for link in tree.links() {
+                let (child, parent) = tree.link_endpoints(link);
+                prop_assert!(dist.arrival(child) > dist.arrival(parent));
+            }
+        }
+    }
+}

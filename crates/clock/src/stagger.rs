@@ -83,7 +83,7 @@ impl LeafStagger {
     pub fn leaf_edge_times(
         &self,
         tree: &TreeTopology,
-        clocks: &ClockDistribution,
+        clocks: &dyn ClockDistribution,
     ) -> Vec<Picoseconds> {
         assert_eq!(
             self.leaves(),
@@ -171,7 +171,7 @@ mod tests {
     fn edges(stagger: &LeafStagger) -> Vec<Picoseconds> {
         let tree = TreeTopology::binary(stagger.leaves()).expect("power of 2");
         let plan = Floorplan::h_tree(&tree, Millimeters::new(10.0), Millimeters::new(10.0));
-        let clocks = ClockDistribution::forwarded(
+        let clocks = crate::ClockScheme::forwarded(
             &tree,
             &plan,
             WireModel::nominal_90nm(),

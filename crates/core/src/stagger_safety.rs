@@ -86,7 +86,7 @@ impl System {
 mod tests {
     use super::*;
     use crate::SystemBuilder;
-    use icnoc_clock::{ClockDistribution, SurgeProfile};
+    use icnoc_clock::{ClockScheme, SurgeProfile};
     use icnoc_units::{Gigahertz, Picojoules};
 
     fn demo() -> System {
@@ -130,7 +130,7 @@ mod tests {
         // timing-limited window gives a useful peak-current reduction.
         let sys = demo();
         let w = sys.max_stagger_window();
-        let clocks = ClockDistribution::forwarded(
+        let clocks = ClockScheme::forwarded(
             sys.tree(),
             sys.floorplan(),
             sys.pipeline_model().wire(),

@@ -1,7 +1,7 @@
 //! System construction and the top-level IC-NoC object.
 
 use crate::{SystemError, TimingVerification};
-use icnoc_clock::ClockDistribution;
+use icnoc_clock::{ClockBackend, ClockDistribution, ClockScheme};
 use icnoc_sim::{
     FaultPlan, Network, SimKernel, SimReport, TileTraffic, TrafficPattern, TreeNetworkConfig,
 };
@@ -40,6 +40,7 @@ pub struct SystemBuilder {
     frequency: Gigahertz,
     flip_flop: FlipFlopTiming,
     wire: WireModel,
+    clock: ClockBackend,
 }
 
 impl SystemBuilder {
@@ -56,6 +57,7 @@ impl SystemBuilder {
             frequency: Gigahertz::new(1.0),
             flip_flop: FlipFlopTiming::nominal_90nm(),
             wire: WireModel::nominal_90nm(),
+            clock: ClockBackend::Forwarded,
         }
     }
 
@@ -75,6 +77,7 @@ impl SystemBuilder {
     /// Returns [`SystemError::InvalidConfig`] for an unknown corner label.
     pub fn from_config(config: &SystemConfig) -> Result<Self, SystemError> {
         let corner = config.resolve_corner()?;
+        let clock = config.resolve_clock()?;
         Ok(Self::new(config.kind, config.ports)
             .die(
                 Millimeters::new(config.die_mm),
@@ -82,7 +85,8 @@ impl SystemBuilder {
             )
             .width_bits(config.width_bits)
             .frequency(Gigahertz::new(config.freq_ghz))
-            .flip_flop(corner.flip_flop()))
+            .flip_flop(corner.flip_flop())
+            .clock_backend(clock))
     }
 
     /// Sets the die dimensions.
@@ -118,6 +122,14 @@ impl SystemBuilder {
     #[must_use]
     pub fn wire(mut self, wire: WireModel) -> Self {
         self.wire = wire;
+        self
+    }
+
+    /// Selects the clock-distribution backend (default: the paper's
+    /// forwarded clock).
+    #[must_use]
+    pub fn clock_backend(mut self, backend: ClockBackend) -> Self {
+        self.clock = backend;
         self
     }
 
@@ -171,7 +183,7 @@ impl SystemBuilder {
                 max: pipeline.max_frequency(Millimeters::ZERO),
             })?;
         let plan = Floorplan::h_tree(&tree, self.die_width, self.die_height);
-        let clocks = ClockDistribution::forwarded(&tree, &plan, self.wire, self.frequency);
+        let clocks = ClockScheme::build(self.clock, &tree, &plan, self.wire, self.frequency);
         Ok(System {
             tree,
             plan,
@@ -209,6 +221,9 @@ pub struct SystemConfig {
     /// ([`ProcessVariation::standard_corners`]) selecting the flip-flop
     /// library scale and the wire variation used for verification.
     pub corner: String,
+    /// Label of the [`ClockBackend`] distributing the clock
+    /// (`"forwarded"` or `"redundant"`).
+    pub clock: String,
 }
 
 impl SystemConfig {
@@ -223,6 +238,7 @@ impl SystemConfig {
             width_bits: 32,
             freq_ghz: 1.0,
             corner: "nominal".to_owned(),
+            clock: ClockBackend::Forwarded.label().to_owned(),
         }
     }
 
@@ -245,6 +261,15 @@ impl SystemConfig {
         })
     }
 
+    /// The clock backend named by [`clock`](Self::clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] for an unknown label.
+    pub fn resolve_clock(&self) -> Result<ClockBackend, SystemError> {
+        ClockBackend::parse(&self.clock).map_err(SystemError::InvalidConfig)
+    }
+
     /// Builds the system this configuration describes (the corner's
     /// register library is applied; its wire variation is for the caller's
     /// verification step).
@@ -262,8 +287,14 @@ impl core::fmt::Display for SystemConfig {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "{} tree, {} ports, {} mm die, {} bits, {} GHz, {} corner",
-            self.kind, self.ports, self.die_mm, self.width_bits, self.freq_ghz, self.corner
+            "{} tree, {} ports, {} mm die, {} bits, {} GHz, {} corner, {} clock",
+            self.kind,
+            self.ports,
+            self.die_mm,
+            self.width_bits,
+            self.freq_ghz,
+            self.corner,
+            self.clock
         )
     }
 }
@@ -274,7 +305,7 @@ impl core::fmt::Display for SystemConfig {
 pub struct System {
     tree: TreeTopology,
     plan: Floorplan,
-    clocks: ClockDistribution,
+    clocks: ClockScheme,
     pipeline: PipelineTimingModel,
     frequency: Gigahertz,
     width_bits: u32,
@@ -294,10 +325,17 @@ impl System {
         &self.plan
     }
 
-    /// The forwarded-clock distribution.
+    /// The clock distribution (whatever backend the system was built
+    /// with — query [`ClockDistribution::backend`] to find out which).
     #[must_use]
-    pub fn clocks(&self) -> &ClockDistribution {
+    pub fn clocks(&self) -> &ClockScheme {
         &self.clocks
+    }
+
+    /// The clock-distribution backend in force.
+    #[must_use]
+    pub fn clock_backend(&self) -> ClockBackend {
+        self.clocks.backend()
     }
 
     /// The pipeline timing model in force.
@@ -477,6 +515,7 @@ impl System {
         );
         let mut cfg = TreeNetworkConfig::new(self.tree.clone())
             .with_link_stages_from(&self.plan, self.max_segment)
+            .with_clock_backend(self.clock_backend())
             .with_seed(seed)
             .with_kernel(kernel);
         for (i, p) in patterns.iter().enumerate() {
@@ -538,6 +577,7 @@ impl System {
         );
         let mut cfg = TreeNetworkConfig::new(self.tree.clone())
             .with_link_stages_from(&self.plan, self.max_segment)
+            .with_clock_backend(self.clock_backend())
             .with_tiles(tiles)
             .with_seed(seed)
             .with_kernel(kernel);
@@ -580,8 +620,13 @@ impl System {
     pub fn derated(&self, frequency: Gigahertz) -> System {
         let mut sys = self.clone();
         sys.frequency = frequency;
-        sys.clocks =
-            ClockDistribution::forwarded(&sys.tree, &sys.plan, sys.pipeline.wire(), frequency);
+        sys.clocks = ClockScheme::build(
+            self.clocks.backend(),
+            &sys.tree,
+            &sys.plan,
+            sys.pipeline.wire(),
+            frequency,
+        );
         sys
     }
 

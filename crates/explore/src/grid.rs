@@ -13,9 +13,9 @@
 //! paper's demonstrator operating point.
 //!
 //! Resolution walks the axes in a **fixed order** (kind, ports, die,
-//! width, freq, corner, pattern, cycles, soak), so the job list — and
-//! with it every per-job seed — is identical however many workers later
-//! execute it.
+//! width, freq, corner, clock, pattern, cycles, soak), so the job list —
+//! and with it every per-job seed — is identical however many workers
+//! later execute it.
 
 use icnoc::SystemConfig;
 use icnoc_sim::TrafficPattern;
@@ -52,6 +52,9 @@ pub struct GridSpec {
     /// Process-corner labels to sweep
     /// (see [`icnoc_timing::ProcessVariation::standard_corners`]).
     pub corners: Vec<String>,
+    /// Clock-distribution backend labels to sweep
+    /// (see [`icnoc_clock::ClockBackend`]).
+    pub clocks: Vec<String>,
     /// Traffic-pattern specs (kept as text; parsed per job).
     pub patterns: Vec<String>,
     /// Simulated cycle counts to sweep.
@@ -72,6 +75,7 @@ impl Default for GridSpec {
             width_bits: vec![32],
             freq_ghz: vec![1.0],
             corners: vec!["nominal".to_owned()],
+            clocks: vec![icnoc_clock::ClockBackend::Forwarded.label().to_owned()],
             patterns: vec!["uniform:0.1".to_owned()],
             cycles: vec![2_000],
             soak: vec![0.0],
@@ -140,6 +144,17 @@ impl GridSpec {
                 "corner" => {
                     grid.corners = split_list(values).map(str::to_owned).collect();
                 }
+                "clock" => {
+                    // Validate eagerly so a typo'd backend fails before any
+                    // jobs run; the label form is what gets hashed.
+                    grid.clocks = split_list(values)
+                        .map(|v| {
+                            icnoc_clock::ClockBackend::parse(v)
+                                .map(|b| b.label().to_owned())
+                                .map_err(GridError)
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
                 "pattern" => {
                     // Validate each spec now so errors surface before any
                     // jobs run; the text form is what gets hashed.
@@ -157,7 +172,7 @@ impl GridSpec {
                 other => {
                     return Err(GridError(format!(
                         "unknown axis {other:?}; known: kind, ports, die, width, freq, \
-                         thalf, corner, pattern, cycles, soak, seed"
+                         thalf, corner, clock, pattern, cycles, soak, seed"
                     )))
                 }
             }
@@ -179,6 +194,7 @@ impl GridSpec {
             * self.width_bits.len()
             * self.freq_ghz.len()
             * self.corners.len()
+            * self.clocks.len()
             * self.patterns.len()
             * self.cycles.len()
             * self.soak.len()
@@ -200,23 +216,26 @@ impl GridSpec {
                     for &width_bits in &self.width_bits {
                         for &freq_ghz in &self.freq_ghz {
                             for corner in &self.corners {
-                                for pattern in &self.patterns {
-                                    for &cycles in &self.cycles {
-                                        for &soak in &self.soak {
-                                            jobs.push(JobConfig {
-                                                system: SystemConfig {
-                                                    kind,
-                                                    ports,
-                                                    die_mm,
-                                                    width_bits,
-                                                    freq_ghz,
-                                                    corner: corner.clone(),
-                                                },
-                                                pattern: pattern.clone(),
-                                                cycles,
-                                                soak,
-                                                seed: self.seed,
-                                            });
+                                for clock in &self.clocks {
+                                    for pattern in &self.patterns {
+                                        for &cycles in &self.cycles {
+                                            for &soak in &self.soak {
+                                                jobs.push(JobConfig {
+                                                    system: SystemConfig {
+                                                        kind,
+                                                        ports,
+                                                        die_mm,
+                                                        width_bits,
+                                                        freq_ghz,
+                                                        corner: corner.clone(),
+                                                        clock: clock.clone(),
+                                                    },
+                                                    pattern: pattern.clone(),
+                                                    cycles,
+                                                    soak,
+                                                    seed: self.seed,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -369,6 +388,7 @@ impl JobConfig {
         s.push_str(&format!("width={};", self.system.width_bits));
         push_f64(&mut s, "freq", self.system.freq_ghz);
         s.push_str(&format!("corner={};", self.system.corner));
+        s.push_str(&format!("clock={};", self.system.clock));
         s.push_str(&format!("pattern={};", self.pattern));
         s.push_str(&format!("cycles={};", self.cycles));
         push_f64(&mut s, "soak", self.soak);
@@ -408,6 +428,7 @@ impl JobConfig {
             ),
             ("freq_ghz".into(), JsonValue::Num(self.system.freq_ghz)),
             ("corner".into(), JsonValue::Str(self.system.corner.clone())),
+            ("clock".into(), JsonValue::Str(self.system.clock.clone())),
             ("pattern".into(), JsonValue::Str(self.pattern.clone())),
             ("cycles".into(), JsonValue::Num(self.cycles as f64)),
             ("soak".into(), JsonValue::Num(self.soak)),
@@ -444,6 +465,7 @@ impl JobConfig {
                 width_bits: f("width_bits")? as u32,
                 freq_ghz: f("freq_ghz")?,
                 corner: s("corner")?.to_owned(),
+                clock: s("clock")?.to_owned(),
             },
             pattern: s("pattern")?.to_owned(),
             cycles: f("cycles")? as u64,
@@ -548,6 +570,23 @@ mod tests {
         // Identical configs hash identically across resolutions.
         let a2 = GridSpec::parse("freq=1.0").expect("parses").resolve();
         assert_eq!(a[0].stable_hash(), a2[0].stable_hash());
+    }
+
+    #[test]
+    fn clock_axis_sweeps_backends_and_salts_the_canonical_form() {
+        let grid = GridSpec::parse("clock=forwarded,redundant;ports=16").expect("parses");
+        assert_eq!(grid.len(), 2);
+        let jobs = grid.resolve();
+        assert_eq!(jobs[0].system.clock, "forwarded");
+        assert_eq!(jobs[1].system.clock, "redundant");
+        // The backend is part of the canonical form, so the two jobs get
+        // distinct seeds and distinct cache keys.
+        assert_ne!(jobs[0].canonical(), jobs[1].canonical());
+        assert_ne!(jobs[0].stable_hash(), jobs[1].stable_hash());
+        assert!(jobs[0].canonical().contains("clock=forwarded;"));
+        // Typos fail at parse time with the valid set named.
+        let err = GridSpec::parse("clock=gradient").expect_err("unknown backend");
+        assert!(err.0.contains("redundant"), "{err}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! silent ones.
 
 use crate::flit::{Flit, FlitKind};
+use icnoc_clock::ClockBackend;
 use icnoc_timing::{Direction, FlipFlopTiming, LinkTiming};
 use icnoc_units::{Gigahertz, Picoseconds};
 use rand::rngs::StdRng;
@@ -63,11 +64,26 @@ pub enum FaultKind {
     /// A transient element outage: the element freezes (captures nothing)
     /// for a configurable number of edges.
     ElementOutage,
+    /// A clock-node outage: an entire clock domain (a root-child subtree
+    /// of the distribution tree) loses its clock, so every element in it
+    /// stops capturing until the outage ends and the re-sync protocol
+    /// completes. The redundant-pulse backend masks a single outage per
+    /// domain (the TRIX median vote rides it out).
+    ClockOutage,
+    /// A dropped clock pulse: one missing edge freezes the whole domain
+    /// for a single tick — a stall the two-phase handshake absorbs. The
+    /// redundant-pulse backend votes the missing pulse away entirely.
+    PulseDrop,
+    /// A skew-drift ramp: the domain's clock arrival drifts linearly away
+    /// from nominal over a configurable number of edges, so captures face
+    /// a growing skew excursion evaluated by the timing guard. The
+    /// redundant-pulse backend's median filters a single drifting arrival.
+    SkewDrift,
 }
 
 impl FaultKind {
     /// Every kind, in ledger order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::LinkJitter,
         FaultKind::SkewSpike,
         FaultKind::BitCorruption,
@@ -75,6 +91,9 @@ impl FaultKind {
         FaultKind::StuckValid,
         FaultKind::LostValid,
         FaultKind::ElementOutage,
+        FaultKind::ClockOutage,
+        FaultKind::PulseDrop,
+        FaultKind::SkewDrift,
     ];
 
     /// A short human-readable name.
@@ -88,6 +107,9 @@ impl FaultKind {
             FaultKind::StuckValid => "stuck-valid",
             FaultKind::LostValid => "lost-valid",
             FaultKind::ElementOutage => "outage",
+            FaultKind::ClockOutage => "clock-outage",
+            FaultKind::PulseDrop => "pulse-drop",
+            FaultKind::SkewDrift => "skew-drift",
         }
     }
 }
@@ -111,6 +133,12 @@ pub struct FaultRates {
     pub lost_valid: f64,
     /// Outage start per stage edge.
     pub outage: f64,
+    /// Clock-node outage start per clock domain per edge.
+    pub clock_outage: f64,
+    /// Dropped clock pulse per clock domain per edge.
+    pub pulse_drop: f64,
+    /// Skew-drift ramp start per clock domain per edge.
+    pub skew_drift: f64,
 }
 
 impl FaultRates {
@@ -123,11 +151,15 @@ impl FaultRates {
         stuck_valid: 0.0,
         lost_valid: 0.0,
         outage: 0.0,
+        clock_outage: 0.0,
+        pulse_drop: 0.0,
+        skew_drift: 0.0,
     };
 
-    /// The default soak profile: every fault kind nonzero, rates chosen so
-    /// a 10k-cycle run exercises each recovery path many times without
-    /// collapsing goodput.
+    /// The default soak profile: every element-level fault kind nonzero,
+    /// rates chosen so a 10k-cycle run exercises each recovery path many
+    /// times without collapsing goodput. Clock-domain rates stay zero —
+    /// see [`clock_soak`](Self::clock_soak).
     #[must_use]
     pub fn soak() -> Self {
         Self {
@@ -138,6 +170,20 @@ impl FaultRates {
             stuck_valid: 0.005,
             lost_valid: 0.01,
             outage: 0.0005,
+            ..Self::ZERO
+        }
+    }
+
+    /// The clock-fault soak profile: [`soak`](Self::soak) plus nonzero
+    /// clock-domain rates, so a tree-network run exercises outage,
+    /// pulse-drop and skew-drift handling alongside the element faults.
+    #[must_use]
+    pub fn clock_soak() -> Self {
+        Self {
+            clock_outage: 0.001,
+            pulse_drop: 0.002,
+            skew_drift: 0.001,
+            ..Self::soak()
         }
     }
 
@@ -153,6 +199,9 @@ impl FaultRates {
             stuck_valid: s(self.stuck_valid),
             lost_valid: s(self.lost_valid),
             outage: s(self.outage),
+            clock_outage: s(self.clock_outage),
+            pulse_drop: s(self.pulse_drop),
+            skew_drift: s(self.skew_drift),
         }
     }
 
@@ -171,6 +220,9 @@ impl FaultRates {
             ("stuck_valid", self.stuck_valid),
             ("lost_valid", self.lost_valid),
             ("outage", self.outage),
+            ("clock_outage", self.clock_outage),
+            ("pulse_drop", self.pulse_drop),
+            ("skew_drift", self.skew_drift),
         ] {
             assert!(
                 (0.0..=1.0).contains(&r),
@@ -233,6 +285,21 @@ pub struct FaultPlan {
     spike_max: Picoseconds,
     /// Edges an element outage lasts.
     outage_edges: u64,
+    /// Edges a rolled clock-node outage lasts.
+    clock_outage_edges: u64,
+    /// Missed heartbeats (frozen edges) before the per-subtree watchdog
+    /// raises `ClockLoss` and quarantines the domain.
+    watchdog_threshold: u64,
+    /// Edges the deterministic re-sync protocol holds a domain frozen
+    /// after its outage window ends, before captures resume.
+    resync_edges: u64,
+    /// Edges a skew-drift ramp lasts.
+    drift_edges: u64,
+    /// Peak skew excursion a drift ramp reaches at its end.
+    drift_max: Picoseconds,
+    /// Deterministic clock-outage windows: `(domain, start, end)` in
+    /// half-cycle ticks (`end == u64::MAX` models a permanent outage).
+    scheduled_clock_outages: Vec<(u32, u64, u64)>,
     /// Nominal per-hop wire delays the guard perturbs.
     data_delay: Picoseconds,
     clock_delay: Picoseconds,
@@ -264,6 +331,12 @@ impl FaultPlan {
             spike_min: Picoseconds::new(200.0),
             spike_max: Picoseconds::new(600.0),
             outage_edges: 16,
+            clock_outage_edges: 64,
+            watchdog_threshold: 8,
+            resync_edges: 8,
+            drift_edges: 256,
+            drift_max: Picoseconds::new(300.0),
+            scheduled_clock_outages: Vec::new(),
             data_delay: Picoseconds::new(150.0),
             clock_delay: Picoseconds::new(150.0),
             frequency: Gigahertz::new(1.0),
@@ -375,6 +448,52 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the duration of rolled clock-node outages in edges.
+    #[must_use]
+    pub fn with_clock_outage_edges(mut self, edges: u64) -> Self {
+        self.clock_outage_edges = edges.max(1);
+        self
+    }
+
+    /// Sets the clock watchdog threshold (missed heartbeats before
+    /// `ClockLoss` + quarantine) and the re-sync hold in edges.
+    #[must_use]
+    pub fn with_clock_watchdog(mut self, threshold: u64, resync_edges: u64) -> Self {
+        self.watchdog_threshold = threshold.max(1);
+        self.resync_edges = resync_edges.max(1);
+        self
+    }
+
+    /// Sets the skew-drift ramp length in edges and its peak excursion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift_max` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn with_skew_drift(mut self, edges: u64, drift_max: Picoseconds) -> Self {
+        assert!(!drift_max.is_negative(), "drift peak must be >= 0");
+        self.drift_edges = edges.max(1);
+        self.drift_max = drift_max;
+        self
+    }
+
+    /// Schedules a deterministic clock-node outage on clock domain
+    /// `domain` over ticks `[start, end)`. `end == u64::MAX` models a
+    /// permanent outage. Scheduled outages fire regardless of the plan's
+    /// injection window and consume no randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    #[track_caller]
+    pub fn with_clock_outage_window(mut self, domain: u32, start: u64, end: u64) -> Self {
+        assert!(start < end, "clock outage window must be non-empty");
+        self.scheduled_clock_outages.push((domain, start, end));
+        self
+    }
+
     /// Sets the retransmission parameters: acknowledgement timeout, base
     /// backoff delay (doubles per attempt), and the retry budget.
     ///
@@ -478,6 +597,14 @@ pub struct FaultCounts {
     pub lost_valid: u64,
     /// Element outages started.
     pub outage: u64,
+    /// Clock-node outages started (scheduled + rolled).
+    pub clock_outage: u64,
+    /// Clock pulses dropped.
+    pub pulse_drop: u64,
+    /// Skew-drift instances injected. On the forwarded backend one per
+    /// affected capture during a ramp; on the redundant backend one per
+    /// masked ramp.
+    pub skew_drift: u64,
 }
 
 impl FaultCounts {
@@ -491,6 +618,9 @@ impl FaultCounts {
             + self.stuck_valid
             + self.lost_valid
             + self.outage
+            + self.clock_outage
+            + self.pulse_drop
+            + self.skew_drift
     }
 
     fn bump(&mut self, kind: FaultKind) {
@@ -502,6 +632,9 @@ impl FaultCounts {
             FaultKind::StuckValid => self.stuck_valid += 1,
             FaultKind::LostValid => self.lost_valid += 1,
             FaultKind::ElementOutage => self.outage += 1,
+            FaultKind::ClockOutage => self.clock_outage += 1,
+            FaultKind::PulseDrop => self.pulse_drop += 1,
+            FaultKind::SkewDrift => self.skew_drift += 1,
         }
     }
 
@@ -516,6 +649,9 @@ impl FaultCounts {
             FaultKind::StuckValid => self.stuck_valid,
             FaultKind::LostValid => self.lost_valid,
             FaultKind::ElementOutage => self.outage,
+            FaultKind::ClockOutage => self.clock_outage,
+            FaultKind::PulseDrop => self.pulse_drop,
+            FaultKind::SkewDrift => self.skew_drift,
         }
     }
 }
@@ -572,13 +708,21 @@ pub struct RecoveryReport {
     pub dfs_locked: bool,
     /// Tick of the last timing violation, if any occurred.
     pub last_violation_tick: Option<u64>,
+    /// `ClockLoss` events the per-subtree watchdog raised (one per
+    /// quarantined outage).
+    pub clock_loss_events: u64,
+    /// Clock faults the redundant-pulse backend masked (median vote).
+    pub clock_faults_masked: u64,
+    /// Completed domain re-syncs (outage window ended and the domain
+    /// resumed capturing).
+    pub resyncs: u64,
 }
 
 impl RecoveryReport {
     /// Current layout version of [`RecoveryReport`]. Bump on any field
     /// change so cached ledgers invalidate instead of deserialising
     /// garbage.
-    pub const SCHEMA_VERSION: u32 = 2;
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// The conservation law: `injected == absorbed + recovered + lost +
     /// pending`.
@@ -601,7 +745,7 @@ impl core::fmt::Display for RecoveryReport {
         writeln!(
             f,
             "faults injected: {} (jitter {}, spike {}, corrupt {}, drop {}, stuck {}, \
-             lost-valid {}, outage {})",
+             lost-valid {}, outage {}, clock-outage {}, pulse-drop {}, skew-drift {})",
             i.total(),
             i.link_jitter,
             i.skew_spike,
@@ -609,7 +753,10 @@ impl core::fmt::Display for RecoveryReport {
             i.flit_drop,
             i.stuck_valid,
             i.lost_valid,
-            i.outage
+            i.outage,
+            i.clock_outage,
+            i.pulse_drop,
+            i.skew_drift
         )?;
         writeln!(
             f,
@@ -633,6 +780,11 @@ impl core::fmt::Display for RecoveryReport {
             f,
             "  recovery: {} retransmissions, {} flits abandoned",
             self.retransmissions, self.flits_abandoned
+        )?;
+        writeln!(
+            f,
+            "  clock: {} loss events, {} faults masked, {} resyncs",
+            self.clock_loss_events, self.clock_faults_masked, self.resyncs
         )?;
         write!(
             f,
@@ -804,6 +956,59 @@ struct Ledger {
     recovered: u64,
     lost: u64,
     flits_abandoned: u64,
+    clock_loss_events: u64,
+    clock_faults_masked: u64,
+    resyncs: u64,
+}
+
+/// Live state of one clock domain (a root-child subtree of the clock
+/// distribution tree) under fault injection.
+#[derive(Debug, Clone, Default)]
+struct DomainState {
+    /// An outage is active: frozen until [`outage_until`](Self::outage_until).
+    in_outage: bool,
+    /// First tick after the active outage (`u64::MAX`: permanent).
+    outage_until: u64,
+    /// The post-outage re-sync hold is active until
+    /// [`resync_until`](Self::resync_until).
+    resyncing: bool,
+    resync_until: u64,
+    /// One-tick freeze from a dropped pulse.
+    frozen_tick: Option<u64>,
+    /// Redundant backend: a single clock fault is masked by the median
+    /// vote until this tick; a second fault inside the window breaks
+    /// through (double faults defeat triple redundancy).
+    masked_until: u64,
+    /// Watchdog heartbeat: consecutive frozen edges seen so far.
+    missed: u64,
+    /// The watchdog raised `ClockLoss` and quarantined the domain.
+    quarantined: bool,
+    /// A skew-drift ramp is active over
+    /// `[drift_start, drift_until)`.
+    drift_start: u64,
+    drift_until: u64,
+}
+
+impl DomainState {
+    fn frozen(&self, tick: u64) -> bool {
+        self.in_outage || self.resyncing || self.frozen_tick == Some(tick)
+    }
+}
+
+/// The clock-tree topology the fault layer propagates clock faults
+/// through: which clock domain (root-child subtree) each element and port
+/// belongs to (`u32::MAX`: the root domain, which never loses its clock),
+/// and which [`ClockBackend`] drives the tree.
+#[derive(Debug, Clone)]
+pub(crate) struct ClockTopology {
+    /// Per-element domain id (`u32::MAX` = root, never frozen).
+    pub elements: Vec<u32>,
+    /// Per-port domain id.
+    pub ports: Vec<u32>,
+    /// Number of domains (root-child subtrees).
+    pub count: u32,
+    /// The clock distribution backend in use.
+    pub backend: ClockBackend,
 }
 
 /// Live fault-injection/recovery state attached to a network.
@@ -839,6 +1044,15 @@ pub(crate) struct FaultState {
     /// [`begin_step`]: FaultState::begin_step
     timers: BTreeSet<(u64, (u32, u64))>,
     ledger: Ledger,
+    /// Clock-tree topology, if the network provided one (tree networks
+    /// do; hand-built fabrics have no clock domains and clock-domain
+    /// rates are inert).
+    clock: Option<ClockTopology>,
+    /// Per-domain live state, indexed by domain id.
+    domains: Vec<DomainState>,
+    /// Domains that completed re-sync this tick (the network re-arms
+    /// their elements in the event kernel).
+    unfrozen: Vec<u32>,
 }
 
 impl FaultState {
@@ -881,7 +1095,26 @@ impl FaultState {
             abandoned: BTreeMap::new(),
             timers: BTreeSet::new(),
             ledger: Ledger::default(),
+            clock: None,
+            domains: Vec::new(),
+            unfrozen: Vec::new(),
         }
+    }
+
+    /// Attaches the clock-tree topology clock-domain faults propagate
+    /// through. Without it, clock-domain rates and scheduled outages are
+    /// inert (a fabric with no modelled clock tree has no domains to
+    /// kill).
+    pub(crate) fn set_clock_topology(&mut self, clock: ClockTopology) {
+        self.domains = vec![DomainState::default(); clock.count as usize];
+        self.clock = Some(clock);
+    }
+
+    /// The clock distribution backend faults are evaluated against.
+    fn clock_backend(&self) -> ClockBackend {
+        self.clock
+            .as_ref()
+            .map_or(ClockBackend::Forwarded, |c| c.backend)
     }
 
     fn active(&self, tick: u64) -> bool {
@@ -927,6 +1160,196 @@ impl FaultState {
             .saturating_mul(1u64 << attempts.min(10))
     }
 
+    // ----- clock-domain machinery -----------------------------------------
+
+    /// Whether element `i` sits in a clock domain that is frozen this tick
+    /// (active outage, re-sync hold, or a dropped pulse). Frozen elements
+    /// capture nothing and consume no randomness.
+    pub(crate) fn clock_frozen(&self, i: usize, tick: u64) -> bool {
+        let Some(clock) = &self.clock else {
+            return false;
+        };
+        match clock.elements.get(i) {
+            Some(&d) if d != u32::MAX => self.domains[d as usize].frozen(tick),
+            _ => false,
+        }
+    }
+
+    /// The quarantined clock domains, in ascending order.
+    pub(crate) fn quarantined_domains(&self) -> Vec<u32> {
+        self.domains
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.quarantined)
+            .map(|(d, _)| d as u32)
+            .collect()
+    }
+
+    /// Domains that completed re-sync on the tick last passed to
+    /// [`begin_step`](Self::begin_step) — the network re-arms their
+    /// elements so the event kernel cannot strand a thawed subtree.
+    pub(crate) fn unfrozen_domains(&self) -> &[u32] {
+        &self.unfrozen
+    }
+
+    /// Pairs a clock-fault injection with its ledger outcome: charge the
+    /// first outstanding flit travelling to or from the domain (it becomes
+    /// `pending` until delivery resolves it), or absorb the fault when the
+    /// subtree carries nothing that can be harmed.
+    fn charge_clock_fault(&mut self, domain: u32) {
+        let Some(clock) = &self.clock else {
+            self.ledger.absorbed += 1;
+            return;
+        };
+        let in_domain = |port: u32| clock.ports.get(port as usize) == Some(&domain);
+        let victim = self
+            .outstanding
+            .iter_mut()
+            .find(|(_, e)| in_domain(e.flit.src.0) || in_domain(e.flit.dest.0));
+        match victim {
+            Some((_, entry)) => entry.faults += 1,
+            None => self.ledger.absorbed += 1,
+        }
+    }
+
+    /// Starts (or masks) a clock-node outage on `domain` lasting until
+    /// `until`. On the redundant-pulse backend a single outage per mask
+    /// window is voted away; a second fault inside the window breaks
+    /// through and freezes the domain for real.
+    fn inject_clock_outage(&mut self, domain: u32, tick: u64, until: u64) {
+        self.ledger.injected.bump(FaultKind::ClockOutage);
+        let masked = self.clock_backend() == ClockBackend::Redundant
+            && tick >= self.domains[domain as usize].masked_until;
+        let st = &mut self.domains[domain as usize];
+        if masked {
+            st.masked_until = until;
+            self.ledger.absorbed += 1;
+            self.ledger.clock_faults_masked += 1;
+        } else {
+            st.in_outage = true;
+            st.outage_until = until;
+            self.charge_clock_fault(domain);
+        }
+    }
+
+    /// Runs the per-tick clock-domain machinery: scheduled outage windows,
+    /// seeded rolls (outage / pulse drop / skew drift), the watchdog
+    /// heartbeat, and the outage-end re-sync protocol. Domains are visited
+    /// in ascending id order so the shared RNG stream is deterministic.
+    fn clock_step(&mut self, tick: u64) {
+        self.unfrozen.clear();
+        let Some(clock) = &self.clock else {
+            return;
+        };
+        let count = clock.count;
+        let backend = clock.backend;
+        let rates = self.plan.rates;
+        let rolling = self.active(tick)
+            && (rates.clock_outage > 0.0 || rates.pulse_drop > 0.0 || rates.skew_drift > 0.0);
+        for d in 0..count {
+            // 1. Advance the domain state machine.
+            let watchdog = self.plan.watchdog_threshold;
+            let resync_edges = self.plan.resync_edges;
+            let st = &mut self.domains[d as usize];
+            if st.in_outage && tick >= st.outage_until {
+                // The outage window ended: hold the domain through the
+                // deterministic re-sync before captures resume.
+                st.in_outage = false;
+                st.resyncing = true;
+                st.resync_until = tick + resync_edges;
+            }
+            if st.resyncing && tick >= st.resync_until {
+                st.resyncing = false;
+                st.missed = 0;
+                st.quarantined = false;
+                self.ledger.resyncs += 1;
+                self.unfrozen.push(d);
+            }
+            // A dropped pulse froze the domain for exactly one edge; the
+            // event kernel must re-arm the subtree the edge after (a
+            // source whose retransmission timer fired during the stall
+            // has no neighbour activity to wake it back up).
+            if st.frozen_tick.is_some_and(|ft| ft < tick) {
+                st.frozen_tick = None;
+                self.unfrozen.push(d);
+            }
+            // 2. Watchdog: every frozen edge is a missed capture
+            //    heartbeat; at the threshold the subtree is declared lost
+            //    (one ClockLoss per outage) and quarantined.
+            if st.in_outage {
+                st.missed += 1;
+                if !st.quarantined && st.missed >= watchdog {
+                    st.quarantined = true;
+                    self.ledger.clock_loss_events += 1;
+                }
+            }
+            // 3. Scheduled outage windows (deterministic, no RNG).
+            for k in 0..self.plan.scheduled_clock_outages.len() {
+                let (dom, start, end) = self.plan.scheduled_clock_outages[k];
+                if dom == d && tick == start {
+                    self.inject_clock_outage(d, tick, end);
+                }
+            }
+            // 4. Seeded rolls. A frozen domain rolls nothing: its clock is
+            //    already gone.
+            if !rolling || self.domains[d as usize].frozen(tick) {
+                continue;
+            }
+            if self.roll(rates.clock_outage) {
+                let until = tick.saturating_add(self.plan.clock_outage_edges);
+                self.inject_clock_outage(d, tick, until);
+            }
+            if self.domains[d as usize].frozen(tick) {
+                continue;
+            }
+            if self.roll(rates.pulse_drop) {
+                self.ledger.injected.bump(FaultKind::PulseDrop);
+                if backend == ClockBackend::Redundant {
+                    // Median of three pulse arrivals: one missing pulse is
+                    // simply outvoted.
+                    self.ledger.clock_faults_masked += 1;
+                } else {
+                    // One missing edge: a single-tick stall the two-phase
+                    // handshake absorbs by construction.
+                    self.domains[d as usize].frozen_tick = Some(tick);
+                }
+                self.ledger.absorbed += 1;
+            }
+            if self.roll(rates.skew_drift) {
+                if backend == ClockBackend::Redundant {
+                    // The median filters one drifting arrival outright.
+                    self.ledger.injected.bump(FaultKind::SkewDrift);
+                    self.ledger.absorbed += 1;
+                    self.ledger.clock_faults_masked += 1;
+                } else {
+                    // Arm the ramp; each affected capture books its own
+                    // SkewDrift instance against the timing guard.
+                    let st = &mut self.domains[d as usize];
+                    st.drift_start = tick;
+                    st.drift_until = tick.saturating_add(self.plan.drift_edges);
+                }
+            }
+        }
+    }
+
+    /// The skew excursion an active drift ramp imposes on a capture by
+    /// element `i` this tick: ramps linearly from near zero to the plan's
+    /// peak over the ramp length. `None` when no ramp covers the element.
+    fn drift_excursion(&self, i: usize, tick: u64) -> Option<Picoseconds> {
+        let clock = self.clock.as_ref()?;
+        let d = *clock.elements.get(i)?;
+        if d == u32::MAX {
+            return None;
+        }
+        let st = &self.domains[d as usize];
+        if tick < st.drift_until && tick >= st.drift_start {
+            let ramp = (tick - st.drift_start + 1) as f64 / self.plan.drift_edges as f64;
+            Some(Picoseconds::new(self.plan.drift_max.value() * ramp))
+        } else {
+            None
+        }
+    }
+
     // ----- per-step hooks -------------------------------------------------
 
     /// Arms the timer queue for `key`'s next scheduled action.
@@ -947,6 +1370,7 @@ impl FaultState {
     /// nothing.
     pub(crate) fn begin_step(&mut self, tick: u64, woken: &mut Vec<u32>) {
         woken.clear();
+        self.clock_step(tick);
         self.dfs.on_edge(tick);
         if self.timers.first().is_none_or(|&(due, _)| due > tick) {
             return;
@@ -1106,7 +1530,12 @@ impl FaultState {
             return effect;
         }
         let rates = self.rates(i);
-        let excursion = if self.roll(rates.skew_spike) {
+        let excursion = if let Some(drift) = self.drift_excursion(i, tick) {
+            // An armed skew-drift ramp books one instance per capture it
+            // degrades; the timing guard decides whether each survives.
+            self.ledger.injected.bump(FaultKind::SkewDrift);
+            Some(drift)
+        } else if self.roll(rates.skew_spike) {
             self.ledger.injected.bump(FaultKind::SkewSpike);
             let magnitude = self
                 .rng
@@ -1297,6 +1726,19 @@ impl FaultState {
                 self.outstanding.len()
             ));
         }
+        for (d, st) in self.domains.iter().enumerate() {
+            if st.quarantined {
+                lines.push(format!(
+                    "clock domain {d} quarantined: watchdog raised ClockLoss after \
+                     {} missed heartbeat(s), outage until tick {}",
+                    st.missed, st.outage_until
+                ));
+            } else if st.in_outage || st.resyncing {
+                lines.push(format!(
+                    "clock domain {d} frozen by clock outage (re-sync pending)"
+                ));
+            }
+        }
         lines
     }
 
@@ -1322,6 +1764,9 @@ impl FaultState {
             effective_ghz: self.plan.frequency.value() / self.dfs.slowdown,
             dfs_locked: self.dfs.locked,
             last_violation_tick: self.dfs.last_violation,
+            clock_loss_events: ledger.clock_loss_events,
+            clock_faults_masked: ledger.clock_faults_masked,
+            resyncs: ledger.resyncs,
         }
     }
 }

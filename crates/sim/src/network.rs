@@ -1,7 +1,7 @@
 //! The element-graph simulator core and the straight-pipeline builder.
 
 use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState};
-use crate::fault::{ArrivalVerdict, CaptureEffect, FaultState};
+use crate::fault::{ArrivalVerdict, CaptureEffect, ClockTopology, FaultState};
 use crate::label::LabelTable;
 use crate::parallel::{self, ParState};
 use crate::profile::{FallbackCause, KernelProfiler, PerfReport, PerfWall, ShardCounters};
@@ -162,6 +162,12 @@ pub struct Network {
     /// Builder-provided subtree id per element, steering the parallel
     /// shard cut (set by the tree builder; contiguous ranges otherwise).
     shard_hints: Option<Vec<u32>>,
+    /// Clock-distribution topology (per-element and per-port clock
+    /// domains plus the active backend), set by tree builders. Handed to
+    /// the fault layer when a plan attaches, so clock-domain faults can
+    /// freeze whole subtrees; also used to attribute stalled holders to a
+    /// quarantined domain in [`diagnose_stall`](Self::diagnose_stall).
+    clock_domains: Option<ClockTopology>,
     /// Total element visits executed across all ticks (all kernels).
     /// Deliberately *not* part of [`SimReport`]: the kernels visit
     /// different element counts while producing identical reports.
@@ -203,6 +209,7 @@ impl Network {
             woken_scratch: Vec::new(),
             par: None,
             shard_hints: None,
+            clock_domains: None,
             element_steps: 0,
             prof: None,
         }
@@ -300,7 +307,11 @@ impl Network {
             "attach a fault plan before stepping a parallel-kernel network"
         );
         let labels = self.element_labels();
-        self.faults = Some(Box::new(FaultState::new(plan, &labels)));
+        let mut state = Box::new(FaultState::new(plan, &labels));
+        if let Some(topology) = self.clock_domains.clone() {
+            state.set_clock_topology(topology);
+        }
+        self.faults = Some(state);
         // Stages with a nonzero outage rate roll the shared fault RNG on
         // every active edge, busy or not — pin them so the event kernel
         // consumes the exact same random stream as the dense oracle.
@@ -641,6 +652,18 @@ impl Network {
         self.shard_hints = Some(hints);
     }
 
+    /// Records the clock-distribution topology (per-element/per-port
+    /// domains and the active backend). Tree builders call this; manual
+    /// fabrics without it simply have no clock domains to fault.
+    pub(crate) fn set_clock_domains(&mut self, topology: ClockTopology) {
+        assert_eq!(
+            topology.elements.len(),
+            self.elements.len(),
+            "one clock domain per element"
+        );
+        self.clock_domains = Some(topology);
+    }
+
     /// Whether this step should take the parallel path, activating the
     /// shard state on first use. Networks with a fault plan or trace
     /// sinks stay on the sequential event kernel: both fold into shared
@@ -899,12 +922,26 @@ impl Network {
             // polls for it.
             let mut woken = std::mem::take(&mut self.woken_scratch);
             f.begin_step(self.tick, &mut woken);
+            let thawed = f.unfrozen_domains().to_vec();
             for &port in &woken {
                 if let Some(i) = self.injectors.get(port as usize).copied().flatten() {
                     self.arm(i as usize);
                 }
             }
             self.woken_scratch = woken;
+            // Clock domains that completed re-sync this edge: re-arm every
+            // element in the thawed subtree, so the event kernel resumes
+            // work an earlier edge skipped while the clock was down.
+            if !thawed.is_empty() {
+                if let Some(topology) = &self.clock_domains {
+                    let rearm: Vec<usize> = (0..self.elements.len())
+                        .filter(|&i| thawed.contains(&topology.elements[i]))
+                        .collect();
+                    for i in rearm {
+                        self.arm(i);
+                    }
+                }
+            }
         }
         let parity = if self.tick.is_multiple_of(2) {
             ClockPolarity::Rising
@@ -986,7 +1023,11 @@ impl Network {
         // presents nothing new. A flit drained on the previous edge is
         // still gone (the downstream register already holds it).
         if let Some(f) = faults.as_deref_mut() {
-            if f.outage_step(i, tick) {
+            // A clock-domain freeze (outage, re-sync hold, dropped pulse)
+            // behaves like a transient outage, but strikes the whole
+            // subtree at once and consumes no per-stage randomness: the
+            // clock is gone, so nothing rolls.
+            if f.clock_frozen(i, tick) || f.outage_step(i, tick) {
                 let drained = self.was_drained(i);
                 let el = &mut self.elements[i];
                 if drained {
@@ -1154,6 +1195,20 @@ impl Network {
 
     fn step_source(&mut self, i: usize) {
         let mut faults = self.faults.take();
+        // A source in a clock-dead domain injects nothing and consumes no
+        // pattern randomness; queued retransmissions wait for re-sync.
+        if let Some(f) = faults.as_deref_mut() {
+            if f.clock_frozen(i, self.tick) {
+                let drained = self.was_drained(i);
+                let el = &mut self.elements[i];
+                if drained {
+                    el.out_flit = None;
+                }
+                el.accepted_from = None;
+                self.faults = faults;
+                return;
+            }
+        }
         let drained = self.was_drained(i);
         let tracing = !self.sinks.is_empty();
         let mut injected: Option<Flit> = None;
@@ -1290,6 +1345,15 @@ impl Network {
     fn step_sink(&mut self, i: usize) {
         let mut faults = self.faults.take();
         let tick = self.tick;
+        // A sink in a clock-dead domain captures nothing: its upstream
+        // keeps presenting until the domain re-syncs.
+        if let Some(f) = faults.as_deref_mut() {
+            if f.clock_frozen(i, tick) {
+                self.elements[i].accepted_from = None;
+                self.faults = faults;
+                return;
+            }
+        }
         // Scan all upstreams (a port with ring shortcuts has several) and
         // consume the first one offering a flit.
         let (up, offered) = self.first_offer(i);
@@ -1359,6 +1423,19 @@ impl Network {
     fn step_tile(&mut self, i: usize) {
         let mut faults = self.faults.take();
         let tick = self.tick;
+        // A tile in a clock-dead domain neither captures nor injects.
+        if let Some(f) = faults.as_deref_mut() {
+            if f.clock_frozen(i, tick) {
+                let drained = self.was_drained(i);
+                let el = &mut self.elements[i];
+                if drained {
+                    el.out_flit = None;
+                }
+                el.accepted_from = None;
+                self.faults = faults;
+                return;
+            }
+        }
         let tracing = !self.sinks.is_empty();
         let mut injected: Option<Flit> = None;
         let mut retransmitted: Option<Flit> = None;
@@ -1655,17 +1732,37 @@ impl Network {
         // Labels resolve lazily through the interning table: only the
         // handful of holding elements ever materialise a line, and the
         // label text itself is borrowed, never cloned per element.
+        //
+        // A holder inside a quarantined clock domain is not the cause of
+        // the stall — its clock is: name the outage on the holder line so
+        // a drain timeout points at the root cause, not the victim.
+        let quarantined = self
+            .faults
+            .as_ref()
+            .map(|f| f.quarantined_domains())
+            .unwrap_or_default();
+        let domain_of = |idx: usize| -> Option<u32> {
+            let d = *self.clock_domains.as_ref()?.elements.get(idx)?;
+            (d != u32::MAX).then_some(d)
+        };
         let mut lines: Vec<String> = self
             .elements
             .iter()
-            .filter_map(|e| {
+            .enumerate()
+            .filter_map(|(idx, e)| {
                 e.out_flit.map(|flit| {
-                    format!(
+                    let line = format!(
                         "{} holds {} ({:?})",
                         self.labels.resolve(e.label),
                         flit,
                         flit.kind
-                    )
+                    );
+                    match domain_of(idx) {
+                        Some(d) if quarantined.contains(&d) => {
+                            format!("{line} — clock domain {d} quarantined (clock outage)")
+                        }
+                        _ => line,
+                    }
                 })
             })
             .collect();

@@ -11,7 +11,7 @@ use crate::element::TileRole;
 use crate::{
     Arbitration, ElementId, FaultPlan, Network, RouteFilter, SimKernel, SinkMode, TrafficPattern,
 };
-use icnoc_clock::ClockPolarity;
+use icnoc_clock::{ClockBackend, ClockPolarity};
 use icnoc_topology::{Floorplan, NodeId, PortId, TreeTopology};
 use icnoc_units::Millimeters;
 
@@ -47,6 +47,7 @@ pub struct TreeNetworkConfig {
     faults: Option<FaultPlan>,
     kernel: SimKernel,
     profiling: bool,
+    clock_backend: ClockBackend,
 }
 
 /// Closed-loop tile configuration: processors (even ports) issue requests
@@ -83,6 +84,7 @@ impl TreeNetworkConfig {
             faults: None,
             kernel: SimKernel::default(),
             profiling: false,
+            clock_backend: ClockBackend::Forwarded,
         }
     }
 
@@ -211,6 +213,16 @@ impl TreeNetworkConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Selects the clock-distribution backend the simulated fabric runs
+    /// under. The choice only matters once a [`FaultPlan`] with clock
+    /// fault rates attaches: the redundant-pulse backend votes single
+    /// clock faults away where the forwarded baseline freezes a subtree.
+    #[must_use]
+    pub fn with_clock_backend(mut self, backend: ClockBackend) -> Self {
+        self.clock_backend = backend;
         self
     }
 
@@ -518,6 +530,19 @@ impl Builder {
             }
         }
         debug_assert_eq!(self.hints.len(), self.net.element_count());
+        // The shard hints double as clock domains: each root-child subtree
+        // hangs off one branch of the clock tree, so a clock-node fault on
+        // that branch freezes exactly the elements the hint groups.
+        let ports = (0..tree.num_ports())
+            .map(|p| self.subtree_of_port(p as u32))
+            .collect();
+        let topology = crate::fault::ClockTopology {
+            elements: self.hints.clone(),
+            ports,
+            count: self.root_child_ranges.len() as u32,
+            backend: self.cfg.clock_backend,
+        };
+        self.net.set_clock_domains(topology);
         let hints = std::mem::take(&mut self.hints);
         self.net.set_shard_hints(hints);
         self.net.finalize();

@@ -13,9 +13,11 @@ fn binary(ports: usize) -> TreeTopology {
     TreeTopology::binary(ports).expect("power of 2")
 }
 
-/// A traced soak run: 16-port tree, every fault kind armed, counters on.
+/// A traced soak run: 16-port tree, every fault kind armed (including the
+/// clock-domain kinds: the tree builder attaches clock domains), counters
+/// on.
 fn soak_run(seed: u64, cycles: u64, packet_len: u32) -> (icnoc_sim::SimReport, Network, FaultPlan) {
-    let plan = FaultPlan::soak(seed);
+    let plan = FaultPlan::soak(seed).with_rates(FaultRates::clock_soak());
     let mut net = TreeNetworkConfig::new(binary(16))
         .with_pattern(TrafficPattern::uniform(0.2))
         .with_packet_length(packet_len)

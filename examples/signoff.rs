@@ -6,7 +6,7 @@
 //! ```
 
 use icnoc::{SystemBuilder, SystemError};
-use icnoc_clock::{ClockDistribution, LeafStagger, SurgeProfile};
+use icnoc_clock::{ClockScheme, LeafStagger, SurgeProfile};
 use icnoc_timing::ProcessVariation;
 use icnoc_units::{Gigahertz, Picojoules};
 
@@ -55,7 +55,7 @@ fn main() -> Result<(), SystemError> {
     // 3. Power-surge stagger: how much weighted skew can this netlist
     //    absorb at 1 GHz, and what does it buy?
     let window = system.max_stagger_window();
-    let clocks = ClockDistribution::forwarded(
+    let clocks = ClockScheme::forwarded(
         system.tree(),
         system.floorplan(),
         system.pipeline_model().wire(),

@@ -2,6 +2,7 @@
 //! floorplan → clock distribution → timing verification → simulation.
 
 use icnoc::{demonstrator_patterns, SystemBuilder, SystemError, TilePreset};
+use icnoc_clock::ClockDistribution;
 use icnoc_sim::TrafficPattern;
 use icnoc_timing::ProcessVariation;
 use icnoc_topology::{PortId, TreeKind};
