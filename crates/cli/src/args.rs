@@ -216,6 +216,27 @@ pub enum Command {
         /// Attach the kernel profiler to every executed job, adding
         /// `perf` telemetry to the sweep output.
         profile: bool,
+        /// Submit the grid to a running `icnoc serve` daemon at this
+        /// address instead of executing locally. Execution flags
+        /// (`--jobs`, `--workers`, `--cache-dir`, `--resume`,
+        /// `--profile`) are the daemon's decisions and conflict.
+        server: Option<String>,
+        /// Submission priority in server mode (higher runs sooner).
+        priority: u32,
+    },
+    /// Run the resident sweep service: accept grid submissions over
+    /// TCP, dedup them through the shared cache, stream results, and
+    /// journal accepted sweeps for crash recovery.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free port —
+        /// the bound address lands in `<state-dir>/endpoint`).
+        addr: String,
+        /// State directory: result cache, job ledger and endpoint file.
+        state_dir: String,
+        /// Worker threads executing jobs.
+        workers: usize,
+        /// Admission-queue depth limit (full → structured 429).
+        queue_limit: usize,
     },
     /// Run a fault-injection soak and print the
     /// injected-vs-detected-vs-recovered accounting.
@@ -360,24 +381,70 @@ impl Cli {
                 step_mm: flags.take_f64("step-mm", 0.1)?,
             },
             "explore" => {
-                let jobs = flags.take_usize("jobs", 1)?;
+                let server = flags.take_opt_string("server");
+                let priority = flags.take_u64("priority", 0)? as u32;
+                let jobs_flag = flags.take_opt_string("jobs");
+                let jobs = match &jobs_flag {
+                    None => 1,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| CliError(format!("--jobs expects an integer, got {v:?}")))?,
+                };
                 if jobs == 0 {
                     return Err(CliError("--jobs must be at least 1".to_owned()));
+                }
+                let workers = match flags.take_opt_string("workers") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        CliError(format!("--workers expects an integer, got {v:?}"))
+                    })?),
+                };
+                let cache_dir = flags.take_opt_string("cache-dir");
+                let resume = flags.take_bool("resume")?;
+                let profile = flags.take_bool("profile")?;
+                if server.is_some()
+                    && (jobs_flag.is_some()
+                        || workers.is_some()
+                        || cache_dir.is_some()
+                        || resume
+                        || profile)
+                {
+                    return Err(CliError(
+                        "--server delegates execution to the daemon; --jobs, --workers, \
+                         --cache-dir, --resume and --profile do not apply"
+                            .to_owned(),
+                    ));
+                }
+                if server.is_none() && priority != 0 {
+                    return Err(CliError("--priority requires --server".to_owned()));
                 }
                 Command::Explore {
                     grid: flags.take_string("grid", ""),
                     jobs,
-                    workers: match flags.take_opt_string("workers") {
-                        None => None,
-                        Some(v) => Some(v.parse().map_err(|_| {
-                            CliError(format!("--workers expects an integer, got {v:?}"))
-                        })?),
-                    },
-                    cache_dir: flags.take_opt_string("cache-dir"),
-                    resume: flags.take_bool("resume")?,
+                    workers,
+                    cache_dir,
+                    resume,
                     out: flags.take_string("out", "BENCH_explore.json"),
                     quiet: flags.take_bool("quiet")?,
-                    profile: flags.take_bool("profile")?,
+                    profile,
+                    server,
+                    priority,
+                }
+            }
+            "serve" => {
+                let workers = flags.take_usize("workers", 2)?;
+                if workers == 0 {
+                    return Err(CliError("--workers must be at least 1".to_owned()));
+                }
+                let queue_limit = flags.take_usize("queue-limit", 256)?;
+                if queue_limit == 0 {
+                    return Err(CliError("--queue-limit must be at least 1".to_owned()));
+                }
+                Command::Serve {
+                    addr: flags.take_string("addr", "127.0.0.1:7070"),
+                    state_dir: flags.take_string("state-dir", icnoc_explore::DEFAULT_CACHE_DIR),
+                    workers,
+                    queue_limit,
                 }
             }
             "faults" => Command::Faults {
@@ -985,10 +1052,14 @@ mod tests {
             out,
             quiet,
             profile,
+            server,
+            priority,
         } = cli.command
         else {
             panic!("expected explore");
         };
+        assert_eq!(server, None);
+        assert_eq!(priority, 0);
         assert_eq!(grid, "freq=0.8,1.0;corner=nominal");
         assert_eq!(jobs, 4);
         assert_eq!(workers, None);
@@ -1028,6 +1099,88 @@ mod tests {
         let cli = Cli::parse(["explore", "--resume"]).expect("parses");
         assert!(matches!(cli.command, Command::Explore { resume: true, .. }));
         assert!(Cli::parse(["explore", "--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn explore_server_mode_parses_and_rejects_execution_flags() {
+        let cli = Cli::parse([
+            "explore",
+            "--server",
+            "127.0.0.1:7070",
+            "--grid",
+            "freq=0.8,1.0",
+            "--priority",
+            "3",
+        ])
+        .expect("parses");
+        let Command::Explore {
+            server, priority, ..
+        } = cli.command
+        else {
+            panic!("expected explore");
+        };
+        assert_eq!(server.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(priority, 3);
+        // Execution flags are the daemon's decisions, not the client's.
+        for conflict in [
+            ["--jobs", "4"],
+            ["--workers", "2"],
+            ["--cache-dir", ".c"],
+            ["--resume", "true"],
+            ["--profile", "true"],
+        ] {
+            let args = [
+                "explore",
+                "--server",
+                "127.0.0.1:7070",
+                conflict[0],
+                conflict[1],
+            ];
+            let err = Cli::parse(args).expect_err("conflicting flag");
+            assert!(err.0.contains("daemon"), "{err}");
+        }
+        // Priority only means something to a daemon.
+        assert!(Cli::parse(["explore", "--priority", "3"]).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_rejects_degenerates() {
+        let cli = Cli::parse(["serve"]).expect("parses");
+        let Command::Serve {
+            addr,
+            state_dir,
+            workers,
+            queue_limit,
+        } = cli.command
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(addr, "127.0.0.1:7070");
+        assert_eq!(state_dir, icnoc_explore::DEFAULT_CACHE_DIR);
+        assert_eq!(workers, 2);
+        assert_eq!(queue_limit, 256);
+        let cli = Cli::parse([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            "/tmp/x",
+            "--workers",
+            "4",
+            "--queue-limit",
+            "8",
+        ])
+        .expect("parses");
+        assert!(matches!(
+            cli.command,
+            Command::Serve {
+                workers: 4,
+                queue_limit: 8,
+                ..
+            }
+        ));
+        assert!(Cli::parse(["serve", "--workers", "0"]).is_err());
+        assert!(Cli::parse(["serve", "--queue-limit", "0"]).is_err());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::args::{BuildOpts, Cli, CliError, Command, FaultSpec, StatsFormat};
 use icnoc::{System, SystemBuilder};
-use icnoc_explore::{run_sweep, GridSpec, ResultCache, SweepOptions, DEFAULT_CACHE_DIR};
+use icnoc_explore::{run_sweep, GridSpec, JsonValue, ResultCache, SweepOptions, DEFAULT_CACHE_DIR};
+use icnoc_serve::{client, RegistryConfig, Server};
 use icnoc_sim::{
     FaultPlan, Network, SimKernel, TileTraffic, TraceEventKind, TrafficPattern, VcdTrace,
 };
@@ -33,6 +34,9 @@ USAGE:
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
   icnoc explore [--grid SPEC] [--jobs 1] [--workers N] [--cache-dir DIR] [--resume]
                [--out BENCH_explore.json] [--quiet] [--profile]
+               [--server ADDR] [--priority N]
+  icnoc serve  [--addr 127.0.0.1:7070] [--state-dir DIR] [--workers 2]
+               [--queue-limit 256]
 
 PATTERNS: uniform:R  neighbor:R  memory:R  hotspot:R:TARGET:F  bursty:B:I  saturate  silent
 FAULTS:   soak  clock-soak  soak*F  clock-soak*F  key=rate[,key=rate...] over
@@ -51,7 +55,13 @@ PROFILE:  sim --profile (or the profile subcommand) attaches the kernel
           profiler: per-shard step/wake counters, a load-imbalance ratio
           and the barrier-overhead fraction. --chrome-trace FILE writes a
           trace-event timeline loadable at ui.perfetto.dev. explore
-          --profile adds per-job perf telemetry to the sweep JSON";
+          --profile adds per-job perf telemetry to the sweep JSON
+SERVE:    `icnoc serve` runs a resident sweep daemon on a local TCP
+          socket (writes the bound address to <state-dir>/endpoint);
+          `icnoc explore --server ADDR` submits the grid there instead
+          of executing locally. Identical jobs from concurrent clients
+          execute once, accepted sweeps are journalled for resume after
+          a crash, and a full queue answers a structured retry-after";
 
 /// Executes `cli`, returning the text to print.
 ///
@@ -402,7 +412,12 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             out,
             quiet,
             profile,
+            server,
+            priority,
         } => {
+            if let Some(addr) = server {
+                return explore_remote(addr, grid, *priority, out, *quiet);
+            }
             let spec = GridSpec::parse(grid).map_err(|e| CliError(e.to_string()))?;
             // The parallel kernel cannot host per-job fault injection;
             // those grid points silently run the sequential fallback, so
@@ -445,6 +460,17 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             if !quiet {
                 eprintln!();
             }
+            // Cache telemetry goes to stderr: stdout stays byte-stable
+            // for the documented summary lines, and ignored entries
+            // (corrupt or config-mismatched) deserve an explicit trace.
+            if let Some(cache) = &opts.cache {
+                for mismatch in cache.take_mismatches() {
+                    eprintln!("warning: {mismatch}");
+                }
+                if !quiet {
+                    eprintln!("cache: {}", stats.cache);
+                }
+            }
             std::fs::write(out, analysis.to_json().to_pretty() + "\n")
                 .map_err(|e| CliError(format!("cannot write {out:?}: {e}")))?;
             let mut text = analysis.render();
@@ -457,6 +483,37 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 let _ = write!(text, "\ncache: {dir}");
             }
             Ok(text)
+        }
+        Command::Serve {
+            addr,
+            state_dir,
+            workers,
+            queue_limit,
+        } => {
+            let config = RegistryConfig {
+                state_dir: std::path::PathBuf::from(state_dir),
+                workers: *workers,
+                queue_limit: *queue_limit,
+            };
+            let server = Server::bind(addr, &config)
+                .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+            let bound = server.addr().to_owned();
+            eprintln!(
+                "serve: listening on {bound} — state {state_dir}, {workers} worker(s), \
+                 queue limit {queue_limit}"
+            );
+            let resumed = server.registry().resident_sweeps();
+            if !resumed.is_empty() {
+                eprintln!(
+                    "serve: resumed {} incomplete sweep(s) from the ledger: {}",
+                    resumed.len(),
+                    resumed.join(", ")
+                );
+            }
+            server
+                .run()
+                .map_err(|e| CliError(format!("serve failed: {e}")))?;
+            Ok(format!("serve: stopped ({bound})"))
         }
         Command::Fig7 { max_mm, step_mm } => {
             let model = PipelineTimingModel::nominal_90nm();
@@ -473,6 +530,62 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             Ok(out.trim_end().to_owned())
         }
     }
+}
+
+/// `explore --server ADDR`: submits the grid to a resident daemon
+/// instead of executing locally, streams progress to stderr, and writes
+/// the daemon's result document — byte-identical (up to `wall_ms`
+/// lines) to what offline explore would produce — to `out`.
+fn explore_remote(
+    addr: &str,
+    grid: &str,
+    priority: u32,
+    out: &str,
+    quiet: bool,
+) -> Result<String, CliError> {
+    let ticket = client::submit(addr, grid, priority).map_err(|e| CliError(remote_err(e)))?;
+    if !quiet {
+        eprintln!(
+            "explore: sweep {} accepted by {addr} — {} job(s): {} queued, {} cached, {} deduped",
+            ticket.sweep, ticket.total, ticket.queued, ticket.cached, ticket.deduped
+        );
+    }
+    client::stream(addr, &ticket.sweep, |line| {
+        if quiet {
+            return;
+        }
+        if let Ok(event) = JsonValue::parse(line) {
+            if event.get("event").and_then(JsonValue::as_str) == Some("row") {
+                let count = |k| event.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+                eprint!("\rexplore: {}/{} job(s)", count("done"), count("total"));
+                let _ = std::io::stderr().flush();
+            }
+        }
+    })
+    .map_err(|e| CliError(remote_err(e)))?;
+    if !quiet {
+        eprintln!();
+    }
+    let result = client::result(addr, &ticket.sweep).map_err(|e| CliError(remote_err(e)))?;
+    std::fs::write(out, &result).map_err(|e| CliError(format!("cannot write {out:?}: {e}")))?;
+    Ok(format!(
+        "sweep {}: {} job(s) — {} queued, {} cached, {} deduped on {addr}; JSON written to {out}",
+        ticket.sweep, ticket.total, ticket.queued, ticket.cached, ticket.deduped
+    ))
+}
+
+/// Renders a client-side failure; queue-full rejects surface their
+/// structured `retry_after_ms` so callers know when to come back.
+fn remote_err(e: client::ClientError) -> String {
+    if let client::ClientError::Rejected { status: 429, body } = &e {
+        let retry = JsonValue::parse(body)
+            .ok()
+            .and_then(|v| v.get("retry_after_ms").and_then(JsonValue::as_f64));
+        if let Some(ms) = retry {
+            return format!("{e}; retry in {}ms", ms as u64);
+        }
+    }
+    e.to_string()
 }
 
 /// Builds the simulated network shared by `sim`, `stats` and `trace`:
@@ -831,6 +944,68 @@ mod tests {
         let json = std::fs::read_to_string(&path).expect("file exists");
         assert!(json.contains("\"pareto_front\""), "{json}");
         assert!(json.contains("\"safe_frequency_surface\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explore_server_mode_round_trips_through_a_daemon() {
+        let dir =
+            std::env::temp_dir().join(format!("icnoc_cli_test_server_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let server = Server::bind(
+            "127.0.0.1:0",
+            &RegistryConfig {
+                state_dir: dir.join("state"),
+                workers: 2,
+                queue_limit: 16,
+            },
+        )
+        .expect("binds");
+        let addr = server.addr().to_owned();
+        let daemon = std::thread::spawn(move || server.run().expect("runs"));
+
+        const GRID: &str = "ports=16;cycles=200;freq=0.9,1.0";
+        let remote_path = dir.join("remote.json");
+        let out = run_line(&[
+            "explore",
+            "--server",
+            &addr,
+            "--grid",
+            GRID,
+            "--priority",
+            "2",
+            "--quiet",
+            "--out",
+            remote_path.to_str().expect("utf-8 path"),
+        ])
+        .expect("runs");
+        assert!(out.contains("2 job(s) — 2 queued"), "{out}");
+        assert!(out.contains("JSON written to"), "{out}");
+
+        // Byte-identical (up to wall_ms lines) to the offline run.
+        let offline_path = dir.join("offline.json");
+        run_line(&[
+            "explore",
+            "--grid",
+            GRID,
+            "--quiet",
+            "--out",
+            offline_path.to_str().expect("utf-8 path"),
+        ])
+        .expect("runs");
+        let strip = |p: &std::path::Path| {
+            std::fs::read_to_string(p)
+                .expect("file exists")
+                .lines()
+                .filter(|l| !l.contains("wall_ms"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&remote_path), strip(&offline_path));
+
+        client::shutdown(&addr).expect("stops");
+        daemon.join().expect("daemon joins");
         std::fs::remove_dir_all(&dir).ok();
     }
 

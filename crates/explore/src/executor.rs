@@ -65,8 +65,7 @@ where
                 s.spawn(move || {
                     let mut out = Vec::new();
                     while let Some(idx) = next_index(queues, w) {
-                        let result = catch_unwind(AssertUnwindSafe(|| job(idx)))
-                            .map_err(|payload| panic_message(payload.as_ref()));
+                        let result = run_isolated(|| job(idx));
                         out.push((idx, result));
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                         progress(n, total);
@@ -111,6 +110,15 @@ fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
         }
     }
     None
+}
+
+/// Runs `job` under [`catch_unwind`], turning a panic into an
+/// `Err(message)` instead of unwinding the caller. This is the panic
+/// isolation every sweep job runs under; it is public so external job
+/// submitters (the `icnoc serve` registry executes client-submitted jobs
+/// on its own worker pool) get exactly the same containment.
+pub fn run_isolated<T>(job: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(job)).map_err(|payload| panic_message(payload.as_ref()))
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -184,6 +192,13 @@ mod tests {
         // Zero workers clamps to one; more workers than jobs clamps down.
         assert_eq!(run_indexed(3, 0, |i| i, |_, _| {}).len(), 3);
         assert_eq!(run_indexed(2, 16, |i| i, |_, _| {}).len(), 2);
+    }
+
+    #[test]
+    fn run_isolated_contains_panics_and_passes_values() {
+        assert_eq!(run_isolated(|| 7), Ok(7));
+        let err = run_isolated(|| -> i32 { panic!("boom {}", 42) }).unwrap_err();
+        assert!(err.contains("boom 42"), "{err}");
     }
 
     #[test]

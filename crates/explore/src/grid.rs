@@ -24,6 +24,15 @@ use icnoc_units::{Gigahertz, Picoseconds};
 
 use crate::json::JsonValue;
 
+/// Every axis name the grid grammar accepts, in documentation order.
+/// Unknown-axis errors name this full set (the same style the fault-spec
+/// parser uses for unknown fault keys), so the message is always the
+/// complete grammar, not whatever subset the error string last mentioned.
+pub const AXIS_NAMES: &[&str] = &[
+    "kind", "ports", "die", "width", "freq", "thalf", "corner", "clock", "pattern", "cycles",
+    "soak", "seed",
+];
+
 /// A grid-spec or value parse failure, with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridError(pub String);
@@ -171,8 +180,8 @@ impl GridSpec {
                 }
                 other => {
                     return Err(GridError(format!(
-                        "unknown axis {other:?}; known: kind, ports, die, width, freq, \
-                         thalf, corner, clock, pattern, cycles, soak, seed"
+                        "unknown axis {other:?}; known axes: {}",
+                        AXIS_NAMES.join(", ")
                     )))
                 }
             }
@@ -540,6 +549,18 @@ mod tests {
             GridSpec::parse("pattern=uniform:0.2,hotspot:0.3:0:0.5;ports=16").expect("parses");
         assert_eq!(grid.patterns, vec!["uniform:0.2", "hotspot:0.3:0:0.5"]);
         assert!(GridSpec::parse("pattern=wavy:1").is_err());
+    }
+
+    #[test]
+    fn unknown_axes_name_the_full_valid_axis_set() {
+        // Mirrors the fault-spec parser's unknown-key style: the error
+        // must enumerate every axis the grammar accepts, so a typo is
+        // always one read away from the fix.
+        let err = GridSpec::parse("frequency=1.0").expect_err("unknown axis");
+        for axis in AXIS_NAMES {
+            assert!(err.0.contains(axis), "error must name {axis:?}: {err}");
+        }
+        assert!(err.0.contains("frequency"), "{err}");
     }
 
     #[test]

@@ -199,6 +199,24 @@ fn safe_frequency(system: &icnoc::System, variation: ProcessVariation) -> f64 {
 }
 
 impl JobOutcome {
+    /// A synthetic infeasible outcome recording a panic or
+    /// interpretation failure, so one diverged job cannot sink a sweep
+    /// (or a service worker). Never cached.
+    #[must_use]
+    pub fn failed(config: &JobConfig, msg: &str) -> Self {
+        Self {
+            config: config.clone(),
+            hash: config.stable_hash(),
+            build_error: Some(format!("job failed: {msg}")),
+            feasible: false,
+            safe_freq_ghz: 0.0,
+            max_segment_mm: 0.0,
+            digest: None,
+            perf: None,
+            wall_ms: 0,
+        }
+    }
+
     /// Serialises to a JSON object. The nondeterministic fields come
     /// last: `perf` (present only on profiled sweeps) just before
     /// `wall_ms`, so consumers comparing runs can strip them.

@@ -50,8 +50,14 @@ pub struct Analysis {
     pub surface: Vec<SurfacePoint>,
 }
 
-/// The objective vector of a feasible, simulated outcome.
-fn objectives(o: &JobOutcome) -> Option<[f64; 4]> {
+/// The objective vector of a feasible, simulated outcome — `[freq_ghz,
+/// throughput, recovered_rate, -p99]`, every axis "larger is better" —
+/// or `None` for infeasible/unbuilt points, which can never be on the
+/// front. Public so incremental front maintainers (the sweep service
+/// streams front deltas as jobs finish) score outcomes exactly as
+/// [`Analysis::of`] does.
+#[must_use]
+pub fn pareto_objectives(o: &JobOutcome) -> Option<[f64; 4]> {
     if !o.feasible {
         return None;
     }
@@ -64,7 +70,10 @@ fn objectives(o: &JobOutcome) -> Option<[f64; 4]> {
     ])
 }
 
-fn dominates(a: &[f64; 4], b: &[f64; 4]) -> bool {
+/// Strict Pareto dominance over [`pareto_objectives`] vectors: at least
+/// as good on every axis, strictly better on one.
+#[must_use]
+pub fn pareto_dominates(a: &[f64; 4], b: &[f64; 4]) -> bool {
     a.iter().zip(b).all(|(x, y)| x >= y) && a.iter().zip(b).any(|(x, y)| x > y)
 }
 
@@ -75,11 +84,11 @@ impl Analysis {
         let scored: Vec<(usize, [f64; 4])> = outcomes
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| objectives(o).map(|v| (i, v)))
+            .filter_map(|(i, o)| pareto_objectives(o).map(|v| (i, v)))
             .collect();
         let front = scored
             .iter()
-            .filter(|(_, v)| !scored.iter().any(|(_, w)| dominates(w, v)))
+            .filter(|(_, v)| !scored.iter().any(|(_, w)| pareto_dominates(w, v)))
             .map(|&(i, _)| i)
             .collect();
 
@@ -322,11 +331,11 @@ mod tests {
         let vecs: Vec<[f64; 4]> = analysis
             .front
             .iter()
-            .map(|&i| objectives(&analysis.outcomes[i]).expect("front is feasible"))
+            .map(|&i| pareto_objectives(&analysis.outcomes[i]).expect("front is feasible"))
             .collect();
         for a in &vecs {
             for b in &vecs {
-                assert!(!dominates(a, b), "front contains a dominated point");
+                assert!(!pareto_dominates(a, b), "front contains a dominated point");
             }
         }
     }

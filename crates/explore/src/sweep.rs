@@ -1,7 +1,13 @@
 //! The top-level sweep driver: grid → cache prescan → executor → cache
 //! fill → analysis.
+//!
+//! [`run_sweep`] is the one-shot batch entry point the CLI uses.
+//! [`run_sweep_with`] is the incremental seam underneath it: an observer
+//! sees every outcome (cached or executed) the moment its slot fills,
+//! which is what lets a resident service stream per-job rows to clients
+//! while the sweep is still running instead of waiting for the fold.
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheStats, ResultCache};
 use crate::executor::run_indexed;
 use crate::grid::GridSpec;
 use crate::job::{run_job_with_options, JobOutcome};
@@ -37,6 +43,35 @@ pub struct SweepStats {
     /// Executed jobs that panicked or failed to interpret (their slots
     /// carry a synthetic infeasible outcome with the message).
     pub failed: usize,
+    /// The cache's counter snapshot after the sweep (all zeros when the
+    /// sweep ran uncached).
+    pub cache: CacheStats,
+}
+
+/// One observation from a running sweep, delivered to the
+/// [`run_sweep_with`] observer from whichever thread produced it.
+#[derive(Debug)]
+pub enum SweepEvent<'a> {
+    /// A slot filled: job `index` (grid order) resolved to `outcome`,
+    /// either from the cache (`cached`) or by execution. Executed
+    /// outcomes are observed *before* the final fold — this is the
+    /// streaming seam — except synthetic failure outcomes for panicked
+    /// jobs, which are observed during the fold.
+    Result {
+        /// Index into the resolved grid.
+        index: usize,
+        /// The outcome that filled the slot.
+        outcome: &'a JobOutcome,
+        /// Whether the cache (not the executor) answered it.
+        cached: bool,
+    },
+    /// A progress tick: `done` of `total` slots are filled.
+    Progress {
+        /// Slots filled so far (cache hits count all at once, up front).
+        done: usize,
+        /// Total jobs in the grid.
+        total: usize,
+    },
 }
 
 /// Runs `grid` and folds the outcomes.
@@ -54,6 +89,22 @@ pub fn run_sweep<P>(grid: &GridSpec, opts: &SweepOptions, progress: P) -> (Analy
 where
     P: Fn(usize, usize) + Sync,
 {
+    run_sweep_with(grid, opts, |event| {
+        if let SweepEvent::Progress { done, total } = event {
+            progress(done, total);
+        }
+    })
+}
+
+/// Like [`run_sweep`], but every event — per-job results as they land,
+/// progress ticks — flows through `observe`, from worker threads, while
+/// the sweep runs. This is the incremental seam resident services build
+/// on: results stream out job by job instead of arriving only in the
+/// folded [`Analysis`].
+pub fn run_sweep_with<O>(grid: &GridSpec, opts: &SweepOptions, observe: O) -> (Analysis, SweepStats)
+where
+    O: Fn(SweepEvent<'_>) + Sync,
+{
     let jobs = grid.resolve();
     let total = jobs.len();
     let mut slots: Vec<Option<JobOutcome>> = jobs
@@ -61,17 +112,52 @@ where
         .map(|j| opts.cache.as_ref().and_then(|c| c.load(j)))
         .collect();
     let cached = slots.iter().filter(|s| s.is_some()).count();
-    progress(cached, total);
+    for (index, slot) in slots.iter().enumerate() {
+        if let Some(outcome) = slot {
+            observe(SweepEvent::Result {
+                index,
+                outcome,
+                cached: true,
+            });
+        }
+    }
+    observe(SweepEvent::Progress {
+        done: cached,
+        total,
+    });
 
     let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
     let results = run_indexed(
         pending.len(),
         opts.jobs,
         |k| {
-            run_job_with_options(&jobs[pending[k]], opts.kernel, opts.profile)
-                .map_err(|e| e.to_string())
+            let index = pending[k];
+            let outcome = run_job_with_options(&jobs[index], opts.kernel, opts.profile)
+                .map_err(|e| e.to_string())?;
+            if let Some(cache) = &opts.cache {
+                // A failed store degrades to "uncached", not an error:
+                // the sweep's results do not depend on the cache. The
+                // nondeterministic perf telemetry never enters the
+                // cache, keeping stored bytes profiling-invariant.
+                let stored = JobOutcome {
+                    perf: None,
+                    ..outcome.clone()
+                };
+                let _ = cache.store(&stored);
+            }
+            observe(SweepEvent::Result {
+                index,
+                outcome: &outcome,
+                cached: false,
+            });
+            Ok(outcome)
         },
-        |done, _| progress(cached + done, total),
+        |done, _| {
+            observe(SweepEvent::Progress {
+                done: cached + done,
+                total,
+            });
+        },
     );
 
     let mut executed = 0usize;
@@ -80,23 +166,16 @@ where
         let i = pending[k];
         executed += 1;
         let outcome = match result {
-            Ok(Ok(outcome)) => {
-                if let Some(cache) = &opts.cache {
-                    // A failed store degrades to "uncached", not an error:
-                    // the sweep's results do not depend on the cache. The
-                    // nondeterministic perf telemetry never enters the
-                    // cache, keeping stored bytes profiling-invariant.
-                    let stored = JobOutcome {
-                        perf: None,
-                        ..outcome.clone()
-                    };
-                    let _ = cache.store(&stored);
-                }
-                outcome
-            }
+            Ok(Ok(outcome)) => outcome,
             Ok(Err(msg)) | Err(msg) => {
                 failed += 1;
-                failed_outcome(&jobs[i], &msg)
+                let outcome = JobOutcome::failed(&jobs[i], &msg);
+                observe(SweepEvent::Result {
+                    index: i,
+                    outcome: &outcome,
+                    cached: false,
+                });
+                outcome
             }
         };
         slots[i] = Some(outcome);
@@ -113,30 +192,20 @@ where
             executed,
             cached,
             failed,
+            cache: opts
+                .cache
+                .as_ref()
+                .map(ResultCache::stats)
+                .unwrap_or_default(),
         },
     )
-}
-
-/// A synthetic infeasible outcome recording a panic or interpretation
-/// failure, so one diverged job cannot sink the sweep. Never cached.
-fn failed_outcome(config: &crate::grid::JobConfig, msg: &str) -> JobOutcome {
-    JobOutcome {
-        config: config.clone(),
-        hash: config.stable_hash(),
-        build_error: Some(format!("job failed: {msg}")),
-        feasible: false,
-        safe_freq_ghz: 0.0,
-        max_segment_mm: 0.0,
-        digest: None,
-        perf: None,
-        wall_ms: 0,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     fn strip_wall(text: &str) -> String {
         text.lines()
@@ -225,6 +294,10 @@ mod tests {
         );
         assert_eq!(stats1.executed, 2);
         assert_eq!(stats1.cached, 0);
+        // Cold run: the prescan missed twice, then stored twice.
+        assert_eq!(stats1.cache.misses, 2);
+        assert_eq!(stats1.cache.hits, 0);
+        assert_eq!(stats1.cache.stores, 2);
         let (second, stats2) = run_sweep(
             &grid,
             &SweepOptions {
@@ -237,8 +310,89 @@ mod tests {
         );
         assert_eq!(stats2.executed, 0);
         assert_eq!(stats2.cached, 2);
+        assert_eq!(stats2.cache.hits, 2);
+        assert_eq!(stats2.cache.misses, 0);
         // Cached results are the executed results, wall clock and all.
         assert_eq!(first.to_json().to_pretty(), second.to_json().to_pretty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observer_sees_every_result_exactly_once_as_it_lands() {
+        let grid = GridSpec::parse("ports=16;cycles=120;freq=0.9,1.0;soak=0,1").expect("parses");
+        let seen: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        let (analysis, _) = run_sweep_with(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: None,
+                kernel: SimKernel::default(),
+                profile: false,
+            },
+            |event| {
+                if let SweepEvent::Result {
+                    index,
+                    outcome,
+                    cached,
+                } = event
+                {
+                    assert_eq!(outcome.hash, outcome.config.stable_hash());
+                    seen.lock().expect("lock").push((index, cached));
+                }
+            },
+        );
+        let mut seen = seen.into_inner().expect("lock");
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0, false), (1, false), (2, false), (3, false)],
+            "each of the 4 jobs observed exactly once, all executed"
+        );
+        assert_eq!(analysis.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn observer_distinguishes_cached_from_executed_results() {
+        let dir = std::env::temp_dir().join(format!(
+            "icnoc-explore-sweep-observe-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Warm one of the two jobs, then watch the second run observe one
+        // cached and one executed result.
+        let warm = GridSpec::parse("ports=16;cycles=110;freq=0.9").expect("parses");
+        let open = || ResultCache::open(&dir).expect("opens");
+        let _ = run_sweep(
+            &warm,
+            &SweepOptions {
+                jobs: 1,
+                cache: Some(open()),
+                kernel: SimKernel::default(),
+                profile: false,
+            },
+            |_, _| {},
+        );
+        let grid = GridSpec::parse("ports=16;cycles=110;freq=0.9,1.0").expect("parses");
+        let seen: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        let (_, stats) = run_sweep_with(
+            &grid,
+            &SweepOptions {
+                jobs: 2,
+                cache: Some(open()),
+                kernel: SimKernel::default(),
+                profile: false,
+            },
+            |event| {
+                if let SweepEvent::Result { index, cached, .. } = event {
+                    seen.lock().expect("lock").push((index, cached));
+                }
+            },
+        );
+        let mut seen = seen.into_inner().expect("lock");
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, true), (1, false)]);
+        assert_eq!(stats.cached, 1);
+        assert_eq!(stats.executed, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,160 @@
+//! The client half of the protocol: what `icnoc explore --server ADDR`
+//! (and the tests, and CI) speak.
+
+use std::io;
+
+use icnoc_explore::JsonValue;
+
+use crate::http::client_request;
+use crate::registry::SubmitTicket;
+
+/// A submission rejected or failed client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (daemon unreachable, connection dropped).
+    Io(io::Error),
+    /// The daemon rejected the request; status plus the error body.
+    Rejected {
+        /// The HTTP status (400 bad grid, 429 queue full, …).
+        status: u16,
+        /// The structured JSON error body.
+        body: String,
+    },
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "server unreachable: {e}"),
+            Self::Rejected { status, body } => {
+                let detail = JsonValue::parse(body)
+                    .ok()
+                    .and_then(|v| {
+                        v.get("error")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_owned)
+                    })
+                    .unwrap_or_else(|| body.trim().to_owned());
+                write!(f, "server rejected the request ({status}): {detail}")
+            }
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Submits `grid` at `priority`, returning the daemon's ticket.
+///
+/// # Errors
+///
+/// [`ClientError::Rejected`] carries the structured reject (429 with
+/// `retry_after_ms` on a full queue, 400 on a bad grid).
+pub fn submit(addr: &str, grid: &str, priority: u32) -> Result<SubmitTicket, ClientError> {
+    let body = JsonValue::Obj(vec![
+        ("grid".into(), JsonValue::Str(grid.into())),
+        ("priority".into(), JsonValue::Num(f64::from(priority))),
+    ])
+    .to_compact();
+    let resp = client_request(addr, "POST", "/sweeps", &body, None)?;
+    if resp.status != 202 {
+        return Err(ClientError::Rejected {
+            status: resp.status,
+            body: resp.body,
+        });
+    }
+    let v = JsonValue::parse(&resp.body).map_err(|e| {
+        ClientError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad ticket: {e}"),
+        ))
+    })?;
+    let field = |k: &str| v.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0) as usize;
+    Ok(SubmitTicket {
+        sweep: v
+            .get("sweep")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_owned(),
+        total: field("total"),
+        cached: field("cached"),
+        deduped: field("deduped"),
+        queued: field("queued"),
+    })
+}
+
+/// Streams sweep `id`'s events, invoking `on_event` per JSON line as it
+/// arrives; returns when the stream terminates.
+///
+/// # Errors
+///
+/// Transport failures and non-200 responses.
+pub fn stream(addr: &str, id: &str, mut on_event: impl FnMut(&str)) -> Result<(), ClientError> {
+    let path = format!("/sweeps/{id}/stream");
+    let resp = client_request(addr, "GET", &path, "", Some(&mut on_event))?;
+    if resp.status != 200 {
+        return Err(ClientError::Rejected {
+            status: resp.status,
+            body: resp.body,
+        });
+    }
+    Ok(())
+}
+
+/// Blocks until sweep `id` completes and returns the result document —
+/// byte-identical (up to `wall_ms` lines) to offline `icnoc explore` on
+/// the same grid.
+///
+/// # Errors
+///
+/// Transport failures; 409 for cancelled sweeps; 404 for unknown ids.
+pub fn result(addr: &str, id: &str) -> Result<String, ClientError> {
+    let path = format!("/sweeps/{id}/result");
+    let resp = client_request(addr, "GET", &path, "", None)?;
+    if resp.status != 200 {
+        return Err(ClientError::Rejected {
+            status: resp.status,
+            body: resp.body,
+        });
+    }
+    Ok(resp.body)
+}
+
+/// Cancels sweep `id`. `Ok(true)` when this call cancelled it.
+///
+/// # Errors
+///
+/// Transport failures only (an already-terminal sweep is `Ok(false)`).
+pub fn cancel(addr: &str, id: &str) -> Result<bool, ClientError> {
+    let path = format!("/sweeps/{id}/cancel");
+    let resp = client_request(addr, "POST", &path, "", None)?;
+    Ok(resp.status == 200)
+}
+
+/// Fetches the `/stats` document.
+///
+/// # Errors
+///
+/// Transport and parse failures.
+pub fn stats(addr: &str) -> Result<JsonValue, ClientError> {
+    let resp = client_request(addr, "GET", "/stats", "", None)?;
+    JsonValue::parse(&resp.body).map_err(|e| {
+        ClientError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad stats: {e}"),
+        ))
+    })
+}
+
+/// Asks the daemon to stop accepting and drain.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn shutdown(addr: &str) -> Result<(), ClientError> {
+    client_request(addr, "POST", "/shutdown", "", None)?;
+    Ok(())
+}

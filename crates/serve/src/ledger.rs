@@ -1,0 +1,237 @@
+//! The append-only job ledger: crash durability for accepted sweeps.
+//!
+//! Every accepted submission appends a `submit` record *before* the
+//! daemon acknowledges it; completion and cancellation append matching
+//! `done`/`cancel` records. On restart the ledger is replayed — a
+//! `submit` with no matching terminal record is an in-flight sweep the
+//! previous process was killed under, and the registry resubmits it
+//! (its finished jobs come straight back from the result cache, so only
+//! the genuinely unfinished tail re-executes).
+//!
+//! The format is one compact JSON object per line (JSONL), e.g.
+//!
+//! ```text
+//! {"op":"submit","sweep":"s1","grid":"ports=16;freq=0.8,1.0","priority":2}
+//! {"op":"done","sweep":"s1"}
+//! ```
+//!
+//! Appends are flushed line-atomically; replay ignores a torn trailing
+//! line (a crash mid-append loses that one record, never the file).
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use icnoc_explore::JsonValue;
+
+/// The ledger file name under the daemon state (cache) directory.
+pub const LEDGER_FILE: &str = "ledger.jsonl";
+
+/// An open ledger handle.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+}
+
+/// One incomplete sweep recovered by [`Ledger::replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incomplete {
+    /// The sweep id (`s<N>`).
+    pub sweep: String,
+    /// The grid spec text as originally submitted.
+    pub grid: String,
+    /// The submission priority.
+    pub priority: u32,
+}
+
+/// The outcome of replaying a ledger.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Sweeps submitted but never completed or cancelled, in submission
+    /// order.
+    pub incomplete: Vec<Incomplete>,
+    /// The highest numeric sweep id seen (0 when none) — id allocation
+    /// resumes above it so restarted daemons never reuse an id.
+    pub max_id: u64,
+}
+
+impl Ledger {
+    /// Opens (creating the directory for) a ledger at `dir/ledger.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            path: dir.join(LEDGER_FILE),
+        })
+    }
+
+    /// The ledger file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a `submit` record. Called before the submission is
+    /// acknowledged: an accepted sweep is always durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn submit(&self, sweep: &str, grid: &str, priority: u32) -> io::Result<()> {
+        self.append(&JsonValue::Obj(vec![
+            ("op".into(), JsonValue::Str("submit".into())),
+            ("sweep".into(), JsonValue::Str(sweep.into())),
+            ("grid".into(), JsonValue::Str(grid.into())),
+            ("priority".into(), JsonValue::Num(f64::from(priority))),
+        ]))
+    }
+
+    /// Appends a `done` record: the sweep's every slot is filled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn done(&self, sweep: &str) -> io::Result<()> {
+        self.terminal("done", sweep)
+    }
+
+    /// Appends a `cancel` record: the sweep will never complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn cancel(&self, sweep: &str) -> io::Result<()> {
+        self.terminal("cancel", sweep)
+    }
+
+    fn terminal(&self, op: &str, sweep: &str) -> io::Result<()> {
+        self.append(&JsonValue::Obj(vec![
+            ("op".into(), JsonValue::Str(op.into())),
+            ("sweep".into(), JsonValue::Str(sweep.into())),
+        ]))
+    }
+
+    fn append(&self, record: &JsonValue) -> io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(format!("{}\n", record.to_compact()).as_bytes())?;
+        file.flush()
+    }
+
+    /// Replays the ledger: pairs every `submit` with its terminal record
+    /// and returns what never terminated. A missing file is an empty
+    /// replay; an unparseable line (torn final append) ends the replay
+    /// at that point.
+    #[must_use]
+    pub fn replay(&self) -> Replay {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Replay::default();
+        };
+        let mut out = Replay::default();
+        for line in text.lines() {
+            let Ok(record) = JsonValue::parse(line) else {
+                break; // torn trailing line: everything before it counts
+            };
+            let op = record.get("op").and_then(JsonValue::as_str);
+            let sweep = record.get("sweep").and_then(JsonValue::as_str);
+            let (Some(op), Some(sweep)) = (op, sweep) else {
+                break;
+            };
+            if let Some(n) = sweep.strip_prefix('s').and_then(|n| n.parse().ok()) {
+                out.max_id = out.max_id.max(n);
+            }
+            match op {
+                "submit" => {
+                    let grid = record
+                        .get("grid")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or_default()
+                        .to_owned();
+                    let priority = record
+                        .get("priority")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or(0.0) as u32;
+                    out.incomplete.push(Incomplete {
+                        sweep: sweep.to_owned(),
+                        grid,
+                        priority,
+                    });
+                }
+                "done" | "cancel" => {
+                    out.incomplete.retain(|i| i.sweep != sweep);
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "icnoc-serve-ledger-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn replay_returns_only_unterminated_sweeps() {
+        let dir = temp_dir("replay");
+        let ledger = Ledger::open(&dir).expect("opens");
+        ledger.submit("s1", "ports=16", 0).expect("appends");
+        ledger.submit("s2", "ports=32", 3).expect("appends");
+        ledger.submit("s3", "ports=64", 1).expect("appends");
+        ledger.done("s1").expect("appends");
+        ledger.cancel("s3").expect("appends");
+        let replay = Ledger::open(&dir).expect("reopens").replay();
+        assert_eq!(
+            replay.incomplete,
+            vec![Incomplete {
+                sweep: "s2".into(),
+                grid: "ports=32".into(),
+                priority: 3,
+            }]
+        );
+        assert_eq!(replay.max_id, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_ignored() {
+        let dir = temp_dir("torn");
+        let ledger = Ledger::open(&dir).expect("opens");
+        ledger.submit("s1", "ports=16", 0).expect("appends");
+        // Simulate a crash mid-append: a half-written record.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(ledger.path())
+            .expect("opens file");
+        file.write_all(b"{\"op\":\"done\",\"swe").expect("writes");
+        drop(file);
+        let replay = ledger.replay();
+        // The torn `done` never lands: s1 still counts as incomplete.
+        assert_eq!(replay.incomplete.len(), 1);
+        assert_eq!(replay.incomplete[0].sweep, "s1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_ledger_is_an_empty_replay() {
+        let dir = temp_dir("missing");
+        let ledger = Ledger::open(&dir).expect("opens");
+        let replay = ledger.replay();
+        assert!(replay.incomplete.is_empty());
+        assert_eq!(replay.max_id, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,252 @@
+//! The TCP front end: accept loop, routing, and the streaming handler.
+//!
+//! Thread-per-connection over [`crate::http`]; every connection carries
+//! one request (`Connection: close`). The daemon writes its actual
+//! bound address to `<state-dir>/endpoint` once listening, so callers
+//! binding port 0 (tests, CI) can discover the port.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use icnoc_explore::JsonValue;
+
+use crate::http::{read_request, write_response, ChunkedWriter, Request};
+use crate::registry::{Registry, RegistryConfig, SubmitError};
+
+/// The endpoint-discovery file written under the state dir.
+pub const ENDPOINT_FILE: &str = "endpoint";
+
+/// A running daemon: the bound listener plus its registry.
+#[derive(Debug)]
+pub struct Server {
+    registry: Arc<Registry>,
+    listener: TcpListener,
+    addr: String,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Builds the registry (replaying the ledger), binds `addr` (which
+    /// may use port 0), and records the bound address in the
+    /// `endpoint` file under the state dir.
+    ///
+    /// # Errors
+    ///
+    /// Bind and state-directory failures.
+    pub fn bind(addr: &str, config: &RegistryConfig) -> io::Result<Self> {
+        let registry = Registry::new(config)?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?.to_string();
+        std::fs::write(config.state_dir.join(ENDPOINT_FILE), format!("{addr}\n"))?;
+        Ok(Self {
+            registry,
+            listener,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (`host:port`).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The registry behind this server (tests submit through it
+    /// directly).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Runs workers and the accept loop until a `POST /shutdown`
+    /// arrives. Blocks; returns after in-flight workers drain.
+    ///
+    /// # Errors
+    ///
+    /// Accept-loop failures (handler errors only drop that connection).
+    pub fn run(self) -> io::Result<()> {
+        let workers = self.registry.start_workers();
+        let mut handlers = Vec::new();
+        for connection in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = connection else { continue };
+            let registry = Arc::clone(&self.registry);
+            let stop = Arc::clone(&self.stop);
+            handlers.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, &registry, &stop);
+            }));
+            // The shutdown handler sets `stop`, then its own connection
+            // (already accepted) is the last one served; the *next*
+            // accept sees the flag. Wake it via a self-connection so a
+            // quiet listener still exits.
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.registry.shutdown();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &Arc<Registry>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(err) => {
+            return write_response(&mut stream, 400, &[], &error_body(&err.to_string()));
+        }
+    };
+    route(&mut stream, &request, registry, stop)
+}
+
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    registry: &Arc<Registry>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => write_response(stream, 200, &[], "{\"status\": \"ok\"}\n"),
+        ("GET", "/stats") => {
+            let body = format!("{}\n", registry.stats().to_pretty());
+            write_response(stream, 200, &[], &body)
+        }
+        ("POST", "/shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            registry.shutdown();
+            write_response(stream, 200, &[], "{\"status\": \"stopping\"}\n")?;
+            // Wake the accept loop (this handler's own connection was
+            // already accepted; the loop is blocked on the next one).
+            let addr = stream.local_addr()?;
+            let _ = TcpStream::connect(addr);
+            Ok(())
+        }
+        ("POST", "/sweeps") => submit(stream, &request.body, registry),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/sweeps/") {
+                return sweep_route(stream, method, rest, registry);
+            }
+            write_response(stream, 404, &[], &error_body("no such endpoint"))
+        }
+    }
+}
+
+fn submit(stream: &mut TcpStream, body: &str, registry: &Arc<Registry>) -> io::Result<()> {
+    let parsed = match JsonValue::parse(body) {
+        Ok(v) => v,
+        Err(e) => {
+            return write_response(
+                stream,
+                400,
+                &[],
+                &error_body(&format!("bad JSON body: {e}")),
+            );
+        }
+    };
+    let Some(grid) = parsed.get("grid").and_then(JsonValue::as_str) else {
+        return write_response(stream, 400, &[], &error_body("body must carry a \"grid\""));
+    };
+    let priority = parsed
+        .get("priority")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as u32;
+    match registry.submit(grid, priority) {
+        Ok(ticket) => {
+            let body = format!("{}\n", ticket.to_json().to_pretty());
+            write_response(stream, 202, &[], &body)
+        }
+        Err(err @ SubmitError::BadGrid(_)) => write_response(
+            stream,
+            400,
+            &[],
+            &format!("{}\n", err.to_json().to_pretty()),
+        ),
+        Err(err @ SubmitError::QueueFull { retry_after_ms, .. }) => {
+            let retry = format!("Retry-After: {}", retry_after_ms.div_ceil(1000).max(1));
+            write_response(
+                stream,
+                429,
+                &[retry],
+                &format!("{}\n", err.to_json().to_pretty()),
+            )
+        }
+    }
+}
+
+fn sweep_route(
+    stream: &mut TcpStream,
+    method: &str,
+    rest: &str,
+    registry: &Arc<Registry>,
+) -> io::Result<()> {
+    let (id, action) = match rest.split_once('/') {
+        Some((id, action)) => (id, action),
+        None => (rest, ""),
+    };
+    match (method, action) {
+        ("GET", "") => match registry.status(id) {
+            Some(status) => write_response(stream, 200, &[], &format!("{}\n", status.to_pretty())),
+            None => write_response(stream, 404, &[], &error_body("no such sweep")),
+        },
+        ("GET", "stream") => stream_sweep(stream, id, registry),
+        ("GET", "result") => match registry.result(id) {
+            Some(Ok(body)) => write_response(stream, 200, &[], &body),
+            Some(Err(reason)) => write_response(stream, 409, &[], &error_body(&reason)),
+            None => write_response(stream, 404, &[], &error_body("no such sweep")),
+        },
+        ("POST", "cancel") => {
+            if registry.cancel(id) {
+                write_response(stream, 200, &[], "{\"status\": \"cancelled\"}\n")
+            } else {
+                write_response(
+                    stream,
+                    409,
+                    &[],
+                    &error_body("unknown or already-terminal sweep"),
+                )
+            }
+        }
+        _ => write_response(stream, 405, &[], &error_body("unsupported sweep action")),
+    }
+}
+
+fn stream_sweep(stream: &mut TcpStream, id: &str, registry: &Arc<Registry>) -> io::Result<()> {
+    if registry.status(id).is_none() {
+        return write_response(stream, 404, &[], &error_body("no such sweep"));
+    }
+    let mut chunks = ChunkedWriter::start(stream)?;
+    let mut cursor = 0usize;
+    while let Some((events, terminal)) = registry.wait_events(id, cursor) {
+        cursor += events.len();
+        for event in &events {
+            chunks.send(event)?; // a gone client ends the stream here
+        }
+        if terminal {
+            break;
+        }
+    }
+    chunks.finish()
+}
+
+fn error_body(msg: &str) -> String {
+    format!(
+        "{}\n",
+        JsonValue::Obj(vec![("error".into(), JsonValue::Str(msg.into()))]).to_pretty()
+    )
+}
