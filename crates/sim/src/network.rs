@@ -242,6 +242,17 @@ impl Network {
         self.par.as_ref().map(ParState::workers)
     }
 
+    /// The parallel kernel's deepest safe lookahead window — the largest
+    /// hop distance from any element to the nearest shard-cut boundary,
+    /// i.e. the most barrier-free ticks one epoch can ever batch. `None`
+    /// before the first parallel step, on sequential kernels, and when
+    /// the shard plan has no cut edges at all (single worker), in which
+    /// case the window is unbounded.
+    #[must_use]
+    pub fn parallel_lookahead(&self) -> Option<u64> {
+        self.par.as_ref().and_then(ParState::lookahead)
+    }
+
     /// Total element visits executed so far, across all ticks. The dense
     /// kernel visits every matching-polarity element per tick; the
     /// event-driven kernel visits only armed elements — on an idle network

@@ -198,6 +198,65 @@ proptest! {
         // differential still holds, proving the fallback engages.
         assert_parallel_matches(&cfg, &event, cycles, "fault soak");
     }
+
+    /// The epoch-batching worst case, fuzzed: mirror traffic sends every
+    /// flit through the root cut, so armed elements sit on the shard
+    /// boundary almost every tick and the conservative lookahead window
+    /// collapses to single mailbox ticks. Bit-identity must survive the
+    /// collapse at every worker count — and survive the sequential
+    /// fallback when a fault plan rides along.
+    #[test]
+    fn epoch_batching_survives_lookahead_collapse(
+        ports_exp in 3u32..6,
+        rate in 0.1f64..0.8,
+        faulted in 0u32..2,
+        seed in any::<u64>(),
+        cycles in 50u64..250,
+    ) {
+        let ports = 1u32 << ports_exp;
+        let mut cfg = TreeNetworkConfig::new(binary(ports as usize)).with_seed(seed);
+        if faulted == 1 {
+            cfg = cfg.with_faults(FaultPlan::soak(seed));
+        }
+        for p in 0..ports {
+            // Every port talks only to its mirror across the root.
+            cfg = cfg.with_port_pattern(
+                PortId(p),
+                TrafficPattern::Hotspot {
+                    rate,
+                    target: PortId(ports - 1 - p),
+                    fraction: 1.0,
+                },
+            );
+        }
+        let event = run_one(&cfg, SimKernel::EventDriven, cycles);
+        for workers in PARALLEL_WORKERS {
+            let par = run_one(&cfg, SimKernel::Parallel { workers }, cycles);
+            if faulted == 1 {
+                prop_assert_eq!(
+                    par.active_workers(), None,
+                    "fault plans must force the sequential fallback"
+                );
+            } else if workers > 1 {
+                // A real shard cut exists, so the static lookahead bound
+                // is finite — the collapse under test is the *dynamic*
+                // window shrinking to mailbox ticks, not the bound.
+                prop_assert!(
+                    par.parallel_lookahead().is_some(),
+                    "workers={} must report a finite lookahead bound",
+                    workers
+                );
+            }
+            prop_assert_eq!(
+                event.report(),
+                par.report(),
+                "mirror hotspot diverged at workers={} faulted={}",
+                workers,
+                faulted
+            );
+            prop_assert_eq!(event.element_steps(), par.element_steps());
+        }
+    }
 }
 
 /// The hardest case for subtree sharding: mirror traffic, where **every**
@@ -238,6 +297,42 @@ fn all_traffic_crossing_the_root_survives_the_shard_cut() {
             );
             assert_eq!(event.element_steps(), par.element_steps());
         }
+    }
+}
+
+/// The soak1024 tier end-to-end: a 1024-port fabric is deep enough that
+/// epoch batching runs dozens of barrier-free ticks per window
+/// (lookahead 30 at two workers), and the run must still be
+/// bit-identical to the event kernel at workers 1 and 4 — with the
+/// conservation ledger balanced: every flit sent is delivered or still
+/// accounted for, none lost, none duplicated.
+#[test]
+fn soak1024_is_bit_identical_with_a_balanced_ledger() {
+    let cycles = 120;
+    let cfg = TreeNetworkConfig::new(binary(1024))
+        .with_pattern(TrafficPattern::Uniform { rate: 0.3 })
+        .with_seed(23);
+    let event = run_one(&cfg, SimKernel::EventDriven, cycles);
+    let report = event.report();
+    assert!(report.delivered > 0, "the soak must move real traffic");
+    assert!(
+        report.is_correct(),
+        "conservation ledger must balance: {report:?}"
+    );
+    for workers in [1u32, 4] {
+        let par = run_one(&cfg, SimKernel::Parallel { workers }, cycles);
+        assert_eq!(
+            par.active_workers(),
+            Some(workers as usize),
+            "the 1024-port fabric must shard at workers={workers}"
+        );
+        assert_eq!(
+            event.report(),
+            par.report(),
+            "soak1024 diverged at workers={workers}"
+        );
+        assert_eq!(event.element_steps(), par.element_steps());
+        assert!(par.report().is_correct());
     }
 }
 
