@@ -1,8 +1,10 @@
 //! The simulation-kernel perf suite behind CI's `bench-gate` job.
 //!
 //! Runs a fixed workload matrix — idle-heavy, saturated-uniform and
-//! hotspot traffic at 16 and 64 ports, plus the `soak256`, `soak1024`
-//! and `soak4096` large-fabric soaks — under all three stepping kernels,
+//! hotspot traffic at 16 and 64 ports, the `soak256`, `soak1024` and
+//! `soak4096` large-fabric soaks, plus the `mirror256` cut-crossing
+//! workload (every flit crosses the root cut, the regime speculation
+//! targets) — under all three stepping kernels,
 //! asserts the reports are **bit-identical** (the dense scan is the
 //! oracle), and measures the event-driven kernel's speedup over dense
 //! and the parallel kernel's speedup over event.
@@ -45,6 +47,24 @@
 //!   (schema 4): the deepest epoch-batching window the shard cut admits,
 //!   `null` when unbounded (single worker) or on the sequential
 //!   fallback;
+//! * speculation floor: when more than one worker is requested, each
+//!   workload runs once more under the parallel kernel with
+//!   speculate-and-replay enabled (profiler attached); the report, perf
+//!   section stripped, must stay bit-identical to the plain runs — the
+//!   tentpole guarantee, enforced end-to-end — and the run yields the
+//!   schema-5 telemetry fields (`speculation_commits`,
+//!   `speculation_aborts`, `speculation_commit_rate`). On `mirror256`
+//!   the committed-window counter must be non-zero (speculation must
+//!   actually win windows in the regime built for it) and the
+//!   speculative run's barrier-wait fraction must stay under its
+//!   ceiling whenever the workers are not oversubscribed;
+//! * profiler-overhead floor: `abs(profiler_overhead)` must stay under
+//!   [`MAX_PROFILER_OVERHEAD`] on every workload. The sign matters: a
+//!   large *negative* overhead means the unprofiled best-of-reps was
+//!   polluted by machine load, i.e. noise that could mask a real
+//!   regression — the symmetric gate rejects the measurement instead
+//!   of silently recording it. The JSON clamps the field at 0 so a
+//!   committed baseline never stores a nonsensical negative cost;
 //! * with `--baseline`, each workload's event-vs-dense speedup must stay
 //!   within −20% of the committed baseline (regression fails; an
 //!   improvement beyond +20% warns to refresh the baseline). That ratio
@@ -54,7 +74,10 @@
 //!   different hardware the ratio legitimately differs.
 
 use icnoc_explore::JsonValue;
-use icnoc_sim::{FaultPlan, FaultRates, SimKernel, TrafficPattern, TreeNetworkConfig};
+use icnoc_sim::{
+    FaultPlan, FaultRates, SimKernel, SpecStats, TrafficPattern, TreeNetworkConfig,
+    DEFAULT_SPECULATION_K,
+};
 use icnoc_topology::{PortId, TreeTopology};
 use std::time::Instant;
 
@@ -86,6 +109,21 @@ const UNIFORM_MIN_SPEEDUP: f64 = 1.0;
 /// the observed rep-to-rep spread on shared runners. A real algorithmic
 /// regression trips the exact `work_ratio` gate regardless.
 const JITTER: f64 = 0.10;
+/// Symmetric ceiling on the profiler's measured wall-time cost,
+/// `abs(profiler_overhead)`. The profiler's real cost is a fraction of
+/// a percent (one atomic-free sample per epoch), so anything near this
+/// ceiling — in either direction — is a polluted measurement or a real
+/// instrumentation regression; both should fail rather than be
+/// recorded. Sized generously because the comparison pits a single
+/// profiled run against the best of [`REPS`] unprofiled ones.
+const MAX_PROFILER_OVERHEAD: f64 = 0.5;
+/// Ceiling on `mirror256`'s barrier-wait fraction under speculation,
+/// enforced whenever the workers are not oversubscribed. Every flit
+/// crosses the root cut, so the pre-speculation kernel degenerates to
+/// one synchronized mailbox tick per tick and its barrier fraction
+/// saturates; speculate-and-replay must keep real work between
+/// rendezvous even though aborted windows replay synchronized.
+const MIRROR256_MAX_BARRIER_FRACTION: f64 = 0.9;
 /// Timing repetitions per (workload, kernel); the fastest run counts.
 /// Kernels are interleaved within a rep so machine-load phases hit both,
 /// and one untimed warm-up rep precedes the timed ones.
@@ -101,6 +139,12 @@ struct Workload {
     /// parallel kernel onto its sequential fallback — the bit-identity
     /// and zero-overhead gates must hold there too).
     faults: Option<FaultPlan>,
+    /// When set, `pattern` is replaced by per-port mirror traffic at
+    /// this rate: port `p` sends only to port `ports - 1 - p`, the
+    /// address-complement pairing, so **every** flit crosses the root
+    /// cut and the parallel kernel's conservative lookahead collapses
+    /// to 0 — the mailbox-tick wall the speculation tentpole breaks.
+    mirror_rate: Option<f64>,
 }
 
 fn workloads() -> Vec<Workload> {
@@ -119,6 +163,7 @@ fn workloads() -> Vec<Workload> {
         cycles: 20_000,
         seed: 7,
         faults: None,
+        mirror_rate: None,
     };
     let uniform = |ports| Workload {
         name: if ports == 16 {
@@ -133,6 +178,7 @@ fn workloads() -> Vec<Workload> {
         cycles: 4_000,
         seed: 11,
         faults: None,
+        mirror_rate: None,
     };
     let hotspot = |ports: usize| Workload {
         name: if ports == 16 {
@@ -149,6 +195,7 @@ fn workloads() -> Vec<Workload> {
         cycles: 4_000,
         seed: 13,
         faults: None,
+        mirror_rate: None,
     };
     let soak = Workload {
         name: "soak256",
@@ -160,6 +207,7 @@ fn workloads() -> Vec<Workload> {
         cycles: 1_500,
         seed: 17,
         faults: None,
+        mirror_rate: None,
     };
     // Deeper soak tiers: the tree gains two levels per tier, so each
     // shard's interior grows and the lookahead window (hop distance to
@@ -173,6 +221,7 @@ fn workloads() -> Vec<Workload> {
         cycles: 600,
         seed: 23,
         faults: None,
+        mirror_rate: None,
     };
     let soak4096 = Workload {
         name: "soak4096",
@@ -181,6 +230,25 @@ fn workloads() -> Vec<Workload> {
         cycles: 200,
         seed: 29,
         faults: None,
+        mirror_rate: None,
+    };
+    // Cut-crossing regime: every port mirrors to its address complement,
+    // so all traffic crosses the root cut, conservative lookahead pins
+    // at 0 and — without speculation — the parallel kernel pays one
+    // synchronized mailbox tick per tick. The rate is sparse on purpose:
+    // speculation commits on the false mailbox ticks where the boundary
+    // is armed but the far side stays quiet, and 0.002 per port keeps
+    // the measured commit rate in the 0.2–0.35 band across 2–16 workers
+    // (denser traffic drives the commit rate toward zero and starves
+    // the `commits > 0` gate).
+    let mirror256 = Workload {
+        name: "mirror256",
+        ports: 256,
+        pattern: TrafficPattern::Uniform { rate: 0.0 },
+        cycles: 600,
+        seed: 7,
+        faults: None,
+        mirror_rate: Some(0.002),
     };
     let clockfault = Workload {
         name: "clockfault64",
@@ -192,6 +260,7 @@ fn workloads() -> Vec<Workload> {
         cycles: 2_000,
         seed: 19,
         faults: Some(FaultPlan::new(19).with_rates(FaultRates::clock_soak())),
+        mirror_rate: None,
     };
     vec![
         idle(16),
@@ -203,6 +272,7 @@ fn workloads() -> Vec<Workload> {
         soak,
         soak1024,
         soak4096,
+        mirror256,
         clockfault,
     ]
 }
@@ -238,6 +308,14 @@ struct Measurement {
     /// count). `None` when unbounded — single worker, no cut edges — or
     /// when the run fell back to the sequential kernel.
     lookahead: Option<u64>,
+    /// Speculation counters from the speculative parallel run (schema
+    /// 5). `None` when the run never speculated — single worker
+    /// requested, or the sequential fallback (faulted workloads).
+    spec: Option<SpecStats>,
+    /// Barrier-wait fraction of the speculative parallel run — the
+    /// number the `mirror256` barrier gate is about, since the plain
+    /// run's fraction saturates by construction there.
+    spec_barrier_frac: Option<f64>,
 }
 
 impl Measurement {
@@ -251,20 +329,40 @@ impl Measurement {
     }
 }
 
-/// One timed run: seconds for the traffic phase, element visits, the
-/// final report (after drain) for the differential check, and the
-/// parallel kernel's lookahead window (`None` on sequential kernels).
-fn run_once(
-    w: &Workload,
-    kernel: SimKernel,
-    profile: bool,
-) -> (f64, u64, icnoc_sim::SimReport, Option<u64>) {
+/// Everything one run yields: seconds for the traffic phase, element
+/// visits, the final report (after drain) for the differential check,
+/// the parallel kernel's lookahead window (`None` on sequential
+/// kernels) and the speculation counters (`None` unless the run
+/// speculated).
+struct RunOut {
+    secs: f64,
+    steps: u64,
+    report: icnoc_sim::SimReport,
+    lookahead: Option<u64>,
+    spec: Option<SpecStats>,
+}
+
+fn run_once(w: &Workload, kernel: SimKernel, profile: bool, speculate: Option<u32>) -> RunOut {
     let tree = TreeTopology::binary(w.ports).expect("power-of-two port count");
     let mut cfg = TreeNetworkConfig::new(tree)
-        .with_pattern(w.pattern.clone())
         .with_seed(w.seed)
         .with_kernel(kernel)
-        .with_profiling(profile);
+        .with_profiling(profile)
+        .with_speculation(speculate);
+    if let Some(rate) = w.mirror_rate {
+        for p in 0..w.ports {
+            cfg = cfg.with_port_pattern(
+                PortId(p as u32),
+                TrafficPattern::Hotspot {
+                    rate,
+                    target: PortId((w.ports - 1 - p) as u32),
+                    fraction: 1.0,
+                },
+            );
+        }
+    } else {
+        cfg = cfg.with_pattern(w.pattern.clone());
+    }
     if let Some(plan) = &w.faults {
         cfg = cfg.with_faults(plan.clone());
     }
@@ -280,8 +378,13 @@ fn run_once(
         w.cycles
     };
     net.drain(drain);
-    let lookahead = net.parallel_lookahead();
-    (secs, net.element_steps(), net.report(), lookahead)
+    RunOut {
+        secs,
+        steps: net.element_steps(),
+        lookahead: net.parallel_lookahead(),
+        spec: net.speculation_stats(),
+        report: net.report(),
+    }
 }
 
 fn measure(w: &Workload, workers: u32) -> Measurement {
@@ -302,13 +405,13 @@ fn measure(w: &Workload, workers: u32) -> Measurement {
         .into_iter()
         .enumerate()
         {
-            let (elapsed, visits, report, _) = run_once(w, kernel, false);
-            secs[slot] = elapsed.max(1e-9);
+            let out = run_once(w, kernel, false, None);
+            secs[slot] = out.secs.max(1e-9);
             if rep > 0 {
                 best[slot] = best[slot].min(secs[slot]);
             }
-            steps[slot] = visits;
-            reports[slot] = Some(report);
+            steps[slot] = out.steps;
+            reports[slot] = Some(out.report);
         }
         if rep > 0 {
             ratios.push(secs[0] / secs[1]);
@@ -329,15 +432,44 @@ fn measure(w: &Workload, workers: u32) -> Measurement {
     // profiler must not change one bit of the report — exact and
     // deterministic, unlike any wall-clock comparison) plus the
     // barrier/imbalance telemetry for the JSON output.
-    let (prof_secs, _, mut prof_report, lookahead) =
-        run_once(w, SimKernel::Parallel { workers }, true);
-    let perf = prof_report.perf.take().expect("profiling was enabled");
+    let mut prof = run_once(w, SimKernel::Parallel { workers }, true, None);
+    let perf = prof.report.perf.take().expect("profiling was enabled");
     assert_eq!(
-        Some(&prof_report),
+        Some(&prof.report),
         reports[2].as_ref(),
         "{}: attaching the profiler changed the simulation outcome",
         w.name
     );
+    // One speculative parallel rep (profiler attached, so the run also
+    // proves profiling and speculation compose): the tentpole's
+    // bit-identity guarantee, enforced end-to-end on every workload —
+    // committed speculative state must match the synchronized kernels
+    // exactly, visit counts included. Skipped at a single worker, where
+    // the unbounded-lookahead plan never reaches a mailbox tick.
+    let mut spec = None;
+    let mut spec_barrier_frac = None;
+    if workers > 1 {
+        let mut spec_run = run_once(
+            w,
+            SimKernel::Parallel { workers },
+            true,
+            Some(DEFAULT_SPECULATION_K),
+        );
+        let spec_perf = spec_run.report.perf.take().expect("profiling was enabled");
+        assert_eq!(
+            Some(&spec_run.report),
+            reports[2].as_ref(),
+            "{}: speculation changed the simulation outcome",
+            w.name
+        );
+        assert_eq!(
+            spec_run.steps, steps[2],
+            "{}: speculation changed the committed element-visit count",
+            w.name
+        );
+        spec = spec_run.spec;
+        spec_barrier_frac = spec_perf.barrier_fraction();
+    }
     ratios.sort_by(f64::total_cmp);
     par_ratios.sort_by(f64::total_cmp);
     Measurement {
@@ -354,14 +486,16 @@ fn measure(w: &Workload, workers: u32) -> Measurement {
         par_speedup: par_ratios[par_ratios.len() / 2],
         barrier_frac: perf.barrier_fraction().unwrap_or(0.0),
         imbalance: perf.load_imbalance(),
-        profiler_overhead: prof_secs / best[2] - 1.0,
-        lookahead,
+        profiler_overhead: prof.secs / best[2] - 1.0,
+        lookahead: prof.lookahead,
+        spec,
+        spec_barrier_frac,
     }
 }
 
 fn to_json(results: &[Measurement], workers: u32, host_cores: usize, floor: &str) -> JsonValue {
     JsonValue::Obj(vec![
-        ("schema_version".to_owned(), JsonValue::Num(4.0)),
+        ("schema_version".to_owned(), JsonValue::Num(5.0)),
         ("suite".to_owned(), JsonValue::Str("sim_kernel".to_owned())),
         ("workers".to_owned(), JsonValue::Num(f64::from(workers))),
         ("host_cores".to_owned(), JsonValue::Num(host_cores as f64)),
@@ -417,9 +551,14 @@ fn to_json(results: &[Measurement], workers: u32, host_cores: usize, floor: &str
                                 "parallel_load_imbalance".to_owned(),
                                 JsonValue::Num(m.imbalance),
                             ),
+                            // Clamped at 0: a negative raw value means
+                            // noise polluted the unprofiled best-of-reps
+                            // (the symmetric gate bounds it), and a
+                            // committed baseline should never record a
+                            // negative cost.
                             (
                                 "profiler_overhead".to_owned(),
-                                JsonValue::Num(m.profiler_overhead),
+                                JsonValue::Num(m.profiler_overhead.max(0.0)),
                             ),
                             // Schema 4: the epoch-batching lookahead
                             // window — deterministic, `null` when
@@ -428,6 +567,26 @@ fn to_json(results: &[Measurement], workers: u32, host_cores: usize, floor: &str
                                 "parallel_lookahead".to_owned(),
                                 m.lookahead
                                     .map_or(JsonValue::Null, |l| JsonValue::Num(l as f64)),
+                            ),
+                            // Schema 5: speculate-and-replay counters
+                            // from the speculative parallel run —
+                            // deterministic at a fixed worker count.
+                            // `null`/0 when the run never speculated
+                            // (single worker, sequential fallback).
+                            (
+                                "speculation_commits".to_owned(),
+                                JsonValue::Num(m.spec.as_ref().map_or(0, |s| s.commits) as f64),
+                            ),
+                            (
+                                "speculation_aborts".to_owned(),
+                                JsonValue::Num(m.spec.as_ref().map_or(0, |s| s.aborts) as f64),
+                            ),
+                            (
+                                "speculation_commit_rate".to_owned(),
+                                m.spec
+                                    .as_ref()
+                                    .and_then(SpecStats::commit_rate)
+                                    .map_or(JsonValue::Null, JsonValue::Num),
                             ),
                         ])
                     })
@@ -523,7 +682,7 @@ fn main() {
             m.work_ratio()
         );
     }
-    println!("profiler telemetry (barrier gated on soak256 only):");
+    println!("profiler telemetry (barrier gated on soak256 and mirror256 only):");
     for m in &results {
         let lookahead = m
             .lookahead
@@ -536,6 +695,23 @@ fn main() {
             m.imbalance,
             m.profiler_overhead * 100.0
         );
+    }
+    println!("speculation (speculative parallel run, K={DEFAULT_SPECULATION_K}):");
+    for m in &results {
+        match (&m.spec, m.spec_barrier_frac) {
+            (Some(s), barrier) => {
+                let rate = s
+                    .commit_rate()
+                    .map_or("n/a".to_owned(), |r| format!("{r:.2}"));
+                let barrier = barrier.map_or("n/a".to_owned(), |b| format!("{:.1}%", b * 100.0));
+                println!(
+                    "  {:<9} commits {:>5}  aborts {:>5}  commit rate {rate:>5}  \
+                     barrier {barrier:>6}",
+                    m.name, s.commits, s.aborts
+                );
+            }
+            _ => println!("  {:<9} not speculated", m.name),
+        }
     }
 
     let mut failed = false;
@@ -595,6 +771,59 @@ fn main() {
                     m.par_speedup
                 );
                 failed = true;
+            }
+        }
+        // Symmetric profiler-cost ceiling: a big positive overhead is a
+        // real instrumentation regression, a big negative one means the
+        // unprofiled best-of-reps was polluted — either way the
+        // measurement can't be trusted and must not become a baseline.
+        if m.profiler_overhead.abs() > MAX_PROFILER_OVERHEAD {
+            eprintln!(
+                "GATE FAIL: {} profiler overhead {:+.1}% exceeds the symmetric \
+                 ±{:.0}% ceiling",
+                m.name,
+                m.profiler_overhead * 100.0,
+                MAX_PROFILER_OVERHEAD * 100.0
+            );
+            failed = true;
+        }
+        // Speculation floors on the cut-crossing workload: the windows
+        // must actually commit (a zero commit count means the tentpole
+        // regressed to all-abort, i.e. the synchronized wall is back),
+        // and on a non-oversubscribed host the speculative run's
+        // barrier-wait fraction must stay under its ceiling.
+        if m.name == "mirror256" && workers > 1 {
+            match &m.spec {
+                Some(s) if s.commits > 0 => {}
+                Some(s) => {
+                    eprintln!(
+                        "GATE FAIL: mirror256 speculation committed 0 windows \
+                         ({} aborts) — every speculative window was invalidated",
+                        s.aborts
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!(
+                        "GATE FAIL: mirror256 speculative run reported no \
+                         speculation stats at {workers} workers"
+                    );
+                    failed = true;
+                }
+            }
+            if workers as usize <= host_cores {
+                if let Some(frac) = m.spec_barrier_frac {
+                    if frac > MIRROR256_MAX_BARRIER_FRACTION {
+                        eprintln!(
+                            "GATE FAIL: mirror256 speculative barrier fraction \
+                             {:.1}% above the {:.0}% ceiling at {workers} workers \
+                             on {host_cores} cores",
+                            frac * 100.0,
+                            MIRROR256_MAX_BARRIER_FRACTION * 100.0
+                        );
+                        failed = true;
+                    }
+                }
             }
         }
         let (min, floor) = match m.name {

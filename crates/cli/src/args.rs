@@ -101,6 +101,9 @@ pub enum Command {
         faults: Option<FaultSpec>,
         /// Stepping kernel (`event` default; `dense` is the oracle).
         kernel: SimKernel,
+        /// Speculate-and-replay window bound for the parallel kernel
+        /// (`--speculate [K]` / `ICNOC_SPECULATE`).
+        speculate: Option<u32>,
         /// Attach the kernel profiler and print the per-shard summary
         /// table after the report.
         profile: bool,
@@ -126,6 +129,9 @@ pub enum Command {
         tiles: Option<(usize, u64)>,
         /// Stepping kernel (`event` default; `dense` is the oracle).
         kernel: SimKernel,
+        /// Speculate-and-replay window bound for the parallel kernel
+        /// (`--speculate [K]` / `ICNOC_SPECULATE`).
+        speculate: Option<u32>,
         /// Write a Chrome trace-event JSON timeline here.
         chrome_trace: Option<String>,
     },
@@ -216,6 +222,9 @@ pub enum Command {
         /// Attach the kernel profiler to every executed job, adding
         /// `perf` telemetry to the sweep output.
         profile: bool,
+        /// Speculate-and-replay window bound for parallel-kernel jobs
+        /// (`--speculate [K]` / `ICNOC_SPECULATE`).
+        speculate: Option<u32>,
         /// Submit the grid to a running `icnoc serve` daemon at this
         /// address instead of executing locally. Execution flags
         /// (`--jobs`, `--workers`, `--cache-dir`, `--resume`,
@@ -255,6 +264,10 @@ pub enum Command {
         spec: FaultSpec,
         /// Stepping kernel (`event` default; `dense` is the oracle).
         kernel: SimKernel,
+        /// Speculate-and-replay window bound for the parallel kernel
+        /// (`--speculate [K]` / `ICNOC_SPECULATE`). A faulted run falls
+        /// back to the sequential kernel, where this is advisory only.
+        speculate: Option<u32>,
     },
     /// Print usage.
     Help,
@@ -297,39 +310,49 @@ impl Cli {
                 sigma: flags.take_f64("sigma", 0.0)?,
                 top: flags.take_usize("top", 10)?,
             },
-            "sim" => Command::Sim {
-                build: flags.build_opts()?,
-                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
-                cycles: flags.take_u64("cycles", 2_000)?,
-                seed: flags.take_u64("seed", 42)?,
-                packet_len: flags.take_usize("packet-len", 1)? as u32,
-                tiles: match flags.take_opt_string("tiles") {
-                    Some(spec) => Some(parse_tiles(&spec)?),
-                    None => None,
-                },
-                vcd: flags.take_opt_string("vcd"),
-                diagnose: flags.take_bool("diagnose")?,
-                faults: match flags.take_opt_string("faults") {
-                    Some(spec) => Some(parse_fault_spec(&spec)?),
-                    None => None,
-                },
-                kernel: flags.take_kernel()?,
-                profile: flags.take_bool("profile")?,
-                chrome_trace: flags.take_opt_string("chrome-trace"),
-            },
-            "profile" => Command::Profile {
-                build: flags.build_opts()?,
-                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
-                cycles: flags.take_u64("cycles", 2_000)?,
-                seed: flags.take_u64("seed", 42)?,
-                packet_len: flags.take_usize("packet-len", 1)? as u32,
-                tiles: match flags.take_opt_string("tiles") {
-                    Some(spec) => Some(parse_tiles(&spec)?),
-                    None => None,
-                },
-                kernel: flags.take_kernel()?,
-                chrome_trace: flags.take_opt_string("chrome-trace"),
-            },
+            "sim" => {
+                let kernel = flags.take_kernel()?;
+                let speculate = flags.take_speculate(kernel)?;
+                Command::Sim {
+                    build: flags.build_opts()?,
+                    pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                    cycles: flags.take_u64("cycles", 2_000)?,
+                    seed: flags.take_u64("seed", 42)?,
+                    packet_len: flags.take_usize("packet-len", 1)? as u32,
+                    tiles: match flags.take_opt_string("tiles") {
+                        Some(spec) => Some(parse_tiles(&spec)?),
+                        None => None,
+                    },
+                    vcd: flags.take_opt_string("vcd"),
+                    diagnose: flags.take_bool("diagnose")?,
+                    faults: match flags.take_opt_string("faults") {
+                        Some(spec) => Some(parse_fault_spec(&spec)?),
+                        None => None,
+                    },
+                    kernel,
+                    speculate,
+                    profile: flags.take_bool("profile")?,
+                    chrome_trace: flags.take_opt_string("chrome-trace"),
+                }
+            }
+            "profile" => {
+                let kernel = flags.take_kernel()?;
+                let speculate = flags.take_speculate(kernel)?;
+                Command::Profile {
+                    build: flags.build_opts()?,
+                    pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                    cycles: flags.take_u64("cycles", 2_000)?,
+                    seed: flags.take_u64("seed", 42)?,
+                    packet_len: flags.take_usize("packet-len", 1)? as u32,
+                    tiles: match flags.take_opt_string("tiles") {
+                        Some(spec) => Some(parse_tiles(&spec)?),
+                        None => None,
+                    },
+                    kernel,
+                    speculate,
+                    chrome_trace: flags.take_opt_string("chrome-trace"),
+                }
+            }
             "stats" => Command::Stats {
                 build: flags.build_opts()?,
                 pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
@@ -402,19 +425,35 @@ impl Cli {
                 let cache_dir = flags.take_opt_string("cache-dir");
                 let resume = flags.take_bool("resume")?;
                 let profile = flags.take_bool("profile")?;
+                let speculate_flag = flags.take_opt_string("speculate");
                 if server.is_some()
                     && (jobs_flag.is_some()
                         || workers.is_some()
                         || cache_dir.is_some()
                         || resume
-                        || profile)
+                        || profile
+                        || speculate_flag.is_some())
                 {
                     return Err(CliError(
                         "--server delegates execution to the daemon; --jobs, --workers, \
-                         --cache-dir, --resume and --profile do not apply"
+                         --cache-dir, --resume, --profile and --speculate do not apply"
                             .to_owned(),
                     ));
                 }
+                let speculate = match speculate_flag {
+                    // Absent: the environment decides, but only for
+                    // parallel-kernel sweeps (a globally exported
+                    // ICNOC_SPECULATE never errors a sequential sweep).
+                    None => workers.and_then(|_| icnoc_sim::speculation_from_env()),
+                    Some(v) => {
+                        if workers.is_none() {
+                            return Err(CliError(
+                                "--speculate requires --workers (the parallel kernel)".to_owned(),
+                            ));
+                        }
+                        parse_speculate_value(&v)?
+                    }
+                };
                 if server.is_none() && priority != 0 {
                     return Err(CliError("--priority requires --server".to_owned()));
                 }
@@ -427,6 +466,7 @@ impl Cli {
                     out: flags.take_string("out", "BENCH_explore.json"),
                     quiet: flags.take_bool("quiet")?,
                     profile,
+                    speculate,
                     server,
                     priority,
                 }
@@ -447,15 +487,20 @@ impl Cli {
                     queue_limit,
                 }
             }
-            "faults" => Command::Faults {
-                build: flags.build_opts()?,
-                pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
-                cycles: flags.take_u64("cycles", 10_000)?,
-                seed: flags.take_u64("seed", 42)?,
-                packet_len: flags.take_usize("packet-len", 1)? as u32,
-                spec: parse_fault_spec(&flags.take_string("spec", "soak"))?,
-                kernel: flags.take_kernel()?,
-            },
+            "faults" => {
+                let kernel = flags.take_kernel()?;
+                let speculate = flags.take_speculate(kernel)?;
+                Command::Faults {
+                    build: flags.build_opts()?,
+                    pattern: parse_pattern(&flags.take_string("pattern", "uniform:0.2"))?,
+                    cycles: flags.take_u64("cycles", 10_000)?,
+                    seed: flags.take_u64("seed", 42)?,
+                    packet_len: flags.take_usize("packet-len", 1)? as u32,
+                    spec: parse_fault_spec(&flags.take_string("spec", "soak"))?,
+                    kernel,
+                    speculate,
+                }
+            }
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(CliError(format!("unknown subcommand {other:?}; try help"))),
         };
@@ -591,6 +636,21 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
     Ok(FaultSpec { rates, window })
 }
 
+/// Parses an explicit `--speculate` value: `on`/`true` (including the bare
+/// switch) mean the default window bound, `off`/`false` disable, an
+/// integer is an explicit `K` (clamped to at least 1).
+fn parse_speculate_value(v: &str) -> Result<Option<u32>, CliError> {
+    match v {
+        "true" | "on" | "yes" => Ok(Some(icnoc_sim::DEFAULT_SPECULATION_K)),
+        "false" | "off" | "no" => Ok(None),
+        other => other.parse::<u32>().map(|k| Some(k.max(1))).map_err(|_| {
+            CliError(format!(
+                "--speculate expects an integer window bound or on/off, got {other:?}"
+            ))
+        }),
+    }
+}
+
 fn parse_tiles(spec: &str) -> Result<(usize, u64), CliError> {
     let (a, b) = spec
         .split_once(':')
@@ -675,6 +735,29 @@ impl Flags {
                 }
             }
         }
+    }
+
+    /// Resolves `--speculate` for a parallel-capable subcommand: the bare
+    /// switch (or `on`/`true`) selects the default window bound
+    /// [`DEFAULT_SPECULATION_K`], `off`/`false` disables, and an integer
+    /// is an explicit `K` (clamped to at least 1). When the flag is
+    /// absent, `ICNOC_SPECULATE` decides — but only on the parallel
+    /// kernel, so a globally exported variable never errors a sequential
+    /// run. Passing the flag explicitly on a sequential kernel is a
+    /// usage error.
+    fn take_speculate(&mut self, kernel: SimKernel) -> Result<Option<u32>, CliError> {
+        let Some(v) = self.take_opt_string("speculate") else {
+            return Ok(match kernel {
+                SimKernel::Parallel { .. } => icnoc_sim::speculation_from_env(),
+                _ => None,
+            });
+        };
+        if !matches!(kernel, SimKernel::Parallel { .. }) {
+            return Err(CliError(
+                "--speculate requires --kernel parallel".to_owned(),
+            ));
+        }
+        parse_speculate_value(&v)
     }
 
     fn take_bool(&mut self, name: &str) -> Result<bool, CliError> {
@@ -1052,6 +1135,7 @@ mod tests {
             out,
             quiet,
             profile,
+            speculate,
             server,
             priority,
         } = cli.command
@@ -1060,6 +1144,7 @@ mod tests {
         };
         assert_eq!(server, None);
         assert_eq!(priority, 0);
+        assert_eq!(speculate, None);
         assert_eq!(grid, "freq=0.8,1.0;corner=nominal");
         assert_eq!(jobs, 4);
         assert_eq!(workers, None);

@@ -22,18 +22,20 @@ USAGE:
   icnoc sim    [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE] [--vcd out.vcd]
                [--diagnose] [--faults SPEC] [--kernel event|dense|parallel] [--workers N]
-               [--profile] [--chrome-trace trace.json]
+               [--speculate [K]] [--profile] [--chrome-trace trace.json]
   icnoc profile [build opts] [--pattern uniform:0.2] [--cycles 2000] [--seed 42]
                [--packet-len 1] [--tiles OUTSTANDING:SERVICE]
-               [--kernel event|dense|parallel] [--workers N] [--chrome-trace trace.json]
+               [--kernel event|dense|parallel] [--workers N] [--speculate [K]]
+               [--chrome-trace trace.json]
   icnoc stats  [build opts] [sim opts] [--format json|csv] [--out stats.json]
   icnoc trace  [build opts] [sim opts] [--capacity 4096] [--limit 40] [--vcd out.vcd]
   icnoc faults [build opts] [--pattern uniform:0.2] [--cycles 10000] [--seed 42]
                [--packet-len 1] [--spec soak] [--kernel event|dense|parallel] [--workers N]
+               [--speculate [K]]
   icnoc yield  [build opts] [--variation 0.2] [--sigma 0.05] [--samples 200] [--seed 42]
   icnoc fig7   [--max-mm 3.0] [--step-mm 0.1]
   icnoc explore [--grid SPEC] [--jobs 1] [--workers N] [--cache-dir DIR] [--resume]
-               [--out BENCH_explore.json] [--quiet] [--profile]
+               [--out BENCH_explore.json] [--quiet] [--profile] [--speculate [K]]
                [--server ADDR] [--priority N]
   icnoc serve  [--addr 127.0.0.1:7070] [--state-dir DIR] [--workers 2]
                [--queue-limit 256]
@@ -50,7 +52,11 @@ KERNEL:   event (default, activity-list stepping), dense (full scan, the
           differential-testing oracle) or parallel (subtree-sharded worker
           threads; --workers N, 0 = one per core) — all bit-identical per
           seed. explore --workers N simulates each job with the parallel
-          kernel at N workers without changing results or cache keys
+          kernel at N workers without changing results or cache keys.
+          --speculate [K] (or ICNOC_SPECULATE=1|K) lets the parallel
+          kernel run cut-crossing ticks optimistically in windows of up
+          to K ticks (default 16), rolling back and replaying invalidated
+          windows — committed results stay bit-identical
 PROFILE:  sim --profile (or the profile subcommand) attaches the kernel
           profiler: per-shard step/wake counters, a load-imbalance ratio
           and the barrier-overhead fraction. --chrome-trace FILE writes a
@@ -107,11 +113,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             diagnose,
             faults,
             kernel,
+            speculate,
             profile,
             chrome_trace,
         } => {
             let sys = build_system(build)?;
             let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len, *kernel);
+            net.set_speculation(*speculate);
             if let Some(spec) = faults {
                 net.enable_faults(fault_plan(&sys, spec, *seed));
             }
@@ -202,10 +210,12 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             packet_len,
             tiles,
             kernel,
+            speculate,
             chrome_trace,
         } => {
             let sys = build_system(build)?;
             let mut net = build_network(&sys, pattern, *tiles, *seed, *packet_len, *kernel);
+            net.set_speculation(*speculate);
             net.enable_profiling();
             warn_fallback(&net);
             net.run_cycles(*cycles);
@@ -363,9 +373,11 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             packet_len,
             spec,
             kernel,
+            speculate,
         } => {
             let sys = build_system(build)?;
             let mut net = build_network(&sys, pattern, None, *seed, *packet_len, *kernel);
+            net.set_speculation(*speculate);
             net.enable_faults(fault_plan(&sys, spec, *seed));
             warn_fallback(&net);
             net.run_cycles(*cycles);
@@ -412,6 +424,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             out,
             quiet,
             profile,
+            speculate,
             server,
             priority,
         } => {
@@ -449,6 +462,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 cache,
                 kernel,
                 profile: *profile,
+                speculate: *speculate,
             };
             let quiet = *quiet;
             let (analysis, stats) = run_sweep(&spec, &opts, |done, total| {
@@ -639,6 +653,16 @@ fn warn_fallback(net: &Network) {
     if let Some(cause) = net.fallback_cause() {
         eprintln!(
             "warning: parallel kernel running the sequential fallback: {} — {cause}",
+            cause.label()
+        );
+    }
+    // A softer degradation: the parallel kernel *is* running, but every
+    // lookahead-0 window pays a synchronized mailbox tick because
+    // speculation is off.
+    if let Some(cause) = net.speculation_fallback() {
+        eprintln!(
+            "warning: parallel kernel running per-tick mailbox mode in \
+             cut-crossing regimes: {} — {cause}",
             cause.label()
         );
     }

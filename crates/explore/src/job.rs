@@ -60,6 +60,9 @@ pub struct JobPerf {
     /// Fraction of worker wall time spent at barriers (0.0 when
     /// unavailable).
     pub barrier_fraction: f64,
+    /// Speculate-and-replay commit rate (committed windows / attempted
+    /// windows); `None` when speculation is off or never attempted.
+    pub speculation_commit_rate: Option<f64>,
 }
 
 /// Builds, verifies and simulates one grid point.
@@ -82,19 +85,22 @@ pub fn run_job(config: &JobConfig) -> Result<JobOutcome, GridError> {
 /// [`SimKernel`]. The kernel is an **execution** option, not part of the
 /// job identity: every kernel produces bit-identical reports, so outcomes
 /// keep the same [`JobConfig::stable_hash`] and remain cache-compatible
-/// whichever kernel computed them.
+/// whichever kernel computed them. Speculate-and-replay is resolved from
+/// `ICNOC_SPECULATE` ([`icnoc_sim::speculation_from_env`]) — also an
+/// execution option, since committed speculative state is bit-identical.
 ///
 /// # Errors
 ///
 /// See [`run_job`].
 pub fn run_job_with_kernel(config: &JobConfig, kernel: SimKernel) -> Result<JobOutcome, GridError> {
-    run_job_with_options(config, kernel, false)
+    run_job_with_options(config, kernel, false, icnoc_sim::speculation_from_env())
 }
 
-/// Like [`run_job_with_kernel`], with per-job kernel profiling as an
-/// opt-in. Profiling never changes simulation results — the outcome
-/// merely gains a [`JobPerf`] summary (which cache writers strip, keeping
-/// cache contents kernel- and profiling-invariant).
+/// Like [`run_job_with_kernel`], with per-job kernel profiling and an
+/// explicit speculate-and-replay window bound as opt-ins. Neither changes
+/// simulation results — the outcome merely gains a [`JobPerf`] summary
+/// (which cache writers strip, keeping cache contents kernel- and
+/// profiling-invariant).
 ///
 /// # Errors
 ///
@@ -103,6 +109,7 @@ pub fn run_job_with_options(
     config: &JobConfig,
     kernel: SimKernel,
     profile: bool,
+    speculate: Option<u32>,
 ) -> Result<JobOutcome, GridError> {
     let corner = config
         .system
@@ -143,6 +150,7 @@ pub fn run_job_with_options(
             let report: SimReport = {
                 let patterns = vec![pattern; system.tree().num_ports()];
                 let mut net = system.network_with_kernel(&patterns, hash, kernel);
+                net.set_speculation(speculate);
                 if profile {
                     net.enable_profiling();
                 }
@@ -174,6 +182,7 @@ pub fn run_job_with_options(
                     fallback: p.fallback.map(|c| c.label().to_owned()),
                     load_imbalance: p.load_imbalance(),
                     barrier_fraction: p.barrier_fraction().unwrap_or(0.0),
+                    speculation_commit_rate: p.speculation.and_then(|s| s.commit_rate()),
                 }),
                 wall_ms: 0,
             }
@@ -261,6 +270,13 @@ impl JobOutcome {
                     (
                         "barrier_fraction".into(),
                         JsonValue::Num(p.barrier_fraction),
+                    ),
+                    (
+                        "speculation_commit_rate".into(),
+                        match p.speculation_commit_rate {
+                            Some(rate) => JsonValue::Num(rate),
+                            None => JsonValue::Null,
+                        },
                     ),
                 ]),
             ));

@@ -29,6 +29,11 @@ pub struct SweepOptions {
     /// option: the telemetry is stripped before caching, so cache
     /// contents stay profiling-invariant.
     pub profile: bool,
+    /// Speculate-and-replay window bound for parallel-kernel jobs
+    /// (`--speculate` / `ICNOC_SPECULATE`). Another execution option:
+    /// committed speculative state is bit-identical, so outcomes and
+    /// cache keys are speculation-invariant.
+    pub speculate: Option<u32>,
 }
 
 /// Where a sweep's outcomes came from.
@@ -132,8 +137,9 @@ where
         opts.jobs,
         |k| {
             let index = pending[k];
-            let outcome = run_job_with_options(&jobs[index], opts.kernel, opts.profile)
-                .map_err(|e| e.to_string())?;
+            let outcome =
+                run_job_with_options(&jobs[index], opts.kernel, opts.profile, opts.speculate)
+                    .map_err(|e| e.to_string())?;
             if let Some(cache) = &opts.cache {
                 // A failed store degrades to "uncached", not an error:
                 // the sweep's results do not depend on the cache. The
@@ -224,6 +230,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -234,6 +241,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -256,6 +264,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -266,6 +275,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::Parallel { workers: 2 },
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -289,6 +299,7 @@ mod tests {
                 cache: Some(open()),
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -305,6 +316,7 @@ mod tests {
                 cache: Some(open()),
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -328,6 +340,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |event| {
                 if let SweepEvent::Result {
@@ -369,6 +382,7 @@ mod tests {
                 cache: Some(open()),
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -381,6 +395,7 @@ mod tests {
                 cache: Some(open()),
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |event| {
                 if let SweepEvent::Result { index, cached, .. } = event {
@@ -432,6 +447,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -442,6 +458,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: true,
+                speculate: None,
             },
             |_, _| {},
         );
@@ -472,6 +489,7 @@ mod tests {
                 cache: None,
                 kernel: SimKernel::default(),
                 profile: false,
+                speculate: None,
             },
             |done, total| {
                 assert_eq!(total, 2);

@@ -4,7 +4,9 @@ use crate::element::{Element, Kind, SinkState, SourceState, TileRole, TileState}
 use crate::fault::{ArrivalVerdict, CaptureEffect, ClockTopology, FaultState};
 use crate::label::LabelTable;
 use crate::parallel::{self, ParState};
-use crate::profile::{FallbackCause, KernelProfiler, PerfReport, PerfWall, ShardCounters};
+use crate::profile::{
+    FallbackCause, KernelProfiler, PerfReport, PerfWall, ShardCounters, SpecStats,
+};
 use crate::report::Scoreboard;
 use crate::trace::{
     CountersSink, DropCause, RingBufferSink, TraceEvent, TraceEventKind, TraceSink,
@@ -79,6 +81,25 @@ impl SimKernel {
             SimKernel::EventDriven => "event",
             SimKernel::Parallel { .. } => "parallel",
         }
+    }
+}
+
+/// Default speculate-and-replay window bound `K` used when speculation is
+/// requested without an explicit size (`--speculate`, `ICNOC_SPECULATE=1`).
+pub const DEFAULT_SPECULATION_K: u32 = 16;
+
+/// Resolves the `ICNOC_SPECULATE` environment variable into a
+/// speculate-and-replay window bound: unset / `0` / `off` / `false` mean
+/// disabled, `1` / `on` / `true` mean [`DEFAULT_SPECULATION_K`], and any
+/// other integer is an explicit `K` (clamped to at least 1). Unparseable
+/// values are treated as disabled rather than aborting a run.
+#[must_use]
+pub fn speculation_from_env() -> Option<u32> {
+    let raw = std::env::var("ICNOC_SPECULATE").ok()?;
+    match raw.trim() {
+        "" | "0" | "off" | "false" => None,
+        "1" | "on" | "true" => Some(DEFAULT_SPECULATION_K),
+        other => other.parse::<u32>().ok().map(|k| k.max(1)),
     }
 }
 
@@ -162,6 +183,10 @@ pub struct Network {
     /// Builder-provided subtree id per element, steering the parallel
     /// shard cut (set by the tree builder; contiguous ranges otherwise).
     shard_hints: Option<Vec<u32>>,
+    /// Maximum speculate-and-replay window size `K`
+    /// ([`set_speculation`](Self::set_speculation)); `None` keeps
+    /// lookahead-0 windows on the synchronized mailbox-tick path.
+    speculate: Option<u32>,
     /// Clock-distribution topology (per-element and per-port clock
     /// domains plus the active backend), set by tree builders. Handed to
     /// the fault layer when a plan attaches, so clock-domain faults can
@@ -209,6 +234,7 @@ impl Network {
             woken_scratch: Vec::new(),
             par: None,
             shard_hints: None,
+            speculate: None,
             clock_domains: None,
             element_steps: 0,
             prof: None,
@@ -296,6 +322,61 @@ impl Network {
             (false, true) => Some(FallbackCause::TraceSinks),
             (true, true) => Some(FallbackCause::FaultPlanAndTraceSinks),
         }
+    }
+
+    /// Enables speculate-and-replay on the parallel kernel with a maximum
+    /// window of `max_k` ticks (`Some(0)` is clamped to 1), or disables
+    /// it with `None`. When the coordinator would otherwise plan a
+    /// lookahead-0 synchronized mailbox tick, shards instead run up to
+    /// `K` ticks optimistically and roll back + replay if any cross-cut
+    /// effect invalidates the window; committed state stays bit-identical
+    /// to the sequential event kernel (see `parallel` module docs). A
+    /// no-op on the sequential kernels and on single-shard cuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has already been stepped: the speculation
+    /// state is built alongside the shard cut on first use.
+    #[track_caller]
+    pub fn set_speculation(&mut self, max_k: Option<u32>) {
+        assert_eq!(self.tick, 0, "configure speculation before stepping");
+        assert!(
+            self.par.is_none(),
+            "configure speculation before the parallel shard state is built"
+        );
+        self.speculate = max_k;
+    }
+
+    /// The configured speculate-and-replay window bound, if any.
+    #[must_use]
+    pub fn speculation(&self) -> Option<u32> {
+        self.speculate
+    }
+
+    /// Deterministic speculate-and-replay outcome counters, once the
+    /// parallel kernel has stepped with speculation enabled. `None` when
+    /// speculation is off, inapplicable (sequential kernel, single shard,
+    /// no boundary frontier) or the network has not stepped yet.
+    #[must_use]
+    pub fn speculation_stats(&self) -> Option<SpecStats> {
+        self.par.as_ref().and_then(ParState::speculation_stats)
+    }
+
+    /// Whether a parallel run that is otherwise on the fast path is
+    /// degraded to per-tick synchronized mailbox mode purely because
+    /// speculation is off. Deliberately *not* folded into
+    /// [`fallback_cause`](Self::fallback_cause) (and never stored in
+    /// [`PerfReport::fallback`]): the parallel kernel *is* running — the
+    /// CLI surfaces this as an advisory warning instead.
+    #[must_use]
+    pub fn speculation_fallback(&self) -> Option<FallbackCause> {
+        if !matches!(self.kernel, SimKernel::Parallel { .. }) {
+            return None;
+        }
+        if self.fallback_cause().is_some() || self.speculate.is_some() {
+            return None;
+        }
+        Some(FallbackCause::SpeculationDisabled)
     }
 
     /// Attaches a fault-injection and recovery plan. Call after
@@ -698,6 +779,7 @@ impl Network {
                 requested,
                 &self.armed,
                 self.shard_hints.as_deref(),
+                self.speculate,
             );
             if let Some(prof) = &mut self.prof {
                 par.enable_profiling();
@@ -1832,6 +1914,7 @@ impl Network {
                 workers: par.workers() as u32,
                 epochs: prof.epochs,
                 fallback: self.fallback_cause(),
+                speculation: par.speculation_stats(),
                 shards: par
                     .shard_elements()
                     .iter()
@@ -1865,6 +1948,7 @@ impl Network {
                 workers: 1,
                 epochs: prof.epochs,
                 fallback: self.fallback_cause(),
+                speculation: None,
                 shards: vec![ShardCounters {
                     worker: 0,
                     elements: self.elements.len() as u64,

@@ -27,12 +27,15 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Why a [`SimKernel::Parallel`](crate::SimKernel) network is running the
-/// sequential event-kernel fallback instead of worker threads.
+/// Why a [`SimKernel::Parallel`](crate::SimKernel) network is running a
+/// degraded mode: the sequential event-kernel fallback instead of worker
+/// threads, or (for [`FallbackCause::SpeculationDisabled`]) worker
+/// threads without speculate-and-replay in a regime that needs it.
 ///
-/// Both causes serialise the simulation on shared order-dependent state:
-/// a fault plan folds every element visit into one RNG stream, and trace
-/// sinks consume one globally ordered event stream.
+/// The sequential causes serialise the simulation on shared
+/// order-dependent state: a fault plan folds every element visit into
+/// one RNG stream, and trace sinks consume one globally ordered event
+/// stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FallbackCause {
     /// A [`FaultPlan`](crate::FaultPlan) is attached: the shared fault
@@ -43,6 +46,13 @@ pub enum FallbackCause {
     TraceSinks,
     /// Both a fault plan and trace sinks are attached.
     FaultPlanAndTraceSinks,
+    /// The parallel workers are running, but speculation is off, so
+    /// every cut-crossing tick degrades to one synchronised mailbox
+    /// tick. Never stored in [`PerfReport::fallback`] (the kernel is
+    /// *not* sequential); surfaced through
+    /// [`Network::speculation_fallback`](crate::Network) and the CLI
+    /// degraded-mode warnings.
+    SpeculationDisabled,
 }
 
 impl FallbackCause {
@@ -53,6 +63,7 @@ impl FallbackCause {
             FallbackCause::FaultPlan => "fault-plan",
             FallbackCause::TraceSinks => "trace-sinks",
             FallbackCause::FaultPlanAndTraceSinks => "fault-plan+trace-sinks",
+            FallbackCause::SpeculationDisabled => "speculation-disabled",
         }
     }
 }
@@ -73,7 +84,36 @@ impl core::fmt::Display for FallbackCause {
                 f,
                 "a fault plan and trace sinks are attached (order-dependent shared state)"
             ),
+            FallbackCause::SpeculationDisabled => write!(
+                f,
+                "speculation is disabled (pass --speculate or set ICNOC_SPECULATE=1 \
+                 to batch cut-crossing ticks optimistically)"
+            ),
         }
+    }
+}
+
+/// Deterministic speculate-and-replay outcome counters: pure functions
+/// of the configuration and worker count, bit-identical on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Speculative windows whose frontier assumption held.
+    pub commits: u64,
+    /// Speculative windows invalidated and replayed synchronised.
+    pub aborts: u64,
+    /// Ticks committed out of speculative windows.
+    pub committed_ticks: u64,
+    /// Ticks rolled back and replayed (wasted speculative work).
+    pub replayed_ticks: u64,
+}
+
+impl SpecStats {
+    /// Fraction of speculative windows that committed, or `None` when
+    /// none were attempted.
+    #[must_use]
+    pub fn commit_rate(&self) -> Option<f64> {
+        let attempts = self.commits + self.aborts;
+        (attempts > 0).then(|| self.commits as f64 / attempts as f64)
     }
 }
 
@@ -104,11 +144,23 @@ pub struct EpochSample {
     pub flush_ns: u64,
     /// Wall time spent waiting at the epoch's two barriers.
     pub barrier_ns: u64,
+    /// Speculation tags OR-ed over the merged epochs:
+    /// [`EpochSample::SPEC_COMMIT`] | [`EpochSample::SPEC_REPLAY`] |
+    /// [`EpochSample::SPEC_ABORT`] (0 = plain lockstep epochs only).
+    #[serde(default)]
+    pub spec: u8,
 }
 
 impl EpochSample {
+    /// The sample covers a committed speculative window.
+    pub const SPEC_COMMIT: u8 = 1;
+    /// The sample covers replayed (post-abort, synchronised) ticks.
+    pub const SPEC_REPLAY: u8 = 2;
+    /// The sample is a zero-tick aborted speculative attempt.
+    pub const SPEC_ABORT: u8 = 4;
+
     /// Folds a later sample into this one (sums counters and phase
-    /// times; keeps this sample's start).
+    /// times; keeps this sample's start; unions speculation tags).
     fn merge(&mut self, other: &EpochSample) {
         self.ticks += other.ticks;
         self.steps += other.steps;
@@ -117,6 +169,7 @@ impl EpochSample {
         self.step_ns += other.step_ns;
         self.flush_ns += other.flush_ns;
         self.barrier_ns += other.barrier_ns;
+        self.spec |= other.spec;
     }
 }
 
@@ -209,8 +262,10 @@ impl CoreProf {
         self.base_ns = base_ns;
     }
 
-    /// Records one epoch (`sample.ticks` must be 1; `start_ns` already
-    /// absolute against the profiler's time base).
+    /// Records one window's sample — `sample.ticks` epochs at once (a
+    /// multi-tick batched or speculative window contributes a single
+    /// sample; an aborted speculation contributes a zero-tick one);
+    /// `start_ns` already absolute against the profiler's time base.
     pub(crate) fn record(&mut self, sample: EpochSample) {
         let p = &mut self.profile;
         p.epochs += u64::from(sample.ticks);
@@ -288,6 +343,7 @@ impl KernelProfiler {
             step_ns,
             flush_ns: 0,
             barrier_ns: 0,
+            spec: 0,
         });
     }
 }
@@ -333,6 +389,11 @@ pub struct PerfReport {
     pub epochs: u64,
     /// Why a parallel-kernel network ran sequentially, if it did.
     pub fallback: Option<FallbackCause>,
+    /// Deterministic speculate-and-replay outcome counters; `None` when
+    /// speculation is off, inapplicable (single shard, no cut) or the
+    /// kernel is sequential.
+    #[serde(default)]
+    pub speculation: Option<SpecStats>,
     /// Deterministic per-shard counters.
     pub shards: Vec<ShardCounters>,
     /// Wall-clock phase times — nondeterministic, excluded from every
@@ -399,6 +460,17 @@ impl PerfReport {
         );
         if let Some(cause) = self.fallback {
             let _ = writeln!(out, "  sequential fallback: {cause}");
+        }
+        if let Some(spec) = self.speculation {
+            let rate = spec
+                .commit_rate()
+                .map_or_else(|| "n/a".to_string(), |r| format!("{:.1}%", r * 100.0));
+            let _ = writeln!(
+                out,
+                "  speculation: {} commit(s), {} abort(s) (commit rate {rate}), \
+                 {} tick(s) committed, {} replayed",
+                spec.commits, spec.aborts, spec.committed_ticks, spec.replayed_ticks
+            );
         }
         let _ = writeln!(
             out,
@@ -490,11 +562,22 @@ impl PerfReport {
                     // Lay the phases out consecutively from the sample's
                     // start, in their real order within an epoch: the
                     // barrier wait opens the tick, the visit follows, the
-                    // mailbox flush closes it.
+                    // mailbox flush closes it. The visit slice is named
+                    // by the window's speculation outcome so commit /
+                    // replay / abort rows are visible on the timeline.
+                    let step_name = if s.spec & EpochSample::SPEC_ABORT != 0 {
+                        "speculate(aborted)"
+                    } else if s.spec & EpochSample::SPEC_REPLAY != 0 {
+                        "replay"
+                    } else if s.spec & EpochSample::SPEC_COMMIT != 0 {
+                        "speculate"
+                    } else {
+                        "step"
+                    };
                     let mut ts = s.start_ns;
                     for (name, dur) in [
                         ("barrier", s.barrier_ns),
-                        ("step", s.step_ns),
+                        (step_name, s.step_ns),
                         ("flush", s.flush_ns),
                     ] {
                         if dur == 0 {
@@ -539,6 +622,7 @@ mod tests {
             step_ns,
             flush_ns: 5,
             barrier_ns: 10,
+            spec: 0,
         }
     }
 
@@ -588,6 +672,7 @@ mod tests {
             workers: 2,
             epochs: 10,
             fallback: None,
+            speculation: None,
             shards: vec![shard(0, 30), shard(1, 10)],
             wall: Some(PerfWall {
                 workers: vec![wall_worker(0, 75, 25), wall_worker(1, 25, 75)],
@@ -614,6 +699,7 @@ mod tests {
             workers: 1,
             epochs: 2,
             fallback: None,
+            speculation: None,
             shards: vec![ShardCounters {
                 worker: 0,
                 elements: 8,
@@ -645,6 +731,25 @@ mod tests {
             FallbackCause::FaultPlanAndTraceSinks.label(),
             "fault-plan+trace-sinks"
         );
+        assert_eq!(
+            FallbackCause::SpeculationDisabled.label(),
+            "speculation-disabled"
+        );
         assert!(FallbackCause::FaultPlan.to_string().contains("fault plan"));
+        assert!(FallbackCause::SpeculationDisabled
+            .to_string()
+            .contains("--speculate"));
+    }
+
+    #[test]
+    fn spec_stats_commit_rate() {
+        assert_eq!(SpecStats::default().commit_rate(), None);
+        let stats = SpecStats {
+            commits: 3,
+            aborts: 1,
+            committed_ticks: 24,
+            replayed_ticks: 8,
+        };
+        assert!((stats.commit_rate().expect("attempts > 0") - 0.75).abs() < 1e-12);
     }
 }
